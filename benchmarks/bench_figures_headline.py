@@ -1,0 +1,31 @@
+"""Benchmarks F1/F2/H1: the architecture figures (structural builds) and
+the cross-cutting headline claims."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import run_figure1, run_figure2, run_headline
+from repro.core import MMS, MmsConfig
+from repro.npu import CopyStrategy, ReferenceNpu
+
+
+def test_bench_figure1_platform_build(benchmark):
+    """Construct the full Figure 1 platform (all blocks wired)."""
+    npu = benchmark.pedantic(ReferenceNpu,
+                             kwargs={"strategy": CopyStrategy.LINE},
+                             iterations=1, rounds=5)
+    emit(run_figure1().rendered)
+    assert npu.queues.num_queues == 16
+
+def test_bench_figure2_mms_build(benchmark):
+    """Construct the full Figure 2 MMS at paper scale (32 K flows)."""
+    mms = benchmark.pedantic(MMS, iterations=1, rounds=3)
+    emit(run_figure2().rendered)
+    assert mms.pqm.num_flows == 32 * 1024
+
+def test_bench_headline_claims(benchmark):
+    report = benchmark.pedantic(run_headline, kwargs={"fast": True},
+                                iterations=1, rounds=1)
+    emit(report.rendered)
+    assert report.values["mms_gbps"] == pytest.approx(6.1, rel=0.05)
+    assert report.values["ixp_1k_mbps"] < 170

@@ -1,0 +1,40 @@
+"""Benchmark T1: regenerate Table 1 (DDR throughput loss).
+
+Workload: 4 backlogged ports (2 write + 2 read), uniform random banks;
+serializing vs reordering scheduler; conflicts-only vs +interleaving.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis import PAPER_TABLE1
+from repro.analysis.experiments import run_table1
+from repro.mem import simulate_throughput_loss
+
+
+def test_bench_table1_full(benchmark):
+    report = benchmark.pedantic(run_table1, kwargs={"fast": True},
+                                iterations=1, rounds=2)
+    emit(report.rendered)
+    # shape assertions: conflict columns track the paper closely
+    for banks, row in PAPER_TABLE1.items():
+        ours = report.values[f"banks{banks}"]
+        assert ours[0] == pytest.approx(row[0], abs=0.03)
+        assert ours[2] == pytest.approx(row[2], abs=0.03)
+
+def test_bench_table1_eight_bank_cell(benchmark):
+    """The paper's headline cell: 8 banks, optimized scheduler."""
+    result = benchmark.pedantic(
+        simulate_throughput_loss,
+        kwargs={"num_banks": 8, "optimized": True,
+                "model_rw_turnaround": False, "num_accesses": 20_000},
+        iterations=1, rounds=3)
+    assert result.loss == pytest.approx(0.046, abs=0.02)
+
+def test_bench_table1_serializing_baseline(benchmark):
+    result = benchmark.pedantic(
+        simulate_throughput_loss,
+        kwargs={"num_banks": 8, "optimized": False,
+                "model_rw_turnaround": False, "num_accesses": 20_000},
+        iterations=1, rounds=3)
+    assert result.loss == pytest.approx(0.384, abs=0.02)

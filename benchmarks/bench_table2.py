@@ -1,0 +1,28 @@
+"""Benchmark T2: regenerate Table 2 (IXP1200 queue-management rates).
+
+Workload: saturated queue management (enqueue+dequeue per 64 B packet)
+for 16/128/1024 queues on 1 and 6 microengines with shared-controller
+contention.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis import PAPER_TABLE2
+from repro.analysis.experiments import run_table2
+from repro.ixp import simulate_ixp
+
+
+def test_bench_table2_full(benchmark):
+    report = benchmark.pedantic(run_table2, iterations=1, rounds=2)
+    emit(report.rendered)
+    for (queues, engines), want in PAPER_TABLE2.items():
+        got = report.values[f"q{queues}_e{engines}"]
+        assert got == pytest.approx(want, rel=0.12), (queues, engines)
+
+def test_bench_table2_worst_case_cell(benchmark):
+    """1024 queues on all 6 engines: the cell behind the paper's
+    '<150 Mbps' conclusion."""
+    result = benchmark.pedantic(simulate_ixp, args=(1024, 6),
+                                iterations=1, rounds=2)
+    assert result.kpps == pytest.approx(300, rel=0.12)

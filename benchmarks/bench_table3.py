@@ -1,0 +1,33 @@
+"""Benchmark T3: regenerate Table 3 (software queue-manager cycles) and
+the Section 5.3 copy-strategy progression (ablation A3).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import run_table3
+from repro.npu import CopyStrategy, QueueSwModel
+
+
+def test_bench_table3_full(benchmark):
+    report = benchmark.pedantic(run_table3, iterations=1, rounds=3)
+    emit(report.rendered)
+    assert report.values["enqueue_word"] == 216
+    assert report.values["dequeue_word"] == 230
+
+def test_bench_table3_model_construction(benchmark):
+    """Deriving the cost model from live data-structure traces."""
+    model = benchmark.pedantic(QueueSwModel, iterations=1, rounds=5)
+    assert model.free_pop.plb_reads == 2
+
+def test_bench_copy_strategy_progression(benchmark):
+    """A3: word -> line -> DMA; line roughly doubles throughput."""
+
+    def progression():
+        m = QueueSwModel()
+        return {s: m.full_duplex_gbps(s) for s in CopyStrategy}
+
+    rates = benchmark.pedantic(progression, iterations=1, rounds=3)
+    assert rates[CopyStrategy.LINE] > 1.8 * rates[CopyStrategy.WORD]
+    assert rates[CopyStrategy.DMA] == pytest.approx(
+        rates[CopyStrategy.LINE], rel=0.15)

@@ -1,0 +1,40 @@
+"""Benchmark T5: regenerate Table 5 (MMS delay decomposition vs load)
+and the saturation headline (12 Mops / ~6.1 Gbps).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import run_table5
+from repro.core.mms import MmsConfig, run_load, run_saturation
+
+CFG = MmsConfig(num_flows=1024, num_segments=8192, num_descriptors=4096)
+
+
+def test_bench_table5_full(benchmark):
+    report = benchmark.pedantic(run_table5, kwargs={"fast": True},
+                                iterations=1, rounds=1)
+    emit(report.rendered)
+    # execution delay is the paper's 10.5 at every load
+    for load, (fifo, execution, data, total) in report.values.items():
+        assert execution == pytest.approx(10.5, abs=0.01)
+    low = report.values["load1.6"]
+    high = report.values["load6.14"]
+    assert low[3] == pytest.approx(58.5, abs=6)    # total at 1.6 Gbps
+    assert high[0] > low[0]                        # fifo grows with load
+    assert high[2] > low[2] - 0.5                  # data grows with load
+
+def test_bench_saturation_headline(benchmark):
+    result = benchmark.pedantic(
+        run_saturation, kwargs={"num_commands": 2000, "config": CFG},
+        iterations=1, rounds=2)
+    assert result.achieved_mops == pytest.approx(11.9, rel=0.03)
+    assert result.achieved_gbps == pytest.approx(6.1, rel=0.03)
+
+def test_bench_single_load_point(benchmark):
+    result = benchmark.pedantic(
+        run_load,
+        kwargs={"offered_gbps": 3.2, "num_volleys": 600, "config": CFG,
+                "warmup_volleys": 100},
+        iterations=1, rounds=2)
+    assert result.total_cycles == pytest.approx(59.6, abs=6)

@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates a published artifact (table/figure) or an
+ablation and prints the paper-vs-model comparison; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Simulations are deterministic, so small round counts give stable timing
+without sacrificing the comparison output.
+"""
+
+import pytest
+
+
+def emit(report_text: str) -> None:
+    """Print a rendered experiment report under the bench output."""
+    print()
+    print(report_text)

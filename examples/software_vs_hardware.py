@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The paper's whole argument in one run: software vs hardware queues.
+
+Measures the sustainable 64-byte-packet bandwidth of each system the
+paper evaluates -- IXP1200 microengines (Table 2), the PowerPC reference
+NPU with each copy strategy (Table 3 / Section 5.3), and the MMS
+(Section 6.1) -- and prints them side by side.
+
+Run:  python examples/software_vs_hardware.py   (~30 s)
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.mms import MmsConfig, run_saturation
+from repro.ixp import simulate_ixp
+from repro.net import pps_to_gbps
+from repro.npu import CopyStrategy, QueueSwModel
+
+
+def main() -> None:
+    rows = []
+
+    # --- IXP1200 (6 microengines, worst and best Table 2 cases)
+    for queues in (16, 1024):
+        res = simulate_ixp(queues, 6)
+        rows.append([f"IXP1200, 6 engines, {queues} queues",
+                     round(pps_to_gbps(res.pps, 64), 3)])
+
+    # --- PowerPC reference NPU (full duplex, Section 5.3 progression)
+    sw = QueueSwModel()
+    for strategy in CopyStrategy:
+        rows.append([f"PowerPC 405 @100 MHz, {strategy.value} copy",
+                     round(sw.full_duplex_gbps(strategy), 3)])
+
+    # --- the MMS
+    sat = run_saturation(num_commands=4000,
+                         config=MmsConfig(num_flows=2048, num_segments=16384,
+                                          num_descriptors=8192))
+    rows.append(["MMS @125 MHz, 32K flows (hardware)",
+                 round(sat.achieved_gbps, 3)])
+
+    print(format_table(["system", "sustainable Gbps (64-byte packets)"],
+                       rows, title="Queue management: software vs hardware"))
+
+    mms_gbps = rows[-1][1]
+    # the fair software comparison is the many-queue configurations: the
+    # 16-queue IXP case keeps everything in registers/scratchpad, which
+    # no real multi-service system can (the MMS handles 32 K flows)
+    best_many_queue_sw = max(r[1] for r in rows[1:-1])
+    print(f"\nAt comparable queue counts the MMS sustains {mms_gbps} Gbps "
+          f"-- {mms_gbps / best_many_queue_sw:.0f}x the best software "
+          f"configuration -- on a conservative 125 MHz FPGA clock.")
+    print("That is the paper's conclusion: wire-speed queue management "
+          "at gigabit rates needs dedicated hardware.")
+
+
+if __name__ == "__main__":
+    main()

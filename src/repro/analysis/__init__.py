@@ -1,0 +1,60 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+``python -m repro.analysis table1`` (or the installed
+``repro-experiments`` script) regenerates any published artifact and
+prints it side-by-side with the paper's numbers.  The benchmark suite in
+``benchmarks/`` wraps the same drivers.
+"""
+
+from repro.analysis.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+)
+from repro.analysis.tables import format_table, format_comparison
+from repro.analysis.sweeps import (
+    SweepSeries,
+    ascii_plot,
+    ddr_loss_vs_banks,
+    ixp_rate_vs_queues,
+    mms_delay_vs_load,
+    npu_rate_vs_clock,
+)
+from repro.analysis.experiments import (
+    ExperimentReport,
+    run_figure1,
+    run_figure2,
+    run_headline,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "format_table",
+    "format_comparison",
+    "ExperimentReport",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure1",
+    "run_figure2",
+    "run_headline",
+    "SweepSeries",
+    "ascii_plot",
+    "ddr_loss_vs_banks",
+    "ixp_rate_vs_queues",
+    "npu_rate_vs_clock",
+    "mms_delay_vs_load",
+]

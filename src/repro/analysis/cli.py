@@ -1,0 +1,50 @@
+"""Command-line entry point: ``repro-experiments`` / ``python -m repro.analysis``.
+
+Usage::
+
+    repro-experiments table1              # one experiment
+    repro-experiments all                 # everything
+    repro-experiments table5 --fast       # reduced run lengths
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Queue Management in "
+            "Network Processors' (DATE 2005) from the behavioral models."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which published artifact to regenerate",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="shorter simulations (CI mode; slightly noisier numbers)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        report = EXPERIMENTS[name](fast=args.fast)
+        print(report.rendered)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Every number the paper publishes, as data.
+
+Single source of truth for the comparison harness and the regression
+tests: if a model change drifts away from the paper, the diff shows up
+against these constants.
+"""
+
+from __future__ import annotations
+
+#: Table 1 -- DDR-DRAM throughput loss using 1 to 16 banks.
+#: banks -> (no-opt conflicts, no-opt conflicts+interleaving,
+#:           optimized conflicts, optimized conflicts+interleaving)
+PAPER_TABLE1 = {
+    1: (0.750, 0.75, 0.750, 0.750),
+    4: (0.522, 0.5, 0.260, 0.331),
+    8: (0.384, 0.39, 0.046, 0.199),
+    12: (0.305, 0.347, 0.012, 0.159),
+    16: (0.253, 0.317, 0.003, 0.139),
+}
+
+#: Table 2 -- maximum rate serviced by IXP1200 queue management (Kpps).
+#: (num_queues, num_microengines) -> Kpps
+PAPER_TABLE2 = {
+    (16, 1): 956,
+    (16, 6): 5600,
+    (128, 1): 390,
+    (128, 6): 2300,
+    (1024, 1): 60,
+    (1024, 6): 300,
+}
+
+#: Table 3 -- cycles per packet operation on the reference NPU.
+#: row -> (enqueue cycles, dequeue cycles); enqueue tuple = (first, rest)
+PAPER_TABLE3 = {
+    "free_list": (34, 42),
+    "segment_first": (46, 52),
+    "segment_rest": (68, 52),
+    "copy": (136, 136),
+    "total_first": (216, 230),
+    "total_rest": (238, 230),
+}
+
+#: Section 5.3 improvement figures.
+PAPER_LINE_COPY_CYCLES = 24
+PAPER_LINE_TOTALS = (128, 118)   # enqueue, dequeue ("becomes 128 and 118")
+PAPER_DMA_SETUP_CYCLES = 16
+PAPER_DMA_TRANSFER_CYCLES = 34
+
+#: Table 4 -- latency of the MMS commands (cycles at 125 MHz).
+PAPER_TABLE4 = {
+    "enqueue": 10,
+    "read": 10,
+    "overwrite": 10,
+    "move": 11,
+    "delete": 7,
+    "overwrite_segment_length": 7,
+    "dequeue": 11,
+    "overwrite_segment_length_and_move": 12,
+    "overwrite_segment_and_move": 12,
+}
+
+#: Table 5 -- MMS delays (cycles) per offered load (Gbps).
+#: load -> (fifo, execution, data, total)
+PAPER_TABLE5 = {
+    6.14: (68.0, 10.5, 31.3, 109.8),
+    4.8: (57.0, 10.5, 30.8, 98.3),
+    4.0: (20.0, 10.5, 30.0, 60.5),
+    3.2: (20.0, 10.5, 29.1, 59.6),
+    1.6: (20.0, 10.5, 28.0, 58.5),
+}
+
+#: Headline claims.
+PAPER_MMS_MOPS = 12.0             # "12 Mops/sec operating at 125MHz"
+PAPER_MMS_NS_PER_OP = 84.0        # "one operation per 84 ns"
+PAPER_MMS_GBPS = 6.145            # "the overall bandwidth ... is 6.145Gbps"
+PAPER_IXP_MAX_MBPS_1K_QUEUES = 150.0   # Section 4 claim
+PAPER_NPU_BASE_FULL_DUPLEX_MBPS = 100.0  # Section 5.3/5.4 rule of thumb
+PAPER_NPU_LINE_FULL_DUPLEX_MBPS = 200.0  # "up to about 200 Mbps"
+PAPER_DDR_PEAK_GBPS = 12.8

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table.
+
+    Floats are shown with 3 significant decimals; everything else via
+    ``str``.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    rendered: List[List[str]] = [[_cell(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered.append([_cell(c) for c in row])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, r in enumerate(rendered):
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_comparison(headers: Sequence[str],
+                      rows: Sequence[Sequence[object]],
+                      paper_col: int, model_col: int,
+                      title: Optional[str] = None) -> str:
+    """Like :func:`format_table` but appends a relative-delta column
+    computed between a paper column and a model column."""
+    out_headers = list(headers) + ["delta"]
+    out_rows = []
+    for row in rows:
+        paper = row[paper_col]
+        model = row[model_col]
+        delta = _delta(paper, model)
+        out_rows.append(list(row) + [delta])
+    return format_table(out_headers, out_rows, title=title)
+
+
+def _delta(paper: object, model: object) -> str:
+    try:
+        p = float(paper)  # type: ignore[arg-type]
+        m = float(model)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return ""
+    if p == 0:
+        return f"{m - p:+.3f}"
+    return f"{(m - p) / p * 100:+.1f}%"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value else "0"
+    return str(value)

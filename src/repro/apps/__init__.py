@@ -1,0 +1,31 @@
+"""Application models over the MMS command API.
+
+Section 6 claims the MMS command set "facilitate[s] the execution of the
+basic packet forwarding operations; for instance segmentation &
+reassembly, protocol encapsulation, header modification" and lists the
+accelerated applications: Ethernet switching with QoS (802.1p/802.1q),
+ATM switching, IP over ATM internetworking, IP routing, NAT and PPP
+encapsulation.
+
+Each module here implements one of those applications *as a client of
+the MMS*: all buffering, queueing and header surgery is expressed in MMS
+commands (enqueue / dequeue / move / overwrite / append / delete), so the
+applications double as end-to-end exercises of the command set.
+"""
+
+from repro.apps.ethernet_switch import QosEthernetSwitch, SwitchConfig
+from repro.apps.ip_router import IpRouter, RouteTable
+from repro.apps.nat import NatGateway
+from repro.apps.atm_switch import AtmSwitch, VcMap
+from repro.apps.encapsulation import PppEncapsulator
+
+__all__ = [
+    "QosEthernetSwitch",
+    "SwitchConfig",
+    "IpRouter",
+    "RouteTable",
+    "NatGateway",
+    "AtmSwitch",
+    "VcMap",
+    "PppEncapsulator",
+]

@@ -1,0 +1,102 @@
+"""ATM switching over the MMS.
+
+Cells of one virtual circuit form a flow queue; switching remaps the
+(VPI, VCI) header -- an MMS *Overwrite* on the cell's (single) segment --
+and the cell moves to its output-port queue.  The MMS lineage is exactly
+this workload: its ancestors ([2], [3] in the paper) were ATM queue
+managers, and a 53-byte cell fits one 64-byte segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import MMS, Command, CommandType, MmsConfig
+from repro.net.atm import ATM_CELL_BYTES, AtmCell
+
+VcKey = Tuple[int, int, int]          # (in_port, vpi, vci)
+VcTarget = Tuple[int, int, int]       # (out_port, new_vpi, new_vci)
+
+
+class VcMap:
+    """The virtual-circuit cross-connect table."""
+
+    def __init__(self) -> None:
+        self._map: Dict[VcKey, VcTarget] = {}
+
+    def connect(self, in_port: int, vpi: int, vci: int,
+                out_port: int, new_vpi: int, new_vci: int) -> None:
+        if min(in_port, out_port, vpi, vci, new_vpi, new_vci) < 0:
+            raise ValueError("VC identifiers must be non-negative")
+        self._map[(in_port, vpi, vci)] = (out_port, new_vpi, new_vci)
+
+    def lookup(self, in_port: int, vpi: int, vci: int) -> Optional[VcTarget]:
+        return self._map.get((in_port, vpi, vci))
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+@dataclass(frozen=True)
+class SwitchedCell:
+    """A cell after the cross-connect."""
+
+    out_port: int
+    cell: AtmCell
+
+
+class AtmSwitch:
+    """Per-output-port cell queues over the MMS."""
+
+    def __init__(self, num_ports: int = 4, mms: Optional[MMS] = None) -> None:
+        if num_ports < 2:
+            raise ValueError(f"need >= 2 ports, got {num_ports}")
+        self.num_ports = num_ports
+        self.vcs = VcMap()
+        self.mms = mms or MMS(MmsConfig(num_flows=num_ports,
+                                        num_segments=4096,
+                                        num_descriptors=4096))
+        self._cell_meta: Dict[int, SwitchedCell] = {}
+        self._next_tag = 0
+        self.cells_switched = 0
+        self.cells_dropped = 0
+
+    def switch_cell(self, in_port: int, cell: AtmCell) -> Optional[SwitchedCell]:
+        """Cross-connect one cell; returns its queued form or None
+        (unknown VC -> dropped, no MMS state consumed)."""
+        target = self.vcs.lookup(in_port, cell.vpi, cell.vci)
+        if target is None:
+            self.cells_dropped += 1
+            return None
+        out_port, new_vpi, new_vci = target
+        tag = self._next_tag
+        self._next_tag += 1
+        # one 53-byte cell = one short segment; header remap is the
+        # segment's data being rewritten on the way in
+        self.mms.apply(Command(
+            type=CommandType.ENQUEUE, flow=out_port, eop=True,
+            length=ATM_CELL_BYTES, pid=tag))
+        switched = SwitchedCell(
+            out_port=out_port,
+            cell=AtmCell(vpi=new_vpi, vci=new_vci, pid=cell.pid,
+                         index=cell.index, last=cell.last,
+                         payload_bytes=cell.payload_bytes))
+        self._cell_meta[tag] = switched
+        self.cells_switched += 1
+        return switched
+
+    def transmit(self, out_port: int) -> Optional[SwitchedCell]:
+        """Dequeue one cell from an output port."""
+        if not 0 <= out_port < self.num_ports:
+            raise ValueError(
+                f"port {out_port} out of range [0, {self.num_ports})"
+            )
+        if self.mms.pqm.queued_packets(out_port) == 0:
+            return None
+        info = self.mms.apply(Command(type=CommandType.DEQUEUE, flow=out_port))
+        assert info.eop and info.length == ATM_CELL_BYTES
+        return self._cell_meta.pop(info.pid, None)
+
+    def queued_cells(self, out_port: int) -> int:
+        return self.mms.pqm.queued_packets(out_port)

@@ -1,0 +1,129 @@
+"""Protocol encapsulation over the MMS (PPP and friends).
+
+Encapsulation is where the *Append a segment at the head or tail of a
+packet* commands earn their keep: a PPP (or IP-over-ATM LLC/SNAP) header
+becomes a prepended segment, a trailer (FCS) an appended one, and
+decapsulation is *Delete one segment* at the head -- no data copying, the
+paper's argument for pointer-level packet surgery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core import MMS, Command, CommandType, MmsConfig
+from repro.net.packet import Packet
+
+#: Default flow used for the encapsulation pipeline.
+PIPELINE_FLOW = 0
+
+
+@dataclass(frozen=True)
+class EncapStats:
+    encapsulated: int
+    decapsulated: int
+
+
+class PppEncapsulator:
+    """PPP-style encapsulation pipeline on one MMS flow queue."""
+
+    def __init__(self, mms: Optional[MMS] = None,
+                 trailer_bytes: int = 4) -> None:
+        if not 1 <= trailer_bytes <= 64:
+            raise ValueError(
+                f"trailer_bytes must be in [1, 64], got {trailer_bytes}"
+            )
+        self.mms = mms or MMS(MmsConfig(num_flows=2, num_segments=2048,
+                                        num_descriptors=1024))
+        self.trailer_bytes = trailer_bytes
+        self._pkt_meta: Dict[int, Packet] = {}
+        self.encapsulated = 0
+        self.decapsulated = 0
+
+    # ----------------------------------------------------------- pipeline
+
+    def load(self, packet: Packet) -> None:
+        """Buffer a packet into the pipeline queue."""
+        for i, seg_len in enumerate(packet.segment_lengths()):
+            self.mms.apply(Command(
+                type=CommandType.ENQUEUE, flow=PIPELINE_FLOW,
+                eop=(i == packet.num_segments - 1), length=seg_len,
+                pid=packet.pid, seg_index=i))
+        self._pkt_meta[packet.pid] = packet
+
+    def encapsulate_head(self) -> int:
+        """Prepend the PPP header segment to the head packet.
+
+        Returns the number of segments the packet now has."""
+        info = self.mms.apply(Command(type=CommandType.READ,
+                                      flow=PIPELINE_FLOW))
+        self.mms.apply(Command(type=CommandType.APPEND_HEAD,
+                               flow=PIPELINE_FLOW, pid=info.pid))
+        self.encapsulated += 1
+        return self._packet_segments()
+
+    def add_trailer(self) -> int:
+        """Append an FCS trailer segment to the head packet.
+
+        The packet's last segment must be full (pad with
+        *Overwrite_Segment_length* first when needed); returns the new
+        segment count."""
+        last_len = self._last_segment_length()
+        if last_len != 64:
+            if self._packet_segments() > 1:
+                # overwrite-length addresses the packet's head segment;
+                # padding a short tail of a multi-segment packet would
+                # need a per-segment variant the model does not expose
+                raise ValueError(
+                    "cannot pad the short tail of a multi-segment packet"
+                )
+            # single-segment packet: head == tail, pad it to 64 bytes
+            self.mms.apply(Command(type=CommandType.OVERWRITE_LENGTH,
+                                   flow=PIPELINE_FLOW, length=64))
+        self.mms.apply(Command(type=CommandType.APPEND_TAIL,
+                               flow=PIPELINE_FLOW,
+                               length=self.trailer_bytes))
+        return self._packet_segments()
+
+    def decapsulate_head(self) -> int:
+        """Drop the head packet's first segment (the header) -- *Delete
+        one segment*, zero data movement."""
+        self.mms.apply(Command(type=CommandType.DELETE, flow=PIPELINE_FLOW))
+        self.decapsulated += 1
+        return self._packet_segments()
+
+    def unload(self) -> Optional[Packet]:
+        """Dequeue the (possibly re-framed) head packet."""
+        if self.mms.pqm.queued_packets(PIPELINE_FLOW) == 0:
+            return None
+        pid = None
+        total = 0
+        while True:
+            info = self.mms.apply(Command(type=CommandType.DEQUEUE,
+                                          flow=PIPELINE_FLOW))
+            pid = info.pid if info.pid >= 0 else pid
+            total += info.length
+            if info.eop:
+                break
+        original = self._pkt_meta.pop(pid, None)
+        if original is None:
+            return None
+        return Packet(length_bytes=total, flow_id=original.flow_id,
+                      pid=original.pid, fields=dict(original.fields))
+
+    def stats(self) -> EncapStats:
+        return EncapStats(self.encapsulated, self.decapsulated)
+
+    # --------------------------------------------------------- internals
+
+    def _packet_segments(self) -> int:
+        packets = self.mms.pqm.walk_packets(PIPELINE_FLOW)
+        return len(packets[0]) if packets else 0
+
+    def _last_segment_length(self) -> int:
+        packets = self.mms.pqm.walk_packets(PIPELINE_FLOW)
+        if not packets:
+            raise RuntimeError("pipeline queue is empty")
+        last_slot = packets[0][-1]
+        return self.mms.pqm.segment_info(last_slot).length

@@ -1,0 +1,186 @@
+"""IP routing over the MMS: longest-prefix match + header surgery.
+
+Packets land in an ingress queue; the routing step rewrites the header
+(TTL decrement -> the MMS *Overwrite_Segment&Move* combination command
+moves the packet to its next-hop queue in the same operation) or drops
+expired packets with *Delete a full packet*.  The route table is a
+binary trie doing genuine longest-prefix match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import MMS, Command, CommandType, MmsConfig
+from repro.net.packet import Packet
+
+
+def parse_ipv4(text: str) -> int:
+    """Dotted-quad to 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {text!r}")
+    value = 0
+    for p in parts:
+        octet = int(p)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad IPv4 octet {p!r} in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+class _TrieNode:
+    __slots__ = ("children", "next_hop")
+
+    def __init__(self) -> None:
+        self.children: List[Optional[_TrieNode]] = [None, None]
+        self.next_hop: Optional[int] = None
+
+
+class RouteTable:
+    """Binary-trie longest-prefix-match table (IPv4)."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self.num_routes = 0
+
+    def add(self, prefix: str, length: int, next_hop: int) -> None:
+        """Install ``prefix/length -> next_hop`` (next_hop = egress id)."""
+        if not 0 <= length <= 32:
+            raise ValueError(f"prefix length must be in [0, 32], got {length}")
+        if next_hop < 0:
+            raise ValueError(f"next_hop must be >= 0, got {next_hop}")
+        addr = parse_ipv4(prefix)
+        node = self._root
+        for i in range(length):
+            bit = (addr >> (31 - i)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        if node.next_hop is None:
+            self.num_routes += 1
+        node.next_hop = next_hop
+
+    def lookup(self, dst: str) -> Optional[int]:
+        """Longest-prefix match; None when no route covers ``dst``."""
+        addr = parse_ipv4(dst)
+        node = self._root
+        best = node.next_hop
+        for i in range(32):
+            bit = (addr >> (31 - i)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.next_hop is not None:
+                best = node.next_hop
+        return best
+
+
+@dataclass(frozen=True)
+class RouterStats:
+    routed: int
+    dropped_no_route: int
+    dropped_ttl: int
+
+
+class IpRouter:
+    """An MMS-backed IP forwarder.
+
+    Flow layout: flow 0..N-1 are next-hop egress queues; flow N is the
+    ingress queue.
+    """
+
+    def __init__(self, num_next_hops: int = 16,
+                 mms: Optional[MMS] = None) -> None:
+        if num_next_hops < 1:
+            raise ValueError("num_next_hops must be >= 1")
+        self.num_next_hops = num_next_hops
+        self.table = RouteTable()
+        self.mms = mms or MMS(MmsConfig(
+            num_flows=num_next_hops + 1,
+            num_segments=8192, num_descriptors=4096))
+        self._ingress_flow = num_next_hops
+        self._pkt_meta: Dict[int, Packet] = {}
+        self.routed = 0
+        self.dropped_no_route = 0
+        self.dropped_ttl = 0
+
+    # ------------------------------------------------------------ ingress
+
+    def receive(self, packet: Packet) -> None:
+        """Buffer an arriving packet in the ingress queue.
+
+        Required ``packet.fields``: ``dst_ip`` (dotted quad), ``ttl``.
+        """
+        if "dst_ip" not in packet.fields or "ttl" not in packet.fields:
+            raise ValueError("packet needs dst_ip and ttl fields")
+        for i, seg_len in enumerate(packet.segment_lengths()):
+            self.mms.apply(Command(
+                type=CommandType.ENQUEUE, flow=self._ingress_flow,
+                eop=(i == packet.num_segments - 1), length=seg_len,
+                pid=packet.pid, seg_index=i))
+        self._pkt_meta[packet.pid] = packet
+
+    # -------------------------------------------------------------- route
+
+    def route_one(self) -> Optional[Tuple[Packet, Optional[int]]]:
+        """Route the head packet of the ingress queue.
+
+        Returns ``(packet, next_hop)``; ``next_hop`` is None for drops.
+        Returns None when the ingress queue is empty.
+        """
+        if self.mms.pqm.queued_packets(self._ingress_flow) == 0:
+            return None
+        info = self.mms.apply(Command(type=CommandType.READ,
+                                      flow=self._ingress_flow))
+        packet = self._pkt_meta[info.pid]
+        ttl = int(packet.fields["ttl"])
+        if ttl <= 1:
+            # expired: drop the whole packet in one O(1) command
+            self.mms.apply(Command(type=CommandType.DELETE_PACKET,
+                                   flow=self._ingress_flow))
+            self.dropped_ttl += 1
+            return packet, None
+        next_hop = self.table.lookup(packet.fields["dst_ip"])
+        if next_hop is None or next_hop >= self.num_next_hops:
+            self.mms.apply(Command(type=CommandType.DELETE_PACKET,
+                                   flow=self._ingress_flow))
+            self.dropped_no_route += 1
+            return packet, None
+        # TTL decrement + checksum fixup = header overwrite; the
+        # combination command rewrites and moves in one operation
+        self.mms.apply(Command(type=CommandType.OVERWRITE_MOVE,
+                               flow=self._ingress_flow, dst_flow=next_hop))
+        self._pkt_meta[packet.pid] = packet.with_fields(ttl=ttl - 1)
+        self.routed += 1
+        return self._pkt_meta[packet.pid], next_hop
+
+    def route_all(self) -> int:
+        """Route everything queued at ingress; returns packets processed."""
+        n = 0
+        while self.route_one() is not None:
+            n += 1
+        return n
+
+    # ------------------------------------------------------------- egress
+
+    def transmit(self, next_hop: int) -> Optional[Packet]:
+        """Dequeue one packet from a next-hop queue."""
+        if not 0 <= next_hop < self.num_next_hops:
+            raise ValueError(
+                f"next_hop {next_hop} out of range [0, {self.num_next_hops})"
+            )
+        if self.mms.pqm.queued_packets(next_hop) == 0:
+            return None
+        pid = None
+        while True:
+            info = self.mms.apply(Command(type=CommandType.DEQUEUE,
+                                          flow=next_hop))
+            pid = info.pid
+            if info.eop:
+                break
+        return self._pkt_meta.pop(pid, None)
+
+    def stats(self) -> RouterStats:
+        return RouterStats(self.routed, self.dropped_no_route, self.dropped_ttl)

@@ -1,0 +1,136 @@
+"""Network Address Translation over the MMS.
+
+Outbound packets get their source rewritten to a public (ip, port) pair
+-- a header modification (*Overwrite*) fused with the move from the
+inside queue to the outside queue (*Overwrite_Segment&Move*).  Inbound
+packets reverse-translate; packets with no binding are dropped with
+*Delete a full packet*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core import MMS, Command, CommandType, MmsConfig
+from repro.net.packet import Packet
+
+#: Flow-queue layout.
+INSIDE_FLOW = 0
+OUTSIDE_FLOW = 1
+
+Endpoint = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class NatBinding:
+    """One translation entry."""
+
+    private: Endpoint
+    public: Endpoint
+
+
+class NatGateway:
+    """Port-overloading NAT (NAPT) expressed in MMS commands."""
+
+    def __init__(self, public_ip: str = "203.0.113.1",
+                 first_public_port: int = 40_000,
+                 mms: Optional[MMS] = None) -> None:
+        self.public_ip = public_ip
+        self._next_port = first_public_port
+        self.mms = mms or MMS(MmsConfig(num_flows=2, num_segments=4096,
+                                        num_descriptors=2048))
+        self._out: Dict[Endpoint, NatBinding] = {}
+        self._back: Dict[Endpoint, NatBinding] = {}
+        self._pkt_meta: Dict[int, Packet] = {}
+        self.translated_out = 0
+        self.translated_in = 0
+        self.dropped = 0
+
+    # ----------------------------------------------------------- bindings
+
+    def binding_for(self, private: Endpoint) -> NatBinding:
+        """Existing or newly allocated binding for a private endpoint."""
+        bind = self._out.get(private)
+        if bind is None:
+            public = (self.public_ip, self._next_port)
+            self._next_port += 1
+            bind = NatBinding(private=private, public=public)
+            self._out[private] = bind
+            self._back[public] = bind
+        return bind
+
+    @property
+    def active_bindings(self) -> int:
+        return len(self._out)
+
+    # ----------------------------------------------------------- outbound
+
+    def outbound(self, packet: Packet) -> Packet:
+        """Translate and forward one outbound packet.
+
+        Required fields: ``src_ip``, ``src_port``.  Returns the rewritten
+        packet (same pid -- the MMS overwrites the header in place).
+        """
+        if "src_ip" not in packet.fields or "src_port" not in packet.fields:
+            raise ValueError("packet needs src_ip and src_port fields")
+        self._enqueue(INSIDE_FLOW, packet)
+        bind = self.binding_for((packet.fields["src_ip"],
+                                 int(packet.fields["src_port"])))
+        self.mms.apply(Command(type=CommandType.OVERWRITE_MOVE,
+                               flow=INSIDE_FLOW, dst_flow=OUTSIDE_FLOW))
+        rewritten = packet.with_fields(src_ip=bind.public[0],
+                                       src_port=bind.public[1])
+        self._pkt_meta[packet.pid] = rewritten
+        self.translated_out += 1
+        return rewritten
+
+    # ------------------------------------------------------------ inbound
+
+    def inbound(self, packet: Packet) -> Optional[Packet]:
+        """Reverse-translate one inbound packet; None = dropped.
+
+        Required fields: ``dst_ip``, ``dst_port``.
+        """
+        if "dst_ip" not in packet.fields or "dst_port" not in packet.fields:
+            raise ValueError("packet needs dst_ip and dst_port fields")
+        self._enqueue(OUTSIDE_FLOW, packet)
+        bind = self._back.get((packet.fields["dst_ip"],
+                               int(packet.fields["dst_port"])))
+        if bind is None:
+            self.mms.apply(Command(type=CommandType.DELETE_PACKET,
+                                   flow=OUTSIDE_FLOW))
+            self.dropped += 1
+            return None
+        self.mms.apply(Command(type=CommandType.OVERWRITE_MOVE,
+                               flow=OUTSIDE_FLOW, dst_flow=INSIDE_FLOW))
+        rewritten = packet.with_fields(dst_ip=bind.private[0],
+                                       dst_port=bind.private[1])
+        self._pkt_meta[packet.pid] = rewritten
+        self.translated_in += 1
+        return rewritten
+
+    # -------------------------------------------------------------- drain
+
+    def drain(self, outside: bool = True) -> Optional[Packet]:
+        """Dequeue one translated packet from a side's queue."""
+        flow = OUTSIDE_FLOW if outside else INSIDE_FLOW
+        if self.mms.pqm.queued_packets(flow) == 0:
+            return None
+        pid = None
+        while True:
+            info = self.mms.apply(Command(type=CommandType.DEQUEUE, flow=flow))
+            pid = info.pid
+            if info.eop:
+                break
+        return self._pkt_meta.pop(pid, None)
+
+    # --------------------------------------------------------- internals
+
+    def _enqueue(self, flow: int, packet: Packet) -> None:
+        for i, seg_len in enumerate(packet.segment_lengths()):
+            self.mms.apply(Command(
+                type=CommandType.ENQUEUE, flow=flow,
+                eop=(i == packet.num_segments - 1), length=seg_len,
+                pid=packet.pid, seg_index=i))
+        self._pkt_meta[packet.pid] = packet

@@ -1,0 +1,158 @@
+"""Data Queue Manager: the pointer-manipulation engine of the MMS.
+
+"The DQM organizes the incoming packets into queues.  It handles and
+updates the data structures kept in the Pointer memory."  One command
+executes at a time; its microcode schedule (:mod:`repro.core.microcode`)
+defines the execution latency, which "defines the time interval between
+two successive commands; in other words it states the MMS processing
+rate".
+
+Data accesses overlap execution: the first pointer access of every
+schedule yields the data-memory address, and the DMC is handed the
+transfer one cycle later -- "the actual data accesses at the Data Memory
+can be done, almost, in parallel with the pointer handling".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.commands import Command, CommandType
+from repro.core.dmc import DataMemoryController
+from repro.core.latency import CommandLatency, LatencyBreakdown
+from repro.core.microcode import MICROCODE
+from repro.queueing import PacketQueueManager
+from repro.sim import Clock, Simulator
+
+
+class MicrocodeMismatchError(AssertionError):
+    """Strict mode: a functional trace disagreed with the schedule."""
+
+
+class DataQueueManager:
+    """Executes MMS commands over the two-level queue structure."""
+
+    def __init__(self, sim: Simulator, clock: Clock,
+                 pqm: PacketQueueManager, dmc: Optional[DataMemoryController],
+                 breakdown: LatencyBreakdown,
+                 strict_microcode: bool = False,
+                 overlap_data: bool = True) -> None:
+        self.sim = sim
+        self.clock = clock
+        self.pqm = pqm
+        self.dmc = dmc
+        self.breakdown = breakdown
+        self.strict_microcode = strict_microcode
+        #: Ablation A5: when False, the data access is issued only after
+        #: the pointer work completes (what the MMS design avoids --
+        #: Section 6.1 credits the overlap for the 10.5-cycle overhead).
+        self.overlap_data = overlap_data
+        self.commands_executed = 0
+
+    # ----------------------------------------------------------- execute
+
+    def execute(self, cmd: Command):
+        """Generator: run one command to completion (DQM-side).
+
+        The DQM is busy for the schedule length; the data transfer (if
+        any) is issued to the DMC after the first pointer access and
+        completes asynchronously.  The latency record is finalized when
+        both execution and data transfer are done.
+        """
+        micro = MICROCODE[cmd.type]
+        cmd.start_exec_ps = self.sim.now
+        result, trace_len, data_slot = self._dispatch(cmd)
+        if self.strict_microcode and trace_len != micro.ptr_accesses:
+            raise MicrocodeMismatchError(
+                f"{cmd.type.value}: functional trace has {trace_len} pointer "
+                f"accesses, schedule has {micro.ptr_accesses}"
+            )
+        cmd.result = result  # type: ignore[attr-defined]
+
+        cyc = self.clock.cycles_to_ps
+        handoff_cycles = (micro.first_ptr_cycle + 1 if self.overlap_data
+                          else micro.latency_cycles)
+        yield cyc(handoff_cycles)
+
+        data_event = None
+        if cmd.touches_data_memory and self.dmc is not None:
+            data_event = self.dmc.submit(cmd.is_data_write, data_slot or 0,
+                                         tag=cmd.cid)
+        yield cyc(micro.latency_cycles - handoff_cycles)
+        cmd.end_exec_ps = self.sim.now
+        self.commands_executed += 1
+        if cmd.completion is not None:
+            cmd.completion.trigger(result)
+        self.sim.spawn(self._finalize(cmd, micro.latency_cycles, data_event),
+                       name=f"fin{cmd.cid}")
+
+    def _finalize(self, cmd: Command, exec_cycles: int, data_event):
+        period = self.clock.period_ps
+        data_cycles = 0.0
+        if data_event is not None:
+            req = yield data_event
+            cmd.data_done_ps = self.sim.now
+            data_cycles = (req.total_ps) / period
+        else:
+            cmd.data_done_ps = cmd.end_exec_ps
+            yield 0
+        fifo_cycles = (cmd.start_exec_ps - cmd.submit_ps) / period \
+            if cmd.submit_ps >= 0 else 0.0
+        submit = cmd.submit_ps if cmd.submit_ps >= 0 else cmd.start_exec_ps
+        completion = max(cmd.end_exec_ps, cmd.data_done_ps)
+        self.breakdown.record(CommandLatency(
+            cid=cmd.cid,
+            fifo_cycles=fifo_cycles,
+            execution_cycles=float(exec_cycles),
+            data_cycles=data_cycles,
+            end_to_end_cycles=(completion - submit) / period,
+        ))
+
+    # ---------------------------------------------------------- dispatch
+
+    def _dispatch(self, cmd: Command):
+        """Run the functional operation; returns (result, ptr-accesses,
+        data slot for the DMC)."""
+        t = cmd.type
+        pqm = self.pqm
+        if t is CommandType.ENQUEUE:
+            slot, trace = pqm.enqueue_segment(cmd.flow, eop=cmd.eop,
+                                              length=cmd.length, pid=cmd.pid,
+                                              index=cmd.seg_index)
+            return slot, len(trace), slot
+        if t is CommandType.DEQUEUE:
+            info, trace = pqm.dequeue_segment(cmd.flow)
+            return info, len(trace), info.slot
+        if t is CommandType.READ:
+            info, trace = pqm.read_segment(cmd.flow)
+            return info, len(trace), info.slot
+        if t is CommandType.OVERWRITE:
+            info, trace = pqm.overwrite_segment(cmd.flow)
+            return info, len(trace), info.slot
+        if t is CommandType.DELETE:
+            info, trace = pqm.delete_segment(cmd.flow)
+            return info, len(trace), None
+        if t is CommandType.DELETE_PACKET:
+            trace = pqm.delete_packet(cmd.flow)
+            return None, len(trace), None
+        if t is CommandType.MOVE:
+            trace = pqm.move_packet(cmd.flow, cmd.dst_flow)
+            return None, len(trace), None
+        if t is CommandType.OVERWRITE_LENGTH:
+            info, trace = pqm.overwrite_segment_length(cmd.flow, cmd.length)
+            return info, len(trace), None
+        if t is CommandType.OVERWRITE_LENGTH_MOVE:
+            trace = pqm.overwrite_length_and_move(cmd.flow, cmd.dst_flow,
+                                                  cmd.length)
+            return None, len(trace), None
+        if t is CommandType.OVERWRITE_MOVE:
+            info, trace = pqm.overwrite_and_move(cmd.flow, cmd.dst_flow)
+            return info, len(trace), info.slot
+        if t is CommandType.APPEND_HEAD:
+            slot, trace = pqm.append_head(cmd.flow, pid=cmd.pid)
+            return slot, len(trace), slot
+        if t is CommandType.APPEND_TAIL:
+            slot, trace = pqm.append_tail(cmd.flow, length=cmd.length,
+                                          pid=cmd.pid)
+            return slot, len(trace), slot
+        raise ValueError(f"unknown command type {t}")

@@ -1,0 +1,172 @@
+"""Per-command microcode schedules of the Data Queue Manager.
+
+Each command executes a fixed pipeline schedule of one-cycle steps:
+
+* ``decode`` -- command decode / flow-id validation,
+* ``ptr``    -- one pointer-SRAM access (the ZBT sustains one per cycle;
+  the hand-scheduled order hides the read latency, and the *first* ptr
+  access yields the data-memory address so the DMC can start early:
+  "a data access can start right after the first pointer memory access
+  of each command"),
+* ``alu``    -- field merge / address calculation,
+* ``dmc``    -- hand-off of the data access descriptor to the DMC,
+* ``resp``   -- response header to the requesting port,
+* ``sync``   -- wait slots coupling the response to the first data beats
+  (read-type commands ack the port only when data is known good),
+* ``ack``    -- final acknowledge / commit.
+
+The schedule lengths ARE Table 4 -- asserted in the test suite -- and
+each schedule's ``ptr`` step count equals the access-trace length of the
+corresponding :class:`repro.queueing.PacketQueueManager` operation on its
+typical path (also asserted), so the published latencies are tied to the
+real data-structure work rather than free-floating constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.commands import CommandType
+
+#: Step kinds a schedule may contain.
+STEP_KINDS = ("decode", "ptr", "alu", "dmc", "resp", "sync", "ack")
+
+
+@dataclass(frozen=True)
+class Microcode:
+    """One command's pipeline schedule."""
+
+    command: CommandType
+    steps: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for s in self.steps:
+            if s not in STEP_KINDS:
+                raise ValueError(f"unknown microcode step {s!r}")
+        if not self.steps or self.steps[0] != "decode":
+            raise ValueError("schedules must begin with a decode step")
+
+    @property
+    def latency_cycles(self) -> int:
+        """Execution latency of the command (one cycle per step)."""
+        return len(self.steps)
+
+    @property
+    def ptr_accesses(self) -> int:
+        """Pointer-SRAM accesses in the schedule."""
+        return sum(1 for s in self.steps if s == "ptr")
+
+    @property
+    def first_ptr_cycle(self) -> int:
+        """Cycle (0-based) of the first pointer access -- the data-memory
+        address is available one cycle later."""
+        return self.steps.index("ptr")
+
+    @property
+    def has_dmc_handoff(self) -> bool:
+        return "dmc" in self.steps
+
+
+def _mc(cmd: CommandType, *steps: str) -> Microcode:
+    return Microcode(command=cmd, steps=tuple(steps))
+
+
+#: The DQM microcode store.  Schedule lengths reproduce Table 4; ``ptr``
+#: counts match the typical-path access traces (see tests).
+MICROCODE: Dict[CommandType, Microcode] = {
+    # Enqueue (10): pop, read open-desc, read desc, link write, meta
+    # write, desc update; data write handed to the DMC after the pop.
+    CommandType.ENQUEUE: _mc(
+        CommandType.ENQUEUE,
+        "decode", "ptr", "dmc", "ptr", "ptr", "alu", "ptr", "ptr", "ptr", "ack",
+    ),
+    # Dequeue (11): head lookup (3 reads), desc update, two free-list
+    # writes; data read handed off after the head lookup; response
+    # carries the segment descriptor.
+    CommandType.DEQUEUE: _mc(
+        CommandType.DEQUEUE,
+        "decode", "ptr", "ptr", "ptr", "alu", "dmc", "ptr", "ptr", "ptr", "resp",
+        "ack",
+    ),
+    # Read (10): non-destructive head lookup (3 reads); the port is acked
+    # in step with the first data beats (4 sync slots at 125 MHz).
+    CommandType.READ: _mc(
+        CommandType.READ,
+        "decode", "ptr", "ptr", "ptr", "alu", "dmc", "sync", "sync", "sync",
+        "sync",
+    ),
+    # Overwrite (10): same lookup, data flows inward.
+    CommandType.OVERWRITE: _mc(
+        CommandType.OVERWRITE,
+        "decode", "ptr", "ptr", "ptr", "alu", "dmc", "sync", "sync", "sync",
+        "sync",
+    ),
+    # Move (11): unlink head packet (2R+2W), append to destination
+    # (1R+2W RMW of the old tail, 1W queue update) = 8 ptr accesses.
+    CommandType.MOVE: _mc(
+        CommandType.MOVE,
+        "decode", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr",
+        "alu", "ack",
+    ),
+    # Delete one segment (7): dequeue-shaped unlinking, no data access,
+    # no response payload.
+    CommandType.DELETE: _mc(
+        CommandType.DELETE,
+        "decode", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr",
+    ),
+    # Delete a full packet (8): descriptor unlink + O(1) chain splice.
+    CommandType.DELETE_PACKET: _mc(
+        CommandType.DELETE_PACKET,
+        "decode", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr",
+    ),
+    # Overwrite_Segment_length (7): head lookup + meta rewrite.
+    CommandType.OVERWRITE_LENGTH: _mc(
+        CommandType.OVERWRITE_LENGTH,
+        "decode", "ptr", "ptr", "ptr", "ptr", "alu", "ack",
+    ),
+    # Overwrite_Segment_length&Move (12): fused lookup+rewrite+move;
+    # shares the source queue read between the two halves (10 ptr).
+    CommandType.OVERWRITE_LENGTH_MOVE: _mc(
+        CommandType.OVERWRITE_LENGTH_MOVE,
+        "decode", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr",
+        "ptr", "ptr", "alu",
+    ),
+    # Overwrite_Segment&Move (12): fused lookup+move with a data
+    # overwrite handed to the DMC (9 ptr).
+    CommandType.OVERWRITE_MOVE: _mc(
+        CommandType.OVERWRITE_MOVE,
+        "decode", "ptr", "ptr", "ptr", "dmc", "ptr", "ptr", "ptr", "ptr",
+        "ptr", "ptr", "ack",
+    ),
+    # Append at head (8): pop + desc relink, data write of the new
+    # header segment.
+    CommandType.APPEND_HEAD: _mc(
+        CommandType.APPEND_HEAD,
+        "decode", "ptr", "dmc", "ptr", "ptr", "ptr", "ptr", "ack",
+    ),
+    # Append at tail (10): pop + old-tail RMW + desc update.
+    CommandType.APPEND_TAIL: _mc(
+        CommandType.APPEND_TAIL,
+        "decode", "ptr", "dmc", "ptr", "ptr", "ptr", "ptr", "ptr", "ptr",
+        "ack",
+    ),
+}
+
+#: Table 4 of the paper: command -> published latency in cycles.
+TABLE4_CYCLES: Dict[CommandType, int] = {
+    CommandType.ENQUEUE: 10,
+    CommandType.READ: 10,
+    CommandType.OVERWRITE: 10,
+    CommandType.MOVE: 11,
+    CommandType.DELETE: 7,
+    CommandType.OVERWRITE_LENGTH: 7,
+    CommandType.DEQUEUE: 11,
+    CommandType.OVERWRITE_LENGTH_MOVE: 12,
+    CommandType.OVERWRITE_MOVE: 12,
+}
+
+
+def table4_command_types() -> Tuple[CommandType, ...]:
+    """The nine command types Table 4 publishes, in paper order."""
+    return tuple(TABLE4_CYCLES.keys())

@@ -1,0 +1,62 @@
+"""Reassembly block: dequeued segments in, packets out.
+
+The inverse of :class:`repro.core.segmentation.SegmentationBlock`: as the
+DQM dequeues segments of a flow, the reassembly block accumulates them
+and emits the packet when the end-of-packet segment arrives.  Segments
+of one flow arrive strictly in order (the queue structure guarantees it),
+so reassembly is a per-flow accumulator, not a reorder buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.queueing.packet_queues import SegmentInfo
+
+
+@dataclass
+class ReassembledPacket:
+    """A packet rebuilt from its dequeued segments."""
+
+    flow: int
+    pid: int
+    segments: List[SegmentInfo] = field(default_factory=list)
+
+    @property
+    def length_bytes(self) -> int:
+        return sum(s.length for s in self.segments)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+
+class ReassemblyBlock:
+    """Per-flow segment accumulator."""
+
+    def __init__(self) -> None:
+        self._partial: Dict[int, ReassembledPacket] = {}
+        self.packets_reassembled = 0
+        self.segments_consumed = 0
+
+    def feed(self, flow: int, info: SegmentInfo) -> Optional[ReassembledPacket]:
+        """Add one dequeued segment; returns the packet on EOP."""
+        self.segments_consumed += 1
+        partial = self._partial.get(flow)
+        if partial is None:
+            partial = ReassembledPacket(flow=flow, pid=info.pid)
+            self._partial[flow] = partial
+        partial.segments.append(info)
+        if not info.eop:
+            return None
+        del self._partial[flow]
+        self.packets_reassembled += 1
+        return partial
+
+    def open_flows(self) -> List[int]:
+        """Flows with a partially reassembled packet."""
+        return sorted(self._partial)
+
+    def in_flight_segments(self) -> int:
+        return sum(p.num_segments for p in self._partial.values())

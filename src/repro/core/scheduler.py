@@ -1,0 +1,134 @@
+"""Internal Scheduler: per-port command FIFOs with service priorities.
+
+"The internal scheduler forwards the incoming commands from the various
+ports to the DQM giving different service priorities to each port" and
+"MMS keeps incoming commands in FIFOs (one per port) so as to smooth the
+bursts of commands that may arrive simultaneously at this module"
+(Section 6/6.1).  Full FIFOs exert backpressure on the port (the
+BACKPRESSURE arrows of Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.commands import Command
+from repro.sim import Fifo, Simulator
+from repro.sim.kernel import Event
+
+
+@dataclass(frozen=True)
+class PortConfig:
+    """One MMS command port.
+
+    Lower ``priority`` value = served first (the network ports typically
+    outrank the CPU ports so wire-speed traffic is never starved by
+    control operations).
+    """
+
+    name: str
+    priority: int = 0
+    fifo_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fifo_depth < 1:
+            raise ValueError(f"fifo_depth must be >= 1, got {self.fifo_depth}")
+
+
+#: The default 4-port arrangement of Figure 2: In, Out, and two CPU ports.
+DEFAULT_PORTS = (
+    PortConfig("in", priority=0),
+    PortConfig("out", priority=0),
+    PortConfig("cpu0", priority=1),
+    PortConfig("cpu1", priority=1),
+)
+
+
+class InternalScheduler:
+    """Priority + round-robin selection across per-port command FIFOs."""
+
+    def __init__(self, sim: Simulator,
+                 ports: tuple[PortConfig, ...] = DEFAULT_PORTS) -> None:
+        if not ports:
+            raise ValueError("at least one port required")
+        self.sim = sim
+        self.ports = ports
+        self.fifos: List[Fifo] = [
+            Fifo(sim, capacity=p.fifo_depth, name=f"cmdfifo.{p.name}")
+            for p in ports
+        ]
+        self._rr_next = 0
+        self._kick: Optional[Event] = None
+        self.submitted = 0
+
+    # ------------------------------------------------------------- ports
+
+    def port_index(self, name: str) -> int:
+        for i, p in enumerate(self.ports):
+            if p.name == name:
+                return i
+        raise ValueError(f"unknown port {name!r}")
+
+    def submit(self, port: int, cmd: Command):
+        """Blocking submit (generator): waits while the port FIFO is full
+        -- this is the backpressure a real port would see."""
+        self._check_port(port)
+        cmd.port = port
+        cmd.submit_ps = self.sim.now
+        yield from self.fifos[port].put(cmd)
+        # Stamp after admission: the FIFO delay starts when the command
+        # occupies a FIFO slot (a backpressured port holds the command).
+        cmd.submit_ps = self.sim.now
+        self.submitted += 1
+        self._wake()
+
+    def try_submit(self, port: int, cmd: Command) -> bool:
+        """Non-blocking submit; returns False when the FIFO is full."""
+        self._check_port(port)
+        if self.fifos[port].is_full:
+            return False
+        cmd.port = port
+        cmd.submit_ps = self.sim.now
+        self.fifos[port].try_put(cmd)
+        self.submitted += 1
+        self._wake()
+        return True
+
+    # --------------------------------------------------------- selection
+
+    @property
+    def has_pending(self) -> bool:
+        return any(not f.is_empty for f in self.fifos)
+
+    def pop_next(self) -> Command:
+        """Select the next command: strict priority between classes,
+        round-robin within a class."""
+        best: Optional[int] = None
+        n = len(self.ports)
+        for offset in range(n):
+            i = (self._rr_next + offset) % n
+            if self.fifos[i].is_empty:
+                continue
+            if best is None or self.ports[i].priority < self.ports[best].priority:
+                best = i
+        if best is None:
+            raise RuntimeError("pop_next on empty scheduler")
+        self._rr_next = (best + 1) % n
+        return self.fifos[best].try_get()
+
+    def wait_for_command(self) -> Event:
+        """Event the DQM can wait on when all FIFOs are empty."""
+        if self._kick is None or self._kick.triggered:
+            self._kick = self.sim.event(name="sched.kick")
+        return self._kick
+
+    # --------------------------------------------------------- internals
+
+    def _wake(self) -> None:
+        if self._kick is not None and not self._kick.triggered:
+            self._kick.trigger()
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < len(self.ports):
+            raise ValueError(f"port {port} out of range [0, {len(self.ports)})")

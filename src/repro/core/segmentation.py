@@ -1,0 +1,48 @@
+"""Segmentation block: packets in, per-segment enqueue commands out.
+
+"In order to achieve efficient memory management, in hardware, the
+incoming packets are partitioned into fixed size segments of 64 bytes
+each.  The segmented packets are stored in the data memory, which is
+segment aligned.  The MMS performs per flow queuing ...; each packet is
+assigned to a certain flow."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.commands import Command, CommandType
+from repro.net.packet import Packet
+
+
+class SegmentationBlock:
+    """Stateless packet -> enqueue-command segmentation."""
+
+    def __init__(self, num_flows: int) -> None:
+        if num_flows < 1:
+            raise ValueError(f"num_flows must be >= 1, got {num_flows}")
+        self.num_flows = num_flows
+        self.packets_segmented = 0
+        self.segments_produced = 0
+
+    def segment(self, packet: Packet) -> List[Command]:
+        """Enqueue commands for every 64-byte segment of ``packet``."""
+        if not 0 <= packet.flow_id < self.num_flows:
+            raise ValueError(
+                f"flow {packet.flow_id} out of range [0, {self.num_flows})"
+            )
+        lengths = packet.segment_lengths()
+        commands = [
+            Command(
+                type=CommandType.ENQUEUE,
+                flow=packet.flow_id,
+                eop=(i == len(lengths) - 1),
+                length=seg_len,
+                pid=packet.pid,
+                seg_index=i,
+            )
+            for i, seg_len in enumerate(lengths)
+        ]
+        self.packets_segmented += 1
+        self.segments_produced += len(commands)
+        return commands

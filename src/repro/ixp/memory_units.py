@@ -1,0 +1,56 @@
+"""Shared memory units of the IXP1200 model.
+
+Each unit (scratchpad, SRAM controller, SDRAM controller) serves one
+access at a time in FIFO order; the *service* portion occupies the
+controller, the *engine overhead* portion is paid by the requesting
+microengine after (issue instructions, non-overlapped latency).  With six
+engines the controller occupancy is what bounds aggregate throughput --
+this is where the 6-engine column of Table 2 comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ixp.params import MemoryCosts
+from repro.sim import Clock, Resource, Simulator
+from repro.sim.stats import LatencyRecorder
+
+
+class SharedMemoryUnit:
+    """A FIFO-served memory controller shared by all microengines."""
+
+    def __init__(self, sim: Simulator, clock: Clock, costs: MemoryCosts,
+                 name: str) -> None:
+        self.sim = sim
+        self.clock = clock
+        self.costs = costs
+        self.name = name
+        self._port = Resource(sim, slots=1, name=f"{name}.port")
+        self.total_accesses = 0
+        self.wait = LatencyRecorder(f"{name}.wait")
+
+    def access(self) -> Generator:
+        """One blocking single-word access from microengine code.
+
+        ``yield from unit.access()`` -- queues for the controller, holds
+        it for the service time, then pays the engine-side overhead.
+        """
+        t0 = self.sim.now
+        yield from self._port.acquire()
+        self.wait.record(self.sim.now - t0)
+        yield self.clock.cycles_to_ps(self.costs.service_cycles)
+        self._port.release()
+        yield self.clock.cycles_to_ps(self.costs.engine_overhead_cycles)
+        self.total_accesses += 1
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of simulated time the controller was busy."""
+        return self._port.busy.mean
+
+    @property
+    def mean_wait_cycles(self) -> float:
+        if self.wait.count == 0:
+            return 0.0
+        return self.wait.mean / self.clock.period_ps

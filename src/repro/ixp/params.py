@@ -1,0 +1,122 @@
+"""IXP1200 model parameters and queue-placement regimes.
+
+The IXP1200 (first-generation Intel NPU) integrates 6 microengines at
+200 MHz, a 4 KB on-chip scratchpad, an external-SRAM unit (with the
+8-entry push/pop register list the paper mentions) and an SDRAM unit.
+The paper's Table 2 sweeps the number of queues; what actually changes is
+*where the queue state lives*:
+
+* <= 16 queues -- queue table, free list and bitmaps fit in registers
+  and scratchpad ("so as to be able to keep every piece of control
+  information in the local cache and in the IXP's registers"),
+* up to a few hundred queues -- descriptors spill to external SRAM
+  ("if 128 queues are needed, and thus some external memory accesses are
+  necessary"),
+* ~1 K queues and beyond -- descriptor state spills to SDRAM, where row
+  misses and RX/DMA interference make every access expensive.
+
+Calibration (see DESIGN.md): the three *blocking access costs* and the
+per-regime ``extra_alu`` are fitted once against the one-microengine
+column of Table 2; the six-microengine column is then a *prediction* of
+the shared-controller contention simulation, whose service times are the
+occupancy components of the same constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Queues per scheduler-bitmap word (32-bit words).
+BITMAP_QUEUES_PER_WORD = 32
+
+
+@dataclass(frozen=True)
+class MemoryCosts:
+    """Cost of one blocking single-word access from microengine code.
+
+    ``service_cycles`` is the time the shared controller is *occupied*
+    (this is what saturates with 6 engines); ``engine_overhead_cycles``
+    is the additional issue/latency cost seen by the engine but not
+    holding the controller.
+    """
+
+    service_cycles: int
+    engine_overhead_cycles: int
+
+    @property
+    def blocking_cycles(self) -> int:
+        """Unloaded blocking cost seen by a single engine."""
+        return self.service_cycles + self.engine_overhead_cycles
+
+
+@dataclass(frozen=True)
+class QueueRegime:
+    """Where queue state lives for a given queue-count range."""
+
+    name: str
+    unit: str                      # "scratch" | "sram" | "sdram"
+    extra_alu_cycles: int          # address-generation / hashing overhead
+    bitmap_in_unit: bool = False   # scheduler bitmap spills with the state
+
+
+@dataclass(frozen=True)
+class IxpParams:
+    """The modelled IXP1200 (all cycle figures at the 200 MHz core clock).
+
+    The per-packet queue-management program is: receive bookkeeping +
+    scheduler scan + enqueue (free-list pop + queue link) + dequeue
+    (queue unlink + free-list push) + transmit bookkeeping.  Its memory
+    accesses come from :mod:`repro.queueing`; only the constants below
+    are calibrated.
+    """
+
+    clock_mhz: int = 200
+    num_microengines: int = 6
+    threads_per_engine: int = 4
+    #: fixed ALU/branch work per packet (RX/TX bookkeeping + list code)
+    base_alu_cycles: int = 117
+    #: cost to test one 32-queue bitmap word during the scheduler scan
+    bitmap_word_cycles: int = 8
+    #: context-switch overhead (ablation: the paper argues, citing [10],
+    #: that this exceeds the memory latency, so multithreading does not
+    #: pay off for queue management)
+    context_switch_cycles: int = 30
+    scratch: MemoryCosts = field(
+        default_factory=lambda: MemoryCosts(service_cycles=1,
+                                            engine_overhead_cycles=5))
+    sram: MemoryCosts = field(
+        default_factory=lambda: MemoryCosts(service_cycles=4,
+                                            engine_overhead_cycles=21))
+    sdram: MemoryCosts = field(
+        default_factory=lambda: MemoryCosts(service_cycles=40,
+                                            engine_overhead_cycles=160))
+
+    def costs_for(self, unit: str) -> MemoryCosts:
+        if unit == "scratch":
+            return self.scratch
+        if unit == "sram":
+            return self.sram
+        if unit == "sdram":
+            return self.sdram
+        raise ValueError(f"unknown memory unit {unit!r}")
+
+
+#: Queue-placement thresholds.  4 KB of scratchpad holds ~16 queues of
+#: state comfortably next to RX/TX rings; the SRAM partition reserved for
+#: queue descriptors in the reference port holds ~512.
+SCRATCH_MAX_QUEUES = 16
+SRAM_MAX_QUEUES = 512
+
+
+def regime_for_queues(num_queues: int) -> QueueRegime:
+    """Select the placement regime for a queue count (Table 2 sweep)."""
+    if num_queues < 1:
+        raise ValueError(f"num_queues must be >= 1, got {num_queues}")
+    if num_queues <= SCRATCH_MAX_QUEUES:
+        return QueueRegime(name="scratch-resident", unit="scratch",
+                           extra_alu_cycles=0)
+    if num_queues <= SRAM_MAX_QUEUES:
+        return QueueRegime(name="sram-resident", unit="sram",
+                           extra_alu_cycles=14)
+    return QueueRegime(name="sdram-resident", unit="sdram",
+                       extra_alu_cycles=160, bitmap_in_unit=False)

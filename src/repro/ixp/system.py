@@ -1,0 +1,163 @@
+"""Whole-IXP1200 simulation: microengines contending on shared memories.
+
+One process per microengine executes the per-packet program in a loop
+(backlogged input -- Table 2 reports the *maximum rate serviced*).  All
+engines share one controller per memory unit; contention emerges from the
+DES simulation rather than from a fitted degradation factor.  Optional
+hardware multithreading (ablation) runs several program contexts per
+engine, releasing the engine during memory waits but paying the context
+switch the paper says eats the benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ixp.memory_units import SharedMemoryUnit
+from repro.ixp.params import IxpParams
+from repro.ixp.program import PacketProgram, build_queue_program
+from repro.sim import Clock, Resource, Simulator
+from repro.sim.clock import SEC
+
+
+@dataclass
+class IxpSimResult:
+    """Outcome of one Table 2 cell."""
+
+    num_queues: int
+    num_engines: int
+    multithreading: bool
+    packets: int
+    duration_ps: int
+    unit_utilization: float
+    mean_controller_wait_cycles: float
+
+    @property
+    def pps(self) -> float:
+        if self.duration_ps == 0:
+            return 0.0
+        return self.packets * SEC / self.duration_ps
+
+    @property
+    def kpps(self) -> float:
+        return self.pps / 1e3
+
+    @property
+    def mpps(self) -> float:
+        return self.pps / 1e6
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IxpSimResult(q={self.num_queues}, engines={self.num_engines}, "
+            f"{self.kpps:.0f} Kpps)"
+        )
+
+
+class IxpSystem:
+    """The modelled IXP1200: engines + shared scratch/SRAM/SDRAM units."""
+
+    def __init__(self, num_queues: int, num_engines: int,
+                 params: IxpParams = IxpParams(),
+                 multithreading: bool = False) -> None:
+        if not 1 <= num_engines <= params.num_microengines:
+            raise ValueError(
+                f"num_engines must be in [1, {params.num_microengines}], "
+                f"got {num_engines}"
+            )
+        self.params = params
+        self.num_engines = num_engines
+        self.multithreading = multithreading
+        self.clock = Clock(params.clock_mhz)
+        self.sim = Simulator()
+        self.program: PacketProgram = build_queue_program(num_queues, params)
+        self.units: Dict[str, SharedMemoryUnit] = {
+            name: SharedMemoryUnit(self.sim, self.clock,
+                                   params.costs_for(name), name)
+            for name in ("scratch", "sram", "sdram")
+        }
+        self._unit = self.units[self.program.regime.unit]
+        self._done = [0] * num_engines
+        for e in range(num_engines):
+            if multithreading:
+                self._spawn_threaded_engine(e)
+            else:
+                self.sim.spawn(self._engine_body(e), name=f"me{e}")
+
+    # ------------------------------------------------------------ engines
+
+    def _engine_body(self, idx: int):
+        """Single-threaded microengine: block on every memory access."""
+        cyc = self.clock.cycles_to_ps
+        prog = self.program
+        work = prog.alu_cycles + prog.scan_words * self.params.bitmap_word_cycles
+        while True:
+            yield cyc(work)
+            for _ in range(prog.memory_accesses):
+                yield from self._unit.access()
+            self._done[idx] += 1
+
+    def _spawn_threaded_engine(self, idx: int) -> None:
+        """Hardware-multithreaded engine (ablation): contexts share the
+        engine pipeline, swapping on memory waits at a context-switch
+        cost.  Reference [10] in the paper: 'the overhead for the context
+        switch ... exceeds the memory latency'."""
+        engine = Resource(self.sim, slots=1, name=f"me{idx}")
+        for t in range(self.params.threads_per_engine):
+            self.sim.spawn(self._thread_body(idx, engine),
+                           name=f"me{idx}.t{t}")
+
+    def _thread_body(self, idx: int, engine: Resource):
+        cyc = self.clock.cycles_to_ps
+        prog = self.program
+        work = prog.alu_cycles + prog.scan_words * self.params.bitmap_word_cycles
+        ctx = self.params.context_switch_cycles
+        while True:
+            yield from engine.acquire()
+            yield cyc(work)
+            for _ in range(prog.memory_accesses):
+                # swap out while the access is in flight
+                engine.release()
+                yield from self._unit.access()
+                yield from engine.acquire()
+                yield cyc(ctx)
+            engine.release()
+            self._done[idx] += 1
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, duration_ps: Optional[int] = None,
+            warmup_ps: int = 0) -> IxpSimResult:
+        """Run the saturated system and report the serviced rate.
+
+        ``duration_ps`` defaults to the time for ~400 packets per engine
+        in the unloaded model (enough for a stable steady-state mean).
+        """
+        if duration_ps is None:
+            per_packet = self.program.unloaded_cycles(self.params)
+            duration_ps = self.clock.cycles_to_ps(per_packet) * 400
+        if warmup_ps:
+            self.sim.run(until_ps=warmup_ps)
+            for i in range(self.num_engines):
+                self._done[i] = 0
+        start = self.sim.now
+        self.sim.run(until_ps=start + duration_ps)
+        return IxpSimResult(
+            num_queues=self.program.num_queues,
+            num_engines=self.num_engines,
+            multithreading=self.multithreading,
+            packets=sum(self._done),
+            duration_ps=self.sim.now - start,
+            unit_utilization=self._unit.utilization,
+            mean_controller_wait_cycles=self._unit.mean_wait_cycles,
+        )
+
+
+def simulate_ixp(num_queues: int, num_engines: int,
+                 params: IxpParams = IxpParams(),
+                 multithreading: bool = False,
+                 duration_ps: Optional[int] = None) -> IxpSimResult:
+    """One Table 2 cell: maximum serviced rate for a configuration."""
+    system = IxpSystem(num_queues, num_engines, params=params,
+                       multithreading=multithreading)
+    return system.run(duration_ps=duration_ps)

@@ -1,0 +1,182 @@
+"""Behavioral DDR-SDRAM bank/timing model (paper Section 3).
+
+The model is *slot-timed*: time advances in access cycles (40 ns slots),
+the granularity at which the paper measures throughput loss.  One access
+moves one 64-byte block.  The two loss mechanisms of Table 1 are
+implemented exactly as footnoted:
+
+* **bank conflicts** -- a bank is unavailable for
+  :attr:`DdrTiming.bank_busy_cycles` slots after each access to it;
+* **write-read interleaving** -- a write issued in the slot immediately
+  following a read issue pays a one-slot turnaround penalty.
+
+The same model instance serves both Table 1 drivers (through
+:mod:`repro.mem.sched`) and the DES-integrated
+:class:`repro.mem.controller.DdrController` used by the NPU and MMS
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+from repro.mem.timing import DdrTiming
+
+
+class MemOp(IntEnum):
+    """Memory operation direction."""
+
+    READ = 0
+    WRITE = 1
+
+
+@dataclass(frozen=True)
+class Access:
+    """One 64-byte DDR access.
+
+    Attributes
+    ----------
+    op:
+        Read or write.
+    bank:
+        Target bank index.
+    port:
+        Identifier of the issuing port (0-3 in the Table 1 set-up).
+    tag:
+        Free-form correlation tag used by callers (e.g. command id).
+    """
+
+    op: MemOp
+    bank: int
+    port: int = 0
+    tag: int = 0
+
+
+@dataclass
+class IssueRecord:
+    """History entry: an access and the slot it was issued in."""
+
+    access: Access
+    slot: int
+
+
+class DdrModel:
+    """Bank-state timing model for one DDR device/DIMM rank.
+
+    Parameters
+    ----------
+    timing:
+        DDR timing parameters (defaults are the paper's).
+    num_banks:
+        Number of banks (the paper sweeps 1, 4, 8, 12, 16).
+    model_rw_turnaround:
+        When ``False`` the write-after-read penalty is ignored -- this
+        gives the "Bank conflicts" columns of Table 1; ``True`` gives the
+        "Bank conflicts + write-read interleaving" columns.
+    """
+
+    def __init__(self, timing: DdrTiming = DdrTiming(), num_banks: int = 8,
+                 model_rw_turnaround: bool = True) -> None:
+        if num_banks < 1:
+            raise ValueError(f"num_banks must be >= 1, got {num_banks}")
+        self.timing = timing
+        self.num_banks = num_banks
+        self.model_rw_turnaround = model_rw_turnaround
+        self._bank_free_slot = [0] * num_banks
+        self._last_issue_slot: Optional[int] = None
+        self._last_op: Optional[MemOp] = None
+        self.total_issued = 0
+        self.reads_issued = 0
+        self.writes_issued = 0
+
+    # ------------------------------------------------------------ queries
+
+    def bank_free_slot(self, bank: int) -> int:
+        """First slot at which ``bank`` may be accessed again."""
+        return self._bank_free_slot[bank]
+
+    def bank_busy_at(self, bank: int, slot: int) -> bool:
+        """Whether ``bank`` is still precharging at ``slot``."""
+        return slot < self._bank_free_slot[bank]
+
+    def earliest_issue_slot(self, access: Access, not_before: int) -> int:
+        """Earliest slot >= ``not_before`` at which ``access`` may issue.
+
+        Combines the bank reuse constraint with the write-after-read
+        turnaround constraint.  The two overlap (are not additive): a
+        write behind both a bank conflict and a turnaround waits for
+        whichever releases later, which is why the 1-bank row of Table 1
+        shows 0.75 loss in *both* columns.
+        """
+        slot = max(not_before, self._bank_free_slot[access.bank])
+        if (
+            self.model_rw_turnaround
+            and access.op is MemOp.WRITE
+            and self._last_op is MemOp.READ
+            and self._last_issue_slot is not None
+        ):
+            turnaround_free = (
+                self._last_issue_slot
+                + 1
+                + self.timing.write_after_read_penalty_cycles
+            )
+            slot = max(slot, turnaround_free)
+        return slot
+
+    def can_issue_at(self, access: Access, slot: int) -> bool:
+        """Whether ``access`` could legally issue exactly at ``slot``."""
+        return self.earliest_issue_slot(access, slot) == slot
+
+    # ------------------------------------------------------------- update
+
+    def issue(self, access: Access, slot: int) -> int:
+        """Commit ``access`` at ``slot``; returns the data-complete slot.
+
+        The completion slot accounts for the read (60 ns) or write
+        (40 ns) access delay, expressed in whole access cycles rounded
+        up -- reads complete one slot later than their issue+1 boundary.
+        """
+        if access.bank >= self.num_banks or access.bank < 0:
+            raise ValueError(
+                f"bank {access.bank} out of range [0, {self.num_banks})"
+            )
+        earliest = self.earliest_issue_slot(access, slot)
+        if earliest != slot:
+            raise RuntimeError(
+                f"illegal issue at slot {slot}: earliest legal slot is {earliest}"
+            )
+        self._bank_free_slot[access.bank] = slot + self.timing.bank_busy_cycles
+        self._last_issue_slot = slot
+        self._last_op = access.op
+        self.total_issued += 1
+        if access.op is MemOp.READ:
+            self.reads_issued += 1
+            delay_ns = self.timing.read_delay_ns
+        else:
+            self.writes_issued += 1
+            delay_ns = self.timing.write_delay_ns
+        cycles = -(-delay_ns // self.timing.access_cycle_ns)  # ceil division
+        return slot + cycles
+
+    def data_delay_ns(self, op: MemOp) -> int:
+        """Raw access delay of one operation (no queueing)."""
+        if op is MemOp.READ:
+            return self.timing.read_delay_ns
+        return self.timing.write_delay_ns
+
+    def reset(self) -> None:
+        """Forget all bank and turnaround state (counters included)."""
+        self._bank_free_slot = [0] * self.num_banks
+        self._last_issue_slot = None
+        self._last_op = None
+        self.total_issued = 0
+        self.reads_issued = 0
+        self.writes_issued = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DdrModel(banks={self.num_banks}, "
+            f"turnaround={self.model_rw_turnaround}, issued={self.total_issued})"
+        )

@@ -1,0 +1,85 @@
+"""Access-pattern generators for the memory experiments.
+
+The paper simulates "random bank access patterns ... as a realistic
+common case for typical network applications incorporating a large number
+of simultaneously active queues".  :func:`uniform_random_pattern` is that
+case; :func:`sequential_pattern` and :func:`hotspot_pattern` exist for
+the sensitivity ablations (a small number of hot queues concentrates
+accesses on few banks and worsens conflicts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Sequence
+
+from repro.mem.ddr import Access, MemOp
+
+#: A pattern is an infinite iterator of :class:`Access` for one port.
+AccessPattern = Iterator[Access]
+
+
+def uniform_random_pattern(rng: random.Random, num_banks: int, op: MemOp,
+                           port: int = 0) -> AccessPattern:
+    """Backlogged port issuing ``op`` accesses to uniformly random banks."""
+    if num_banks < 1:
+        raise ValueError(f"num_banks must be >= 1, got {num_banks}")
+    tag = 0
+    while True:
+        yield Access(op=op, bank=rng.randrange(num_banks), port=port, tag=tag)
+        tag += 1
+
+def sequential_pattern(num_banks: int, op: MemOp, port: int = 0,
+                       stride: int = 1) -> AccessPattern:
+    """Backlogged port striding across banks (perfect interleaving).
+
+    With ``stride`` coprime to ``num_banks`` and enough banks this incurs
+    no conflicts at all -- the best case the reordering scheduler is
+    trying to approximate.
+    """
+    if num_banks < 1:
+        raise ValueError(f"num_banks must be >= 1, got {num_banks}")
+    bank = 0
+    tag = 0
+    while True:
+        yield Access(op=op, bank=bank, port=port, tag=tag)
+        bank = (bank + stride) % num_banks
+        tag += 1
+
+def hotspot_pattern(rng: random.Random, num_banks: int, op: MemOp,
+                    port: int = 0, hot_banks: Sequence[int] = (0,),
+                    hot_fraction: float = 0.8) -> AccessPattern:
+    """Backlogged port hitting a small set of hot banks most of the time.
+
+    Models a workload dominated by a few very active queues whose buffers
+    happen to live in the same banks.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0,1], got {hot_fraction}")
+    if not hot_banks:
+        raise ValueError("hot_banks must be non-empty")
+    for b in hot_banks:
+        if not 0 <= b < num_banks:
+            raise ValueError(f"hot bank {b} out of range [0, {num_banks})")
+    tag = 0
+    while True:
+        if rng.random() < hot_fraction:
+            bank = hot_banks[rng.randrange(len(hot_banks))]
+        else:
+            bank = rng.randrange(num_banks)
+        yield Access(op=op, bank=bank, port=port, tag=tag)
+        tag += 1
+
+def paper_port_patterns(rng: random.Random, num_banks: int) -> list[AccessPattern]:
+    """The paper's 4-port configuration (Section 3, footnote 3).
+
+    "A write and a read port from/to the network, a write and a read port
+    from/to an internal processing unit", each backlogged with uniform
+    random bank targets.
+    """
+    return [
+        uniform_random_pattern(rng, num_banks, MemOp.WRITE, port=0),  # net in
+        uniform_random_pattern(rng, num_banks, MemOp.READ, port=1),   # net out
+        uniform_random_pattern(rng, num_banks, MemOp.WRITE, port=2),  # cpu wr
+        uniform_random_pattern(rng, num_banks, MemOp.READ, port=3),   # cpu rd
+    ]

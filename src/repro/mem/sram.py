@@ -1,0 +1,101 @@
+"""ZBT SRAM pointer-memory model.
+
+Both platforms in the paper keep queue pointers in an external ZBT
+(zero-bus-turnaround) SRAM: the reference NPU through the PLB EMC, the
+MMS through a dedicated port clocked at the system frequency.  ZBT parts
+sustain one access per cycle with no read/write turnaround penalty, which
+is precisely why pointer manipulation can proceed in parallel with DRAM
+data transfers (Section 6: "all manipulations on data structures
+(pointers) occur in parallel with data transfers").
+
+:class:`ZbtSram` is a *functional* word store with access accounting.
+Cycle costs are derived by the callers: the MMS charges one cycle per
+access (pipelined), the NPU charges a PLB transaction per access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mem.timing import ZbtTiming
+
+
+class ZbtSram:
+    """Word-addressable SRAM with access counters.
+
+    Parameters
+    ----------
+    size_words:
+        Capacity; accesses outside ``[0, size_words)`` raise.
+    timing:
+        ZBT timing parameters (used by callers for cycle conversion).
+
+    Notes
+    -----
+    Storage is a dict, so multi-megabyte address spaces (32 K queues x
+    several pointer words) cost only what is touched.  Uninitialized
+    words read as 0, matching typical power-on SRAM assumptions in the
+    queue-manager initialization code.
+    """
+
+    def __init__(self, size_words: int, timing: ZbtTiming = ZbtTiming()) -> None:
+        if size_words < 1:
+            raise ValueError(f"size_words must be >= 1, got {size_words}")
+        self.size_words = size_words
+        self.timing = timing
+        self._words: Dict[int, int] = {}
+        self.read_count = 0
+        self.write_count = 0
+
+    # ------------------------------------------------------------- access
+
+    def read(self, addr: int) -> int:
+        """Read one word (counted)."""
+        self._check(addr)
+        self.read_count += 1
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        """Write one word (counted)."""
+        self._check(addr)
+        self.write_count += 1
+        self._words[addr] = value
+
+    def peek(self, addr: int) -> int:
+        """Uncounted read for debug/invariant checks only."""
+        self._check(addr)
+        return self._words.get(addr, 0)
+
+    @property
+    def access_count(self) -> int:
+        return self.read_count + self.write_count
+
+    def reset_counters(self) -> None:
+        self.read_count = 0
+        self.write_count = 0
+
+    # ------------------------------------------------------------- timing
+
+    def pipelined_cycles(self, num_accesses: int) -> int:
+        """Cycles to stream ``num_accesses`` back-to-back accesses.
+
+        ZBT pipelining: one access per cycle plus the initial read
+        latency to fill the pipeline.
+        """
+        if num_accesses <= 0:
+            return 0
+        return num_accesses + self.timing.read_latency_cycles
+
+    # ---------------------------------------------------------- internals
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.size_words:
+            raise IndexError(
+                f"SRAM address {addr} out of range [0, {self.size_words})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ZbtSram({self.size_words} words, "
+            f"r={self.read_count}, w={self.write_count})"
+        )

@@ -1,0 +1,100 @@
+"""Timing parameter sets for the modelled memories.
+
+All values default to the numbers printed in the paper; every experiment
+that varies them (ablations, sensitivity sweeps) does so through these
+dataclasses rather than editing model code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper segments packets into fixed 64-byte segments; one DDR access
+#: moves one segment ("A new read/write access to 64-byte data blocks can
+#: be inserted to DDR-DRAM every 4-clock-cycles").
+DDR_64B_ACCESS_BYTES = 64
+
+
+@dataclass(frozen=True)
+class DdrTiming:
+    """DDR-SDRAM timing, in nanoseconds (paper Section 3, footnotes 1-2).
+
+    Attributes
+    ----------
+    access_cycle_ns:
+        Interval between successive command issues -- one 64-byte access
+        slot (40 ns = 4 cycles at 100 MHz double-clocked).
+    bank_busy_ns:
+        Precharge-imposed reuse interval of one bank (160 ns).
+    read_delay_ns:
+        Read access delay (60 ns).
+    write_delay_ns:
+        Write access delay (40 ns).
+    write_after_read_penalty_cycles:
+        Extra access cycles a write must wait when issued immediately
+        after a read (data-bus turnaround; 1 in the paper).
+    bus_bits:
+        Data bus width (64 in the paper's DIMM analysis).
+    clock_mhz:
+        DDR command clock (100 MHz, double data rate).
+    """
+
+    access_cycle_ns: int = 40
+    bank_busy_ns: int = 160
+    read_delay_ns: int = 60
+    write_delay_ns: int = 40
+    write_after_read_penalty_cycles: int = 1
+    bus_bits: int = 64
+    clock_mhz: int = 100
+
+    def __post_init__(self) -> None:
+        if self.access_cycle_ns <= 0:
+            raise ValueError("access_cycle_ns must be positive")
+        if self.bank_busy_ns % self.access_cycle_ns != 0:
+            raise ValueError(
+                "bank_busy_ns must be a multiple of access_cycle_ns "
+                f"({self.bank_busy_ns} % {self.access_cycle_ns} != 0)"
+            )
+        if self.write_after_read_penalty_cycles < 0:
+            raise ValueError("write_after_read_penalty_cycles must be >= 0")
+
+    @property
+    def bank_busy_cycles(self) -> int:
+        """Bank reuse interval in access cycles (4 in the paper)."""
+        return self.bank_busy_ns // self.access_cycle_ns
+
+    @property
+    def peak_gbps(self) -> float:
+        """Peak throughput of the bus: 12.8 Gbps for the paper's DIMM.
+
+        64 bits x 100 MHz x 2 (DDR) = 12.8 Gbps.
+        """
+        return self.bus_bits * self.clock_mhz * 2 / 1000.0
+
+    @property
+    def bytes_per_access(self) -> int:
+        """Bytes moved per access slot (one 64-byte segment)."""
+        return DDR_64B_ACCESS_BYTES
+
+
+@dataclass(frozen=True)
+class ZbtTiming:
+    """ZBT (Zero-Bus-Turnaround) SRAM timing.
+
+    ZBT SRAMs pipeline one access per cycle with no penalty for
+    read/write direction changes -- which is exactly why the paper keeps
+    the pointer structures there.  The MMS accesses its pointer SRAM at
+    the system clock (125 MHz); the reference NPU accesses its ZBT
+    through the PLB EMC.
+    """
+
+    clock_mhz: int = 125
+    accesses_per_cycle: int = 1
+    read_latency_cycles: int = 2
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        if self.accesses_per_cycle < 1:
+            raise ValueError("accesses_per_cycle must be >= 1")

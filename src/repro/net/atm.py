@@ -1,0 +1,90 @@
+"""ATM cell handling.
+
+The MMS ancestry is ATM queue management ([2], [3] in the paper) and the
+application list includes "ATM switching" and "IP over ATM
+internetworking".  ATM moves fixed 53-byte cells with a 48-byte payload;
+:func:`segment_into_cells` performs the AAL5-style chop of a packet into
+cells (padding the last one), which the ATM switching example app drives
+through the MMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import Packet
+
+#: Total ATM cell size on the wire.
+ATM_CELL_BYTES = 53
+#: Cell payload capacity.
+ATM_PAYLOAD_BYTES = 48
+#: Cell header size.
+ATM_HEADER_BYTES = 5
+
+
+@dataclass(frozen=True)
+class AtmCell:
+    """One ATM cell of a segmented packet.
+
+    Attributes
+    ----------
+    vpi, vci:
+        Virtual path / channel identifiers (the flow identity in ATM).
+    pid:
+        Originating packet id.
+    index:
+        Cell index within the packet.
+    last:
+        AAL5 end-of-frame marker (PTI bit).
+    payload_bytes:
+        Valid payload bytes (< 48 only possible before padding).
+    """
+
+    vpi: int
+    vci: int
+    pid: int
+    index: int
+    last: bool
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vpi < 4096:
+            raise ValueError(f"vpi {self.vpi} out of range [0, 4096)")
+        if not 0 <= self.vci < 65536:
+            raise ValueError(f"vci {self.vci} out of range [0, 65536)")
+        if not 0 < self.payload_bytes <= ATM_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload_bytes must be in (0, {ATM_PAYLOAD_BYTES}], "
+                f"got {self.payload_bytes}"
+            )
+
+
+def segment_into_cells(packet: Packet, vpi: int, vci: int,
+                       pad_last: bool = True) -> list[AtmCell]:
+    """Chop ``packet`` into ATM cells (AAL5-style, padded last cell).
+
+    With ``pad_last`` the final cell always carries a full 48-byte
+    payload (zero padding), as AAL5 transmits; without it the final cell
+    reports only the valid bytes.
+    """
+    cells = []
+    remaining = packet.length_bytes
+    index = 0
+    while remaining > 0:
+        chunk = min(remaining, ATM_PAYLOAD_BYTES)
+        remaining -= chunk
+        last = remaining == 0
+        payload = ATM_PAYLOAD_BYTES if (pad_last and last) else chunk
+        cells.append(
+            AtmCell(vpi=vpi, vci=vci, pid=packet.pid, index=index,
+                    last=last, payload_bytes=payload)
+        )
+        index += 1
+    return cells
+
+
+def cells_needed(length_bytes: int) -> int:
+    """Number of cells a payload of ``length_bytes`` occupies."""
+    if length_bytes <= 0:
+        raise ValueError(f"length_bytes must be positive, got {length_bytes}")
+    return -(-length_bytes // ATM_PAYLOAD_BYTES)

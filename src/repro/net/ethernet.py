@@ -1,0 +1,66 @@
+"""Ethernet line-rate arithmetic.
+
+The paper's throughput statements use *raw frame bits*: "for a 100 Mbps
+network and a minimum packet length of 64 bytes the available time to
+serve this packet is 5.12 usec" (64 x 8 / 100 Mbps, no preamble/IFG), and
+the IXP1200 claim "300 Kpps ... cannot support more than 150 Mbps"
+(300 K x 512 bits = 153.6 Mbps).  :func:`packet_service_time_ps` and
+:func:`pps_to_gbps` reproduce that convention; :func:`wire_time_ps` adds
+the physical preamble + inter-frame gap for the generators that model a
+real wire.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import SEC
+
+#: Minimum Ethernet frame (the paper's worst case everywhere).
+ETHERNET_MIN_FRAME_BYTES = 64
+#: Maximum standard frame.
+ETHERNET_MAX_FRAME_BYTES = 1518
+#: Preamble + SFD.
+ETHERNET_PREAMBLE_BYTES = 8
+#: Minimum inter-frame gap (96 bit times).
+ETHERNET_IFG_BYTES = 12
+
+
+def packet_service_time_ps(length_bytes: int, rate_gbps: float) -> int:
+    """Time budget to serve one packet at a line rate, raw-frame-bits
+    convention (the paper's).
+
+    >>> packet_service_time_ps(64, 0.1)   # 5.12 us at 100 Mbps
+    5120000
+    """
+    if length_bytes <= 0:
+        raise ValueError(f"length_bytes must be positive, got {length_bytes}")
+    if rate_gbps <= 0:
+        raise ValueError(f"rate_gbps must be positive, got {rate_gbps}")
+    bits = length_bytes * 8
+    return round(bits / rate_gbps * 1000)  # Gbps = bits/ns
+
+
+def wire_time_ps(length_bytes: int, rate_gbps: float) -> int:
+    """Occupancy of the physical wire for one frame, including preamble
+    and inter-frame gap."""
+    total = length_bytes + ETHERNET_PREAMBLE_BYTES + ETHERNET_IFG_BYTES
+    return packet_service_time_ps(total, rate_gbps)
+
+
+def line_rate_pps(rate_gbps: float, length_bytes: int = ETHERNET_MIN_FRAME_BYTES,
+                  include_overhead: bool = False) -> float:
+    """Packets per second at a line rate for a fixed frame size."""
+    per_packet = (wire_time_ps if include_overhead else packet_service_time_ps)(
+        length_bytes, rate_gbps
+    )
+    return SEC / per_packet
+
+
+def pps_to_gbps(pps: float, length_bytes: int = ETHERNET_MIN_FRAME_BYTES) -> float:
+    """Raw-frame-bits throughput of a packet rate.
+
+    >>> round(pps_to_gbps(300_000, 64), 4)   # the paper's IXP claim
+    0.1536
+    """
+    if pps < 0:
+        raise ValueError(f"pps must be >= 0, got {pps}")
+    return pps * length_bytes * 8 / 1e9

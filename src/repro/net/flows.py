@@ -1,0 +1,87 @@
+"""Flow tables and flow-selection distributions.
+
+The number of *simultaneously active* flows is the paper's key workload
+parameter: Table 2 sweeps 16 / 128 / 1024 queues, the MMS supports 32 K.
+A :class:`FlowTable` names the flow population; the chooser functions
+model how traffic spreads over it -- uniformly (the paper's random-bank
+assumption) or Zipf-skewed (the hotspot ablations).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Callable, List, Optional
+
+#: A chooser returns a flow id given an RNG.
+FlowChooser = Callable[[random.Random], int]
+
+
+class FlowTable:
+    """A population of flows with optional per-flow attributes.
+
+    Attributes such as QoS priority (802.1p class) or output port are
+    stored per flow and read by the application models.
+    """
+
+    def __init__(self, num_flows: int) -> None:
+        if num_flows < 1:
+            raise ValueError(f"num_flows must be >= 1, got {num_flows}")
+        self.num_flows = num_flows
+        self._attrs: dict[int, dict] = {}
+
+    def set_attr(self, flow_id: int, **attrs) -> None:
+        self._check(flow_id)
+        self._attrs.setdefault(flow_id, {}).update(attrs)
+
+    def get_attr(self, flow_id: int, key: str, default=None):
+        self._check(flow_id)
+        return self._attrs.get(flow_id, {}).get(key, default)
+
+    def flows(self) -> range:
+        return range(self.num_flows)
+
+    def _check(self, flow_id: int) -> None:
+        if not 0 <= flow_id < self.num_flows:
+            raise ValueError(
+                f"flow {flow_id} out of range [0, {self.num_flows})"
+            )
+
+    def __len__(self) -> int:
+        return self.num_flows
+
+
+def uniform_flow_chooser(num_flows: int) -> FlowChooser:
+    """Every flow equally likely -- the paper's common-case assumption."""
+    if num_flows < 1:
+        raise ValueError(f"num_flows must be >= 1, got {num_flows}")
+
+    def choose(rng: random.Random) -> int:
+        return rng.randrange(num_flows)
+
+    return choose
+
+
+def zipf_flow_chooser(num_flows: int, s: float = 1.0) -> FlowChooser:
+    """Zipf-distributed flow popularity (rank-``i`` weight ``1/i^s``).
+
+    Real traffic concentrates on few flows; the hotspot ablations use
+    this to stress bank conflicts and queue-table caching.
+    """
+    if num_flows < 1:
+        raise ValueError(f"num_flows must be >= 1, got {num_flows}")
+    if s < 0:
+        raise ValueError(f"zipf exponent must be >= 0, got {s}")
+    weights = [1.0 / (i + 1) ** s for i in range(num_flows)]
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+    total = cumulative[-1]
+
+    def choose(rng: random.Random) -> int:
+        x = rng.random() * total
+        return bisect.bisect_left(cumulative, x)
+
+    return choose

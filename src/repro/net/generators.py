@@ -1,0 +1,149 @@
+"""Synthetic traffic generators.
+
+Each generator yields an infinite stream of :class:`TimedPacket` --
+``(arrival_ps, Packet)`` -- deterministically from an explicit RNG.  The
+paper's evaluations need:
+
+* worst-case back-to-back 64-byte frames (:func:`cbr_stream`),
+* randomized per-flow traffic across many queues (flow choosers),
+* bursty arrivals that stress the MMS per-port command FIFOs
+  (:func:`onoff_stream`; Table 5's "bursts of commands that may arrive
+  simultaneously"),
+* a realistic size mix (:func:`imix_stream`) for the application demos.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.net.ethernet import wire_time_ps
+from repro.net.flows import FlowChooser, uniform_flow_chooser
+from repro.net.packet import Packet
+from repro.sim.clock import SEC
+
+
+@dataclass(frozen=True)
+class TimedPacket:
+    """A packet with its arrival timestamp."""
+
+    arrival_ps: int
+    packet: Packet
+
+#: Standard IMIX (simple): 7 x 64 B : 4 x 594 B : 1 x 1518 B.
+IMIX_MIX: Sequence[tuple[int, int]] = ((64, 7), (594, 4), (1518, 1))
+
+
+def cbr_stream(rate_gbps: float, length_bytes: int = 64,
+               flow_chooser: Optional[FlowChooser] = None,
+               rng: Optional[random.Random] = None,
+               include_overhead: bool = False,
+               start_ps: int = 0) -> Iterator[TimedPacket]:
+    """Constant-bit-rate stream of fixed-size packets.
+
+    At ``rate_gbps`` equal to the line rate this is the worst-case
+    back-to-back minimum-frame stream of Sections 4-5.
+    """
+    if rate_gbps <= 0:
+        raise ValueError(f"rate_gbps must be positive, got {rate_gbps}")
+    rng = rng or random.Random(0)
+    chooser = flow_chooser or (lambda _rng: 0)
+    gap = wire_time_ps(length_bytes, rate_gbps) if include_overhead else \
+        _raw_gap_ps(length_bytes, rate_gbps)
+    t = start_ps
+    while True:
+        yield TimedPacket(t, Packet(length_bytes, flow_id=chooser(rng)))
+        t += gap
+
+
+def poisson_stream(rate_pps: float, length_bytes: int = 64,
+                   flow_chooser: Optional[FlowChooser] = None,
+                   rng: Optional[random.Random] = None,
+                   start_ps: int = 0) -> Iterator[TimedPacket]:
+    """Poisson arrivals at ``rate_pps`` packets per second."""
+    if rate_pps <= 0:
+        raise ValueError(f"rate_pps must be positive, got {rate_pps}")
+    rng = rng or random.Random(0)
+    chooser = flow_chooser or (lambda _rng: 0)
+    mean_gap = SEC / rate_pps
+    t = float(start_ps)
+    while True:
+        t += rng.expovariate(1.0) * mean_gap
+        yield TimedPacket(round(t), Packet(length_bytes, flow_id=chooser(rng)))
+
+
+def onoff_stream(rate_gbps: float, burst_len: int = 8, idle_factor: float = 1.0,
+                 length_bytes: int = 64,
+                 flow_chooser: Optional[FlowChooser] = None,
+                 rng: Optional[random.Random] = None,
+                 start_ps: int = 0) -> Iterator[TimedPacket]:
+    """On/off bursty stream with long-run average rate ``rate_gbps``.
+
+    During ON periods, ``burst_len`` packets arrive back-to-back at an
+    instantaneous rate ``(1 + idle_factor)`` times the average; the OFF
+    period then restores the average.  This is the arrival process that
+    fills the MMS per-port FIFOs and produces Table 5's FIFO delay.
+    """
+    if rate_gbps <= 0:
+        raise ValueError(f"rate_gbps must be positive, got {rate_gbps}")
+    if burst_len < 1:
+        raise ValueError(f"burst_len must be >= 1, got {burst_len}")
+    if idle_factor < 0:
+        raise ValueError(f"idle_factor must be >= 0, got {idle_factor}")
+    rng = rng or random.Random(0)
+    chooser = flow_chooser or (lambda _rng: 0)
+    avg_gap = _raw_gap_ps(length_bytes, rate_gbps)
+    on_gap = max(1, round(avg_gap / (1.0 + idle_factor)))
+    t = start_ps
+    while True:
+        # geometric burst length around burst_len
+        n = 1 + int(rng.expovariate(1.0 / max(burst_len - 1, 1e-9))) \
+            if burst_len > 1 else 1
+        for _ in range(n):
+            yield TimedPacket(t, Packet(length_bytes, flow_id=chooser(rng)))
+            t += on_gap
+        # idle long enough to restore the average rate
+        t += (avg_gap - on_gap) * n
+
+
+def imix_stream(rate_gbps: float,
+                mix: Sequence[tuple[int, int]] = IMIX_MIX,
+                flow_chooser: Optional[FlowChooser] = None,
+                rng: Optional[random.Random] = None,
+                start_ps: int = 0) -> Iterator[TimedPacket]:
+    """Random packet-size mix at an average bit rate.
+
+    ``mix`` is a sequence of ``(length_bytes, weight)``; the default is
+    the classic 7:4:1 simple IMIX.
+    """
+    if rate_gbps <= 0:
+        raise ValueError(f"rate_gbps must be positive, got {rate_gbps}")
+    if not mix:
+        raise ValueError("mix must be non-empty")
+    rng = rng or random.Random(0)
+    chooser = flow_chooser or (lambda _rng: 0)
+    lengths = [l for l, _w in mix]
+    weights = [w for _l, w in mix]
+    t = float(start_ps)
+    while True:
+        length = rng.choices(lengths, weights=weights)[0]
+        yield TimedPacket(round(t), Packet(length, flow_id=chooser(rng)))
+        t += _raw_gap_ps(length, rate_gbps)
+
+
+def merge_streams(*streams: Iterator[TimedPacket]) -> Iterator[TimedPacket]:
+    """Merge timed streams into one, ordered by arrival time.
+
+    Models several physical ports feeding one queue manager (the MMS
+    In/Out/CPU interfaces).
+    """
+    if not streams:
+        raise ValueError("at least one stream required")
+    return heapq.merge(*streams, key=lambda tp: tp.arrival_ps)
+
+
+def _raw_gap_ps(length_bytes: int, rate_gbps: float) -> int:
+    """Inter-arrival gap using the paper's raw-frame-bits convention."""
+    return max(1, round(length_bytes * 8 / rate_gbps * 1000))

@@ -1,0 +1,83 @@
+"""Packet trace recording and inspection.
+
+A :class:`PacketTrace` accumulates the packets seen at an observation
+point (a MAC, a queue output, an MMS port) with their timestamps and
+answers rate/flow questions.  Experiments use traces to verify
+conservation (everything enqueued is eventually dequeued, in order per
+flow) and to compute achieved throughput.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from repro.net.packet import Packet
+from repro.sim.clock import SEC
+
+
+class PacketTrace:
+    """Timestamped record of packets at an observation point."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.times_ps: List[int] = []
+        self.packets: List[Packet] = []
+
+    def record(self, time_ps: int, packet: Packet) -> None:
+        if self.times_ps and time_ps < self.times_ps[-1]:
+            raise ValueError(
+                f"{self.name}: non-monotone record at {time_ps} "
+                f"(last {self.times_ps[-1]})"
+            )
+        self.times_ps.append(time_ps)
+        self.packets.append(packet)
+
+    # ------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.length_bytes for p in self.packets)
+
+    @property
+    def duration_ps(self) -> int:
+        if len(self.times_ps) < 2:
+            return 0
+        return self.times_ps[-1] - self.times_ps[0]
+
+    def rate_pps(self) -> float:
+        """Mean packet rate over the trace span."""
+        if self.duration_ps == 0:
+            return 0.0
+        return (len(self) - 1) * SEC / self.duration_ps
+
+    def rate_gbps(self) -> float:
+        """Mean bit rate (raw frame bits) over the trace span."""
+        if self.duration_ps == 0:
+            return 0.0
+        bits = sum(p.length_bytes for p in self.packets[1:]) * 8
+        return bits * 1000 / self.duration_ps  # bits/ns = Gbps
+
+    def per_flow_pids(self) -> Dict[int, List[int]]:
+        """Packet ids grouped by flow, in observation order."""
+        flows: Dict[int, List[int]] = defaultdict(list)
+        for p in self.packets:
+            flows[p.flow_id].append(p.pid)
+        return dict(flows)
+
+    def is_per_flow_order_preserved(self, reference: "PacketTrace") -> bool:
+        """True when every flow's pid order matches ``reference``'s.
+
+        Queue managers must never reorder packets within a flow; this is
+        the conservation invariant used by the integration tests.
+        """
+        mine = self.per_flow_pids()
+        theirs = reference.per_flow_pids()
+        for flow, pids in mine.items():
+            ref = [pid for pid in theirs.get(flow, []) if pid in set(pids)]
+            if pids != ref:
+                return False
+        return True

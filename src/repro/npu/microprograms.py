@@ -1,0 +1,204 @@
+"""Queue-manager microprograms for the reference NPU (Table 3).
+
+Each Table 3 row is priced as::
+
+    cycles = PLB cost of the operation's pointer accesses
+           + documented instruction overhead (NpuParams.instr_*)
+
+where the pointer accesses are *measured* on the real Section 5.2
+structure (:class:`repro.queueing.SegmentQueueManager` with free-list
+anchors in memory, as software must keep them).  The segment copy is
+priced per copy strategy:
+
+* ``WORD`` -- 8 single-beat PLB reads from BRAM + 8 single-beat writes to
+  DDR + loop instructions (the baseline: 136 cycles),
+* ``LINE`` -- one PLB line read + one line write through the data cache
+  ("a segment can be retrieved ... in only 12 cycles", total 24),
+* ``DMA``  -- 4 register writes to set up the engine (16 CPU cycles);
+  the 34-cycle transfer itself runs on the DMA engine, freeing the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from repro.npu.params import NpuParams, SEGMENT_BEATS
+from repro.queueing import SegmentQueueManager
+from repro.queueing.pointer_memory import AccessRecord
+from repro.queueing.segment_queues import SegmentMeta
+
+
+class CopyStrategy(Enum):
+    """How the 64-byte segment moves between BRAM and DDR (Section 5.3)."""
+
+    WORD = "word"
+    LINE = "line"
+    DMA = "dma"
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cycle decomposition of one sub-operation."""
+
+    name: str
+    plb_reads: int = 0
+    plb_writes: int = 0
+    line_reads: int = 0
+    line_writes: int = 0
+    dma_setups: int = 0
+    instr: int = 0
+
+    def cpu_cycles(self, params: NpuParams) -> int:
+        """Cycles the PowerPC is busy with this sub-operation."""
+        plb = params.plb
+        return (
+            self.plb_reads * plb.single_read_cycles
+            + self.plb_writes * plb.single_write_cycles
+            + (self.line_reads + self.line_writes) * plb.line_transaction_cycles
+            + self.dma_setups * params.dma.setup_cycles
+            + self.instr
+        )
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table 3 (cycles per segment operation)."""
+
+    function: str
+    enqueue_cycles: int
+    dequeue_cycles: int
+
+
+def _count(trace: List[AccessRecord]) -> tuple[int, int]:
+    reads = sum(1 for a in trace if a.kind == "R")
+    writes = sum(1 for a in trace if a.kind == "W")
+    return reads, writes
+
+
+class QueueSwModel:
+    """The software queue manager of Section 5, priced per Table 3.
+
+    All pointer-access counts are measured on a live
+    :class:`SegmentQueueManager` at construction time; the model then
+    answers cycle and throughput questions for any copy strategy.
+    """
+
+    def __init__(self, params: NpuParams = NpuParams()) -> None:
+        self.params = params
+        m = SegmentQueueManager(num_queues=2, num_slots=8)
+        # --- measure the free-list and queue-list sub-operations in
+        # steady state (queue stays non-empty across the dequeue)
+        m.enqueue(0, SegmentMeta(eop=True))
+        slot, t_pop = m.alloc()
+        t_link_first = m.link_segment(0, slot, SegmentMeta(eop=False))
+        slot2, _ = m.alloc()
+        t_link_rest = m.link_segment(0, slot2, SegmentMeta(eop=True),
+                                     packet_head_slot=slot)
+        slot3, _meta, t_unlink = m.unlink_segment(0)
+        t_push = m.release(slot3)
+
+        r, w = _count(t_pop)
+        self.free_pop = OpCost("dequeue free list", plb_reads=r, plb_writes=w,
+                               instr=params.instr_free_pop)
+        r, w = _count(t_link_first)
+        self.link_first = OpCost("enqueue segment (first)", plb_reads=r,
+                                 plb_writes=w, instr=params.instr_link_first)
+        r, w = _count(t_link_rest)
+        self.link_rest = OpCost("enqueue segment (rest)", plb_reads=r,
+                                plb_writes=w, instr=params.instr_link_rest)
+        r, w = _count(t_unlink)
+        self.unlink = OpCost("dequeue segment", plb_reads=r, plb_writes=w,
+                             instr=params.instr_unlink)
+        r, w = _count(t_push)
+        self.free_push = OpCost("enqueue free list", plb_reads=r, plb_writes=w,
+                                instr=params.instr_free_push)
+
+    # ------------------------------------------------------------- copies
+
+    def copy_cost(self, strategy: CopyStrategy) -> OpCost:
+        """Cycle cost of moving one 64-byte segment BRAM <-> DDR."""
+        p = self.params
+        if strategy is CopyStrategy.WORD:
+            return OpCost(
+                "copy a segment (word)",
+                plb_reads=SEGMENT_BEATS,
+                plb_writes=SEGMENT_BEATS,
+                instr=SEGMENT_BEATS * p.instr_copy_per_beat,
+            )
+        if strategy is CopyStrategy.LINE:
+            return OpCost("copy a segment (line)", line_reads=1, line_writes=1)
+        if strategy is CopyStrategy.DMA:
+            return OpCost("copy a segment (dma setup)", dma_setups=1)
+        raise ValueError(f"unknown strategy {strategy}")
+
+    # -------------------------------------------------------------- rows
+
+    def enqueue_cycles(self, strategy: CopyStrategy,
+                       first_segment: bool = True) -> int:
+        """Full enqueue of one segment: free-list pop + link + copy."""
+        link = self.link_first if first_segment else self.link_rest
+        return (
+            self.free_pop.cpu_cycles(self.params)
+            + link.cpu_cycles(self.params)
+            + self.copy_cost(strategy).cpu_cycles(self.params)
+        )
+
+    def dequeue_cycles(self, strategy: CopyStrategy) -> int:
+        """Full dequeue of one segment: unlink + free-list push + copy."""
+        return (
+            self.unlink.cpu_cycles(self.params)
+            + self.free_push.cpu_cycles(self.params)
+            + self.copy_cost(strategy).cpu_cycles(self.params)
+        )
+
+    def table3(self, strategy: CopyStrategy = CopyStrategy.WORD
+               ) -> List[Table3Row]:
+        """The rows of Table 3 for a copy strategy."""
+        p = self.params
+        copy = self.copy_cost(strategy).cpu_cycles(p)
+        return [
+            Table3Row("Dequeue Free List" if strategy is CopyStrategy.WORD
+                      else "Free list op",
+                      self.free_pop.cpu_cycles(p), self.free_push.cpu_cycles(p)),
+            Table3Row("Enqueue Segment",
+                      self.link_first.cpu_cycles(p), self.unlink.cpu_cycles(p)),
+            Table3Row("Enqueue Segment (rest)",
+                      self.link_rest.cpu_cycles(p), self.unlink.cpu_cycles(p)),
+            Table3Row("Copy a segment", copy, copy),
+            Table3Row("Total",
+                      self.enqueue_cycles(strategy, first_segment=True),
+                      self.dequeue_cycles(strategy)),
+            Table3Row("Total (rest)",
+                      self.enqueue_cycles(strategy, first_segment=False),
+                      self.dequeue_cycles(strategy)),
+        ]
+
+    # -------------------------------------------------------- throughput
+
+    def full_duplex_gbps(self, strategy: CopyStrategy,
+                         clock_mhz: float = None,
+                         worst_case: bool = True) -> float:
+        """Sustainable full-duplex line rate for 64-byte packets.
+
+        In one packet interval ``T = 512 bits / R`` the CPU must enqueue
+        one arriving packet and dequeue one departing packet, so
+        ``R_max = 512 x f / (enqueue + dequeue cycles)``.  The paper's
+        rule of thumb falls out: ~100 Mbps at 100 MHz for the baseline,
+        ~200 Mbps with line transactions.
+        """
+        clock_mhz = clock_mhz or self.params.cpu_clock_mhz
+        cycles = (self.enqueue_cycles(strategy, first_segment=not worst_case)
+                  + self.dequeue_cycles(strategy))
+        return 512 * clock_mhz / cycles / 1000.0
+
+    def cpu_headroom_fraction(self, strategy: CopyStrategy,
+                              line_rate_gbps: float = 0.1) -> float:
+        """Fraction of CPU cycles left for *other* work at a full-duplex
+        line rate (the Section 5.3 DMA argument: same throughput, but
+        the copy cycles come back as headroom)."""
+        interval_cycles = (512 / line_rate_gbps / 1000.0) * self.params.cpu_clock_mhz
+        used = (self.enqueue_cycles(strategy, first_segment=False)
+                + self.dequeue_cycles(strategy))
+        return max(0.0, 1.0 - used / interval_cycles)

@@ -1,0 +1,84 @@
+"""Timing parameters of the Figure 1 reference NPU.
+
+The numbers the paper states are used verbatim:
+
+* 100 MHz PowerPC and 64-bit PLB (Section 5.1),
+* a PLB *line transaction* moves a 64-byte segment as "9 cycles for 9
+  double words and 3 cycle latency" = 12 cycles (Section 5.3),
+* "each single PLB write transaction needs 4 cycles, thus we need at
+  least 16 cycles to initiate the DMA transfer [4 registers] and at
+  least 34 cycles to copy the data" (Section 5.3).
+
+The remaining two constants -- single-beat read and write costs through
+the PLB to the EMC/BRAM slaves -- are calibrated once so the baseline
+column of Table 3 matches (8 and 6 cycles); every other number in the
+table then *follows* from the access traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Double words (64-bit beats) in one 64-byte segment.
+SEGMENT_BEATS = 8
+
+
+@dataclass(frozen=True)
+class PlbTiming:
+    """Processor Local Bus transaction costs, in bus cycles."""
+
+    single_read_cycles: int = 8
+    single_write_cycles: int = 6
+    line_beats: int = 9          # 9 double words per the paper
+    line_latency_cycles: int = 3
+    clock_mhz: int = 100
+
+    def __post_init__(self) -> None:
+        if min(self.single_read_cycles, self.single_write_cycles,
+               self.line_beats, self.line_latency_cycles) < 1:
+            raise ValueError("PLB timing values must be >= 1 cycle")
+
+    @property
+    def line_transaction_cycles(self) -> int:
+        """One cache-line burst over the PLB: 9 + 3 = 12 cycles."""
+        return self.line_beats + self.line_latency_cycles
+
+
+@dataclass(frozen=True)
+class DmaTiming:
+    """The Section 5.3 DMA engine ([13]/[14] in the paper)."""
+
+    setup_registers: int = 4        # control, source, destination, length
+    register_write_cycles: int = 4  # "each single PLB write ... 4 cycles"
+    transfer_cycles: int = 34       # "at least 34 cycles to copy the data"
+
+    def __post_init__(self) -> None:
+        if self.setup_registers < 1 or self.register_write_cycles < 1:
+            raise ValueError("DMA setup parameters must be >= 1")
+        if self.transfer_cycles < 1:
+            raise ValueError("transfer_cycles must be >= 1")
+
+    @property
+    def setup_cycles(self) -> int:
+        """CPU cycles to program one transfer: 4 x 4 = 16."""
+        return self.setup_registers * self.register_write_cycles
+
+
+@dataclass(frozen=True)
+class NpuParams:
+    """Whole-platform parameter set."""
+
+    plb: PlbTiming = PlbTiming()
+    dma: DmaTiming = DmaTiming()
+    cpu_clock_mhz: int = 100
+
+    # Documented instruction-count calibration (DESIGN.md): list-handling
+    # instructions executed by the handcrafted queue-manager code around
+    # its pointer accesses.  Fitted once against the baseline column of
+    # Table 3; reused unchanged for the line/DMA variants.
+    instr_free_pop: int = 12
+    instr_link_first: int = 20
+    instr_link_rest: int = 28
+    instr_unlink: int = 30
+    instr_free_push: int = 16
+    instr_copy_per_beat: int = 3

@@ -1,0 +1,5 @@
+"""Exceptions shared by the queue managers."""
+
+
+class QueueEmptyError(RuntimeError):
+    """Dequeue/peek/move on an empty queue."""

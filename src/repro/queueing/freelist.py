@@ -1,0 +1,186 @@
+"""Free-list management over pointer memory.
+
+"A free-list keeps the free parts of the memory, at any given time"
+(Section 5.2).  The free list is itself a single-linked list threaded
+through the ``next`` words of unused slots, so pop ("Dequeue Free List")
+and push ("Enqueue Free List") are the first sub-operations of every
+enqueue/dequeue (Table 3 prices them separately).
+
+The head/tail anchors can live either in on-chip registers (the MMS
+hardware keeps them in flip-flops -- zero SRAM accesses to consult) or in
+SRAM words (the software implementations must load/store them), selected
+with ``anchors_in_memory``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.queueing.pointer_memory import PointerMemory
+
+#: Null link encoding (no slot 0 ambiguity: we bias stored links by +1).
+NIL = 0
+
+
+class OutOfBuffersError(RuntimeError):
+    """Free list exhausted -- the buffer memory is full."""
+
+
+class FreeList:
+    """Single-linked free list of buffer slots.
+
+    Parameters
+    ----------
+    mem:
+        Pointer memory; must contain a ``next`` region of >= ``num_slots``
+        words plus (when ``anchors_in_memory``) a ``globals`` region with
+        two words for the anchors.
+    num_slots:
+        Total buffer slots managed.
+    anchors_in_memory:
+        Whether head/tail anchors cost SRAM accesses (software) or are
+        free registers (hardware).
+    next_region / globals_region:
+        Region names, overridable when several lists share one memory.
+    """
+
+    HEAD_WORD = 0
+    TAIL_WORD = 1
+
+    def __init__(self, mem: PointerMemory, num_slots: int,
+                 anchors_in_memory: bool = True,
+                 next_region: str = "next",
+                 globals_region: str = "globals",
+                 link_mask: Optional[int] = None) -> None:
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        self.mem = mem
+        self.num_slots = num_slots
+        self.anchors_in_memory = anchors_in_memory
+        self.next_region = next_region
+        self.globals_region = globals_region
+        #: Mask applied to link words on pop.  Needed when whole queue
+        #: chains are spliced onto the list (MMS delete-packet): interior
+        #: words still carry packed metadata above the link field.
+        self.link_mask = link_mask
+        self._reg_head = NIL
+        self._reg_tail = NIL
+        self.free_count = 0
+        self._initialized = False
+
+    # ------------------------------------------------------------ set-up
+
+    def initialize(self) -> None:
+        """Chain every slot into the free list (boot-time, not traced)."""
+        for slot in range(self.num_slots - 1):
+            self.mem.write(self.next_region, slot, self._enc(slot + 1))
+        self.mem.write(self.next_region, self.num_slots - 1, NIL)
+        self._store_head(self._enc(0))
+        self._store_tail(self._enc(self.num_slots - 1))
+        self.free_count = self.num_slots
+        self._initialized = True
+
+    # ---------------------------------------------------------- operation
+
+    def pop(self) -> int:
+        """Allocate one slot ("Dequeue Free List").
+
+        Access pattern (anchors in memory): R head, R next[head], W head.
+        With register anchors: R next[head] only.
+        """
+        self._require_init()
+        head = self._load_head()
+        if head == NIL:
+            raise OutOfBuffersError("free list empty")
+        slot = self._dec(head)
+        nxt = self.mem.read(self.next_region, slot)
+        if self.link_mask is not None:
+            nxt &= self.link_mask
+        self._store_head(nxt)
+        if nxt == NIL:
+            # list drained: the tail anchor would otherwise go stale and
+            # a later push would splice onto an in-use slot
+            self._store_tail(NIL)
+        self.free_count -= 1
+        return slot
+
+    def push(self, slot: int) -> None:
+        """Release one slot ("Enqueue Free List").
+
+        Access pattern (anchors in memory): R tail, W next[tail], W tail.
+        Appending at the tail (rather than pushing at the head) matches
+        hardware practice: it avoids reusing a just-freed slot whose data
+        transfer may still be in flight.
+        """
+        self._require_init()
+        self._check_slot(slot)
+        tail = self._load_tail()
+        self.mem.write(self.next_region, slot, NIL)
+        if tail == NIL:
+            self._store_head(self._enc(slot))
+        else:
+            self.mem.write(self.next_region, self._dec(tail), self._enc(slot))
+        self._store_tail(self._enc(slot))
+        self.free_count += 1
+
+    def push_chain(self, first_slot: int, last_slot: int, count: int) -> None:
+        """Release a pre-linked chain in O(1) (the MMS delete-packet path).
+
+        The chain ``first_slot -> ... -> last_slot`` must already be
+        linked through the ``next`` region.
+        """
+        self._require_init()
+        self._check_slot(first_slot)
+        self._check_slot(last_slot)
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        tail = self._load_tail()
+        self.mem.write(self.next_region, last_slot, NIL)
+        if tail == NIL:
+            self._store_head(self._enc(first_slot))
+        else:
+            self.mem.write(self.next_region, self._dec(tail), self._enc(first_slot))
+        self._store_tail(self._enc(last_slot))
+        self.free_count += count
+
+    # ---------------------------------------------------------- anchors
+
+    def _load_head(self) -> int:
+        if self.anchors_in_memory:
+            return self.mem.read(self.globals_region, self.HEAD_WORD)
+        return self._reg_head
+
+    def _store_head(self, value: int) -> None:
+        if self.anchors_in_memory:
+            self.mem.write(self.globals_region, self.HEAD_WORD, value)
+        else:
+            self._reg_head = value
+
+    def _load_tail(self) -> int:
+        if self.anchors_in_memory:
+            return self.mem.read(self.globals_region, self.TAIL_WORD)
+        return self._reg_tail
+
+    def _store_tail(self, value: int) -> None:
+        if self.anchors_in_memory:
+            self.mem.write(self.globals_region, self.TAIL_WORD, value)
+        else:
+            self._reg_tail = value
+
+    # --------------------------------------------------------- internals
+
+    @staticmethod
+    def _enc(slot: int) -> int:
+        return slot + 1
+
+    @staticmethod
+    def _dec(word: int) -> int:
+        return word - 1
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("free list not initialized; call initialize()")

@@ -1,0 +1,170 @@
+"""Pointer memory: a region-structured, access-traced SRAM view.
+
+Queue managers keep *pointers* in SRAM because "the pointer manipulation
+tasks need short accesses compared to the burst data accesses needed for
+buffering network packets" (Section 4).  Every data-structure operation
+in :mod:`repro.queueing` goes through a :class:`PointerMemory`, which
+
+* maps named regions (segment links, packet descriptors, queue table,
+  free-list anchors) onto one flat :class:`~repro.mem.sram.ZbtSram`,
+* counts reads/writes per region,
+* optionally records an ordered :class:`AccessRecord` trace of one
+  operation, which the platform models convert into cycles (one PLB
+  transaction per access on the reference NPU; one pipelined SRAM cycle
+  in the MMS).
+
+This is the mechanism that keeps Tables 3 and 4 honest: the cycle counts
+are derived from the access sequences of real data-structure code, not
+hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.mem.sram import ZbtSram
+from repro.mem.timing import ZbtTiming
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, bounds-checked window of the pointer SRAM."""
+
+    name: str
+    base: int
+    words: int
+
+    def addr(self, index: int) -> int:
+        if not 0 <= index < self.words:
+            raise IndexError(
+                f"region {self.name!r}: index {index} out of range [0, {self.words})"
+            )
+        return self.base + index
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One pointer-memory access in an operation trace."""
+
+    kind: str  # "R" or "W"
+    region: str
+    index: int
+
+
+class PointerMemory:
+    """Region-structured SRAM with per-region counters and op tracing."""
+
+    def __init__(self, timing: ZbtTiming = ZbtTiming()) -> None:
+        self._regions: Dict[str, Region] = {}
+        self._next_base = 0
+        self._sram: Optional[ZbtSram] = None
+        self._timing = timing
+        self._trace: Optional[List[AccessRecord]] = None
+        self.reads_by_region: Dict[str, int] = {}
+        self.writes_by_region: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- layout
+
+    def add_region(self, name: str, words: int) -> Region:
+        """Allocate a region; must happen before :meth:`freeze`."""
+        if self._sram is not None:
+            raise RuntimeError("layout is frozen; cannot add regions")
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already exists")
+        if words < 1:
+            raise ValueError(f"region {name!r}: words must be >= 1, got {words}")
+        region = Region(name=name, base=self._next_base, words=words)
+        self._regions[name] = region
+        self._next_base += words
+        self.reads_by_region[name] = 0
+        self.writes_by_region[name] = 0
+        return region
+
+    def freeze(self) -> None:
+        """Finalize the layout and allocate the backing SRAM."""
+        if self._sram is not None:
+            raise RuntimeError("layout already frozen")
+        if not self._regions:
+            raise RuntimeError("no regions defined")
+        self._sram = ZbtSram(self._next_base, timing=self._timing)
+
+    @property
+    def total_words(self) -> int:
+        return self._next_base
+
+    def region(self, name: str) -> Region:
+        return self._regions[name]
+
+    # ------------------------------------------------------------- access
+
+    def read(self, region: str, index: int) -> int:
+        sram = self._require_frozen()
+        r = self._regions[region]
+        value = sram.read(r.addr(index))
+        self.reads_by_region[region] += 1
+        if self._trace is not None:
+            self._trace.append(AccessRecord("R", region, index))
+        return value
+
+    def write(self, region: str, index: int, value: int) -> None:
+        sram = self._require_frozen()
+        r = self._regions[region]
+        sram.write(r.addr(index), value)
+        self.writes_by_region[region] += 1
+        if self._trace is not None:
+            self._trace.append(AccessRecord("W", region, index))
+
+    def peek(self, region: str, index: int) -> int:
+        """Uncounted, untraced read -- for debug walks and invariant
+        checks only; never use from modelled code paths."""
+        sram = self._require_frozen()
+        r = self._regions[region]
+        return sram.peek(r.addr(index))
+
+    # ------------------------------------------------------------ tracing
+
+    def start_trace(self) -> None:
+        """Begin recording accesses of one operation."""
+        self._trace = []
+
+    def end_trace(self) -> List[AccessRecord]:
+        """Stop recording and return the ordered access list."""
+        if self._trace is None:
+            raise RuntimeError("end_trace without start_trace")
+        trace, self._trace = self._trace, None
+        return trace
+
+    # ----------------------------------------------------------- counters
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.reads_by_region.values())
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes_by_region.values())
+
+    @property
+    def total_accesses(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def reset_counters(self) -> None:
+        for name in self.reads_by_region:
+            self.reads_by_region[name] = 0
+            self.writes_by_region[name] = 0
+        if self._sram is not None:
+            self._sram.reset_counters()
+
+    # ---------------------------------------------------------- internals
+
+    def _require_frozen(self) -> ZbtSram:
+        if self._sram is None:
+            raise RuntimeError("layout not frozen; call freeze() first")
+        return self._sram
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PointerMemory({len(self._regions)} regions, "
+            f"{self._next_base} words)"
+        )

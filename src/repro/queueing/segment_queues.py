@@ -1,0 +1,284 @@
+"""The Section 5.2 software queue structure: segment-linked lists.
+
+"We implemented queues of packets as single-linked lists.  The incoming
+data items are partitioned into fixed size segments of 64 bytes each ...
+A free-list keeps the free parts of the memory, at any given time, and a
+queue-table contains the header of all the employed queues."
+
+"Each segment function is analyzed into separate segment and free list
+sub-operations" -- Table 3 prices those sub-operations individually, so
+this manager exposes them individually too:
+
+* :meth:`alloc` / :meth:`release` -- the free-list sub-operations
+  ("Dequeue Free List" / "Enqueue Free List"),
+* :meth:`link_segment` / :meth:`unlink_segment` -- the queue-list
+  sub-operations ("Enqueue Segment" / "Dequeue Segment"),
+
+with :meth:`enqueue` / :meth:`dequeue` composing them.  Each
+sub-operation returns its ordered pointer-access trace; the platform
+models price one PLB transaction per access (Section 5.3).
+
+Pointer-word layout (one ZBT SRAM):
+
+* ``next``   -- per segment slot: link + packed metadata (eop, length),
+* ``qhead`` / ``qtail`` -- per queue; the tail word also carries the tail
+  segment's metadata so that linking a new segment behind the tail is a
+  single full-word write (no read-modify-write),
+* ``globals`` -- free-list anchors.
+
+The Table 3 footnote "*46 for the first segment of the packet, 68 for the
+rest" is reproduced structurally: non-first segments additionally
+accumulate the packet length into the packet's head-segment word (one
+read-modify-write), which is how a dequeuing scheduler learns the packet
+size without walking the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.queueing.errors import QueueEmptyError
+from repro.queueing.freelist import NIL, FreeList, OutOfBuffersError
+from repro.queueing.pointer_memory import AccessRecord, PointerMemory
+
+#: Bits of the ``next`` word used for the link; metadata sits above.
+LINK_BITS = 24
+LINK_MASK = (1 << LINK_BITS) - 1
+EOP_BIT = 1 << LINK_BITS
+LEN_SHIFT = LINK_BITS + 1
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Metadata carried in a segment's pointer word (+ shadow fields)."""
+
+    eop: bool = False
+    length: int = 64
+    pid: int = -1   # shadow only (not in SRAM): owning packet id
+    index: int = 0  # shadow only: segment index within packet
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.length <= 64:
+            raise ValueError(f"segment length must be in [1, 64], got {self.length}")
+
+
+class SegmentQueueManager:
+    """Flat single-linked segment queues with a shared free list."""
+
+    def __init__(self, num_queues: int, num_slots: int,
+                 anchors_in_memory: bool = True) -> None:
+        if num_queues < 1:
+            raise ValueError(f"num_queues must be >= 1, got {num_queues}")
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        self.num_queues = num_queues
+        self.num_slots = num_slots
+        self.mem = PointerMemory()
+        self.mem.add_region("next", num_slots)
+        self.mem.add_region("qhead", num_queues)
+        self.mem.add_region("qtail", num_queues)
+        self.mem.add_region("globals", 2)
+        self.mem.freeze()
+        self.free = FreeList(self.mem, num_slots,
+                             anchors_in_memory=anchors_in_memory,
+                             next_region="next", globals_region="globals")
+        self.free.initialize()
+        self._shadow: Dict[int, SegmentMeta] = {}
+        self._pkt_len_shadow: Dict[int, int] = {}  # head slot -> packet bytes
+        self._lengths = [0] * num_queues
+        self.mem.reset_counters()  # initialization traffic is boot-time
+
+    # ----------------------------------------------- free-list sub-ops
+
+    def alloc(self) -> Tuple[int, List[AccessRecord]]:
+        """'Dequeue Free List': allocate a slot for an incoming segment."""
+        self.mem.start_trace()
+        try:
+            slot = self.free.pop()
+        finally:
+            trace = self.mem.end_trace()
+        return slot, trace
+
+    def release(self, slot: int) -> List[AccessRecord]:
+        """'Enqueue Free List': return a slot after its data has left."""
+        self.mem.start_trace()
+        try:
+            self.free.push(slot)
+        finally:
+            trace = self.mem.end_trace()
+        return trace
+
+    # ----------------------------------------------- queue-list sub-ops
+
+    def link_segment(self, queue: int, slot: int, meta: SegmentMeta,
+                     packet_head_slot: Optional[int] = None
+                     ) -> List[AccessRecord]:
+        """'Enqueue Segment': link an allocated slot at the queue tail.
+
+        ``packet_head_slot`` must be given for every segment after the
+        first of a packet: the packet's accumulated length is folded into
+        the head segment's word (the extra read-modify-write behind the
+        68- vs 46-cycle footnote of Table 3).
+        """
+        self._check_queue(queue)
+        self._check_slot(slot)
+        self.mem.start_trace()
+        try:
+            self.mem.write("next", slot, self._pack(NIL, meta))
+            tail_word = self.mem.read("qtail", queue)
+            if tail_word == NIL:
+                self.mem.write("qhead", queue, self._enc(slot))
+            else:
+                tail_slot = self._dec(tail_word)
+                tail_meta_bits = tail_word & ~LINK_MASK
+                self.mem.write("next", tail_slot,
+                               tail_meta_bits | self._enc(slot))
+            self.mem.write("qtail", queue,
+                           self._enc(slot) | self._meta_bits(meta))
+            if packet_head_slot is not None:
+                self._check_slot(packet_head_slot)
+                head_word = self.mem.read("next", packet_head_slot)
+                # accumulate packet length in the head word (shadowed:
+                # the packed field is too narrow for full packet sizes)
+                self.mem.write("next", packet_head_slot, head_word)
+                self._pkt_len_shadow[packet_head_slot] = (
+                    self._pkt_len_shadow.get(packet_head_slot, 0) + meta.length
+                )
+        finally:
+            trace = self.mem.end_trace()
+        self._shadow[slot] = meta
+        if packet_head_slot is None:
+            self._pkt_len_shadow[slot] = meta.length
+        self._lengths[queue] += 1
+        return trace
+
+    def unlink_segment(self, queue: int) -> Tuple[int, SegmentMeta, List[AccessRecord]]:
+        """'Dequeue Segment': unlink the queue's head segment."""
+        self._check_queue(queue)
+        self.mem.start_trace()
+        try:
+            head = self.mem.read("qhead", queue)
+            if head == NIL:
+                raise QueueEmptyError(f"queue {queue} is empty")
+            slot = self._dec(head)
+            word = self.mem.read("next", slot)
+            nxt = word & LINK_MASK
+            self.mem.write("qhead", queue, nxt)
+            if nxt == NIL:
+                self.mem.write("qtail", queue, NIL)
+        finally:
+            trace = self.mem.end_trace()
+        meta = self._shadow.pop(slot)
+        self._pkt_len_shadow.pop(slot, None)
+        self._lengths[queue] -= 1
+        return slot, meta, trace
+
+    # ------------------------------------------------- composed segment ops
+
+    def enqueue(self, queue: int, meta: SegmentMeta = SegmentMeta(),
+                packet_head_slot: Optional[int] = None
+                ) -> Tuple[int, List[AccessRecord]]:
+        """Full enqueue: free-list pop, then queue linking.
+
+        Returns ``(slot, combined_access_trace)``.
+        """
+        slot, t1 = self.alloc()
+        t2 = self.link_segment(queue, slot, meta, packet_head_slot)
+        return slot, t1 + t2
+
+    def dequeue(self, queue: int) -> Tuple[int, SegmentMeta, List[AccessRecord]]:
+        """Full dequeue: queue unlinking, then free-list push."""
+        slot, meta, t1 = self.unlink_segment(queue)
+        t2 = self.release(slot)
+        return slot, meta, t1 + t2
+
+    # ---------------------------------------------------- packet helpers
+
+    def enqueue_packet(self, queue: int, num_segments: int, pid: int = -1,
+                       last_length: int = 64) -> List[int]:
+        """Enqueue a whole packet as ``num_segments`` segments."""
+        if num_segments < 1:
+            raise ValueError(f"num_segments must be >= 1, got {num_segments}")
+        slots: List[int] = []
+        head_slot: Optional[int] = None
+        for i in range(num_segments):
+            eop = i == num_segments - 1
+            meta = SegmentMeta(eop=eop, length=last_length if eop else 64,
+                               pid=pid, index=i)
+            slot, _trace = self.enqueue(queue, meta, packet_head_slot=head_slot)
+            if head_slot is None:
+                head_slot = slot
+            slots.append(slot)
+        return slots
+
+    def dequeue_packet(self, queue: int) -> List[Tuple[int, SegmentMeta]]:
+        """Dequeue segments up to and including the next end-of-packet."""
+        out: List[Tuple[int, SegmentMeta]] = []
+        while True:
+            slot, meta, _trace = self.dequeue(queue)
+            out.append((slot, meta))
+            if meta.eop:
+                return out
+
+    # ------------------------------------------------------------ queries
+
+    def queue_length(self, queue: int) -> int:
+        """Occupancy in segments (python-side, no SRAM accesses)."""
+        self._check_queue(queue)
+        return self._lengths[queue]
+
+    def is_empty(self, queue: int) -> bool:
+        return self.queue_length(queue) == 0
+
+    def packet_length_bytes(self, head_slot: int) -> int:
+        """Accumulated packet length stored with the head segment."""
+        return self._pkt_len_shadow[head_slot]
+
+    def walk_queue(self, queue: int) -> List[int]:
+        """Debug walk of a queue's slots, head to tail (counted reads)."""
+        self._check_queue(queue)
+        slots = []
+        cur = self.mem.read("qhead", queue)
+        while cur != NIL:
+            slot = self._dec(cur)
+            slots.append(slot)
+            cur = self.mem.read("next", slot) & LINK_MASK
+        return slots
+
+    def meta_of(self, slot: int) -> SegmentMeta:
+        """Shadow metadata of an allocated slot."""
+        return self._shadow[slot]
+
+    @property
+    def free_slots(self) -> int:
+        return self.free.free_count
+
+    # --------------------------------------------------------- internals
+
+    @staticmethod
+    def _enc(slot: int) -> int:
+        return slot + 1
+
+    @staticmethod
+    def _dec(word: int) -> int:
+        return (word & LINK_MASK) - 1
+
+    @staticmethod
+    def _meta_bits(meta: SegmentMeta) -> int:
+        bits = (meta.length - 1) << LEN_SHIFT
+        if meta.eop:
+            bits |= EOP_BIT
+        return bits
+
+    @classmethod
+    def _pack(cls, link: int, meta: SegmentMeta) -> int:
+        return (link & LINK_MASK) | cls._meta_bits(meta)
+
+    def _check_queue(self, queue: int) -> None:
+        if not 0 <= queue < self.num_queues:
+            raise ValueError(f"queue {queue} out of range [0, {self.num_queues})")
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")

@@ -1,0 +1,83 @@
+"""Time units and clock-domain conversion.
+
+All kernel timestamps are integer picoseconds.  The constants below let
+model code write ``5 * NS`` instead of magic numbers.  :class:`Clock`
+converts between cycles of a given frequency and picoseconds; every
+hardware model in the repo works internally in its own clock cycles and
+converts at its boundary.
+"""
+
+from __future__ import annotations
+
+#: one picosecond (the kernel base unit)
+PS = 1
+#: one nanosecond in picoseconds
+NS = 1_000
+#: one microsecond in picoseconds
+US = 1_000_000
+#: one millisecond in picoseconds
+MS = 1_000_000_000
+#: one second in picoseconds
+SEC = 1_000_000_000_000
+#: one megahertz, expressed in hertz
+MHZ = 1_000_000
+
+
+class Clock:
+    """A clock domain: frequency, period and cycle arithmetic.
+
+    Parameters
+    ----------
+    freq_mhz:
+        Clock frequency in MHz.  The paper's domains -- 100 MHz (PLB,
+        DDR command rate), 125 MHz (MMS), 200 MHz (IXP1200 microengines)
+        -- all have integer picosecond periods.
+
+    Examples
+    --------
+    >>> mms = Clock(125)
+    >>> mms.period_ps
+    8000
+    >>> mms.cycles_to_ps(10)
+    80000
+    >>> mms.ps_to_cycles(80000)
+    10
+    """
+
+    __slots__ = ("freq_mhz", "period_ps")
+
+    def __init__(self, freq_mhz: float) -> None:
+        if freq_mhz <= 0:
+            raise ValueError(f"clock frequency must be positive, got {freq_mhz}")
+        self.freq_mhz = freq_mhz
+        period = 1_000_000 / freq_mhz  # ps
+        rounded = round(period)
+        if abs(period - rounded) > 1e-9:
+            # Non-integer periods would break determinism guarantees; all
+            # frequencies used by the paper are exact.
+            raise ValueError(
+                f"{freq_mhz} MHz has a non-integer picosecond period ({period})"
+            )
+        self.period_ps = rounded
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Duration of ``cycles`` clock cycles, in picoseconds."""
+        return round(cycles * self.period_ps)
+
+    def ps_to_cycles(self, ps: int) -> float:
+        """Exact (possibly fractional) number of cycles in ``ps``."""
+        return ps / self.period_ps
+
+    def ps_to_whole_cycles(self, ps: int) -> int:
+        """Number of *complete* cycles contained in ``ps``."""
+        return ps // self.period_ps
+
+    def next_edge(self, now_ps: int) -> int:
+        """Timestamp of the first rising edge at or after ``now_ps``."""
+        rem = now_ps % self.period_ps
+        if rem == 0:
+            return now_ps
+        return now_ps + (self.period_ps - rem)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Clock({self.freq_mhz} MHz, period={self.period_ps} ps)"

@@ -1,0 +1,135 @@
+"""Bounded FIFOs with blocking put/get -- the coupling element between
+hardware blocks.
+
+The paper's MMS "keeps incoming commands in FIFOs (one per port) so as to
+smooth the bursts of commands" (Section 6.1) and exerts backpressure when
+they fill; :class:`Fifo` models exactly that.  Both blocking (process
+generator) and non-blocking (``try_*``) interfaces are provided, plus
+occupancy statistics for the latency-decomposition experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.stats import TimeWeighted
+
+
+class FifoFullError(RuntimeError):
+    """Non-blocking put on a full FIFO."""
+
+
+class FifoEmptyError(RuntimeError):
+    """Non-blocking get on an empty FIFO."""
+
+
+class Fifo:
+    """A bounded FIFO channel between simulation processes.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Maximum occupancy; ``None`` means unbounded (no backpressure).
+    name:
+        Used in statistics and error messages.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "fifo") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._put_waiters: Deque[tuple[Event, Any]] = deque()
+        self._get_waiters: Deque[Event] = deque()
+        self.occupancy = TimeWeighted(sim, initial=0)
+        self.total_put = 0
+        self.total_got = 0
+
+    # -------------------------------------------------------------- state
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def peek(self) -> Any:
+        """Head item without removing it (raises if empty)."""
+        if not self._items:
+            raise FifoEmptyError(f"{self.name}: peek on empty FIFO")
+        return self._items[0]
+
+    # ------------------------------------------------------- non-blocking
+
+    def try_put(self, item: Any) -> None:
+        """Insert ``item`` or raise :class:`FifoFullError`."""
+        if self.is_full:
+            raise FifoFullError(f"{self.name}: put on full FIFO (cap={self.capacity})")
+        self._deposit(item)
+
+    def try_get(self) -> Any:
+        """Remove and return the head item or raise :class:`FifoEmptyError`."""
+        if not self._items:
+            raise FifoEmptyError(f"{self.name}: get on empty FIFO")
+        return self._withdraw()
+
+    # ----------------------------------------------------------- blocking
+
+    def put(self, item: Any) -> Generator[Any, Any, None]:
+        """Blocking put: ``yield from fifo.put(x)`` waits while full."""
+        if self.is_full:
+            gate = self.sim.event(name=f"{self.name}.put")
+            self._put_waiters.append((gate, item))
+            yield gate
+            # the get side deposited our item when it freed the slot
+            return
+        self._deposit(item)
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Blocking get: ``item = yield from fifo.get()`` waits while empty."""
+        if self._items:
+            return self._withdraw()
+        gate = self.sim.event(name=f"{self.name}.get")
+        self._get_waiters.append(gate)
+        item = yield gate
+        return item
+
+    # ---------------------------------------------------------- internals
+
+    def _deposit(self, item: Any) -> None:
+        self.total_put += 1
+        if self._get_waiters:
+            # Hand the item straight to the oldest waiting consumer.
+            gate = self._get_waiters.popleft()
+            self.total_got += 1
+            gate.trigger(item)
+            return
+        self._items.append(item)
+        self.occupancy.record(len(self._items))
+
+    def _withdraw(self) -> Any:
+        item = self._items.popleft()
+        self.total_got += 1
+        if self._put_waiters:
+            gate, pending = self._put_waiters.popleft()
+            self._items.append(pending)
+            self.total_put += 1
+            gate.trigger(None)
+        self.occupancy.record(len(self._items))
+        return item
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"Fifo({self.name!r}, {len(self._items)}/{cap})"

@@ -1,0 +1,84 @@
+"""Counted resources (buses, memory ports, execution units).
+
+A :class:`Resource` has ``slots`` concurrent users; further acquirers
+queue in FIFO order.  Used for the PLB bus (one master at a time), the
+IXP1200's shared SRAM/SDRAM controllers, and the MMS pointer-memory port.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.stats import TimeWeighted
+
+
+class Resource:
+    """FIFO-granting counted resource."""
+
+    def __init__(self, sim: Simulator, slots: int = 1, name: str = "resource") -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.sim = sim
+        self.slots = slots
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.busy = TimeWeighted(sim, initial=0)
+        self.total_acquisitions = 0
+        self.total_wait_ps = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.slots - self._in_use
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Blocking acquire: ``yield from res.acquire()``."""
+        start = self.sim.now
+        if self._in_use < self.slots and not self._waiters:
+            self._grant()
+        else:
+            gate = self.sim.event(name=f"{self.name}.acquire")
+            self._waiters.append(gate)
+            yield gate
+            # _grant() was performed by release() on our behalf
+        self.total_acquisitions += 1
+        self.total_wait_ps += self.sim.now - start
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns ``True`` on success."""
+        if self._in_use < self.slots and not self._waiters:
+            self._grant()
+            self.total_acquisitions += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Release one slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without acquire")
+        self._in_use -= 1
+        if self._waiters:
+            gate = self._waiters.popleft()
+            self._grant()
+            gate.trigger(None)
+        else:
+            self.busy.record(self._in_use)
+
+    def _grant(self) -> None:
+        self._in_use += 1
+        self.busy.record(self._in_use)
+
+    @property
+    def mean_wait_ps(self) -> float:
+        if self.total_acquisitions == 0:
+            return 0.0
+        return self.total_wait_ps / self.total_acquisitions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Resource({self.name!r}, {self._in_use}/{self.slots} in use)"

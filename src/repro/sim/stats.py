@@ -1,0 +1,222 @@
+"""Statistics collectors for the experiment harness.
+
+Every table in the paper is an aggregate over a simulation run:
+throughput-loss fractions (Table 1), packet rates (Table 2), cycle counts
+(Tables 3/4) and mean delay decompositions (Table 5).  The collectors
+here are intentionally simple, deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+
+class Counter:
+    """A named monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value = 0
+
+    def incr(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.4g}, "
+            f"sd={self.stddev:.4g})"
+        )
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for FIFO occupancy and resource utilization: ``record(v)`` at
+    each change; :attr:`mean` integrates value over simulated time.
+    """
+
+    __slots__ = ("sim", "_value", "_last_change_ps", "_integral", "_start_ps")
+
+    def __init__(self, sim: "Simulator", initial: float = 0.0) -> None:
+        self.sim = sim
+        self._value = initial
+        self._last_change_ps = sim.now
+        self._start_ps = sim.now
+        self._integral = 0.0
+
+    def record(self, value: float) -> None:
+        now = self.sim.now
+        self._integral += self._value * (now - self._last_change_ps)
+        self._value = value
+        self._last_change_ps = now
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        now = self.sim.now
+        elapsed = now - self._start_ps
+        if elapsed <= 0:
+            return self._value
+        integral = self._integral + self._value * (now - self._last_change_ps)
+        return integral / elapsed
+
+
+class Histogram:
+    """Fixed-width bin histogram with overflow bin and quantile queries."""
+
+    def __init__(self, bin_width: float, num_bins: int, origin: float = 0.0) -> None:
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        if num_bins < 1:
+            raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+        self.bin_width = bin_width
+        self.num_bins = num_bins
+        self.origin = origin
+        self.bins: List[int] = [0] * (num_bins + 1)  # last bin = overflow
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        idx = int((x - self.origin) // self.bin_width)
+        if idx < 0:
+            idx = 0
+        elif idx >= self.num_bins:
+            idx = self.num_bins  # overflow
+        self.bins[idx] += 1
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (bin upper edge); q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        if self.count == 0:
+            return self.origin
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bins):
+            cumulative += n
+            if cumulative >= target:
+                return self.origin + (i + 1) * self.bin_width
+        return self.origin + (self.num_bins + 1) * self.bin_width
+
+    @property
+    def overflow(self) -> int:
+        return self.bins[-1]
+
+
+class LatencyRecorder:
+    """Latency sample aggregator with optional full-sample retention.
+
+    The Table 5 experiment needs mean FIFO / execution / data delays; the
+    ablations additionally inspect tails, so samples can be kept.
+    """
+
+    def __init__(self, name: str = "latency", keep_samples: bool = False) -> None:
+        self.name = name
+        self.stats = RunningStats()
+        self.keep_samples = keep_samples
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.stats.add(value)
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    @property
+    def minimum(self) -> float:
+        return self.stats.minimum if self.stats.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self.stats.maximum if self.stats.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile over retained samples (requires keep_samples)."""
+        if not self.keep_samples:
+            raise RuntimeError(f"{self.name}: samples were not retained")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LatencyRecorder({self.name!r}, n={self.count}, mean={self.mean:.3f})"
+
+
+def weighted_mean(pairs: Sequence[tuple[float, float]]) -> float:
+    """Mean of ``(value, weight)`` pairs; 0.0 when total weight is zero."""
+    total_w = sum(w for _v, w in pairs)
+    if total_w == 0:
+        return 0.0
+    return sum(v * w for v, w in pairs) / total_w

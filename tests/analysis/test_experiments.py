@@ -1,0 +1,63 @@
+"""End-to-end tests of the experiment drivers (fast mode)."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE4,
+    run_figure1,
+    run_figure2,
+    run_table1,
+    run_table3,
+    run_table4,
+)
+from repro.analysis.cli import build_parser, main
+from repro.analysis.experiments import EXPERIMENTS
+
+
+def test_table1_report_matches_paper_conflict_columns():
+    report = run_table1(fast=True)
+    for banks, row in PAPER_TABLE1.items():
+        ours = report.values[f"banks{banks}"]
+        # serializing and optimized conflict-only columns track closely
+        assert ours[0] == pytest.approx(row[0], abs=0.03)
+        assert ours[2] == pytest.approx(row[2], abs=0.03)
+
+def test_table3_report_exact():
+    report = run_table3()
+    assert report.values["enqueue_word"] == 216
+    assert report.values["dequeue_word"] == 230
+    assert report.values["line_copy"] == 24
+    assert "Table 3" in report.rendered
+
+def test_table4_report_exact():
+    report = run_table4()
+    for name, want in PAPER_TABLE4.items():
+        assert report.values[name] == want
+
+def test_figures_render():
+    assert "PowerPC" in run_figure1().rendered
+    assert "DMC" in run_figure2().rendered
+
+def test_registry_covers_all_artifacts():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4", "table5",
+        "figure1", "figure2", "headline",
+    }
+
+def test_cli_parser():
+    args = build_parser().parse_args(["table4"])
+    assert args.experiment == "table4"
+    assert not args.fast
+    args = build_parser().parse_args(["all", "--fast"])
+    assert args.fast
+
+def test_cli_main_runs_table4(capsys):
+    rc = main(["table4"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "Table 4" in captured.out
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table9"])

@@ -1,0 +1,63 @@
+"""Tests for the parameter-sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepSeries,
+    ascii_plot,
+    ddr_loss_vs_banks,
+    ixp_cycles_vs_queues_closed_form,
+    ixp_rate_vs_queues,
+    mms_delay_vs_load,
+    npu_rate_vs_clock,
+)
+from repro.npu import CopyStrategy
+
+
+def test_ddr_loss_monotone_decreasing_in_banks():
+    series = ddr_loss_vs_banks(banks=(1, 4, 8, 16), num_accesses=8000)
+    ys = series.ys()
+    assert ys == sorted(ys, reverse=True)
+    assert series.xs() == [1.0, 4.0, 8.0, 16.0]
+
+def test_ddr_loss_optimized_below_serializing():
+    opt = ddr_loss_vs_banks(banks=(8,), optimized=True, num_accesses=8000)
+    ser = ddr_loss_vs_banks(banks=(8,), optimized=False, num_accesses=8000)
+    assert opt.ys()[0] < ser.ys()[0]
+
+def test_ixp_rate_decreasing_in_queues():
+    series = ixp_rate_vs_queues(queue_counts=(16, 128, 1024))
+    ys = series.ys()
+    assert ys == sorted(ys, reverse=True)
+
+def test_ixp_closed_form_increasing():
+    series = ixp_cycles_vs_queues_closed_form()
+    ys = series.ys()
+    assert ys == sorted(ys)
+    # anchors: the Table 2 regimes
+    d = dict(series.points)
+    assert d[16.0] == 209.0
+    assert d[1024.0] == 3333.0
+
+def test_npu_rate_linear_in_clock():
+    series = npu_rate_vs_clock(clocks_mhz=(100, 200, 400),
+                               strategy=CopyStrategy.WORD)
+    ys = series.ys()
+    assert ys[1] == pytest.approx(2 * ys[0], rel=1e-6)
+    assert ys[2] == pytest.approx(4 * ys[0], rel=1e-6)
+
+def test_mms_delay_series_shapes():
+    series = mms_delay_vs_load(loads_gbps=(1.6, 5.8), num_volleys=400)
+    assert set(series) == {"fifo", "data", "total"}
+    assert series["total"].ys()[1] > series["total"].ys()[0]
+    assert series["fifo"].ys()[1] > series["fifo"].ys()[0]
+
+def test_ascii_plot_renders_all_points():
+    s = SweepSeries("demo", "x", "y", ((1.0, 1.0), (2.0, 2.0), (3.0, 0.0)))
+    out = ascii_plot(s)
+    assert out.count("|") == 3
+    assert "demo" in out
+
+def test_ascii_plot_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot(SweepSeries("e", "x", "y", ()))

@@ -1,0 +1,46 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis import format_comparison, format_table
+
+
+def test_basic_alignment():
+    out = format_table(["a", "bb"], [[1, 2], [10, 20]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    # columns align: all data lines equal length
+    assert len({len(l) for l in lines if "|" in l}) == 1
+
+def test_title_included():
+    out = format_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+def test_float_formatting():
+    out = format_table(["v"], [[0.384]])
+    assert "0.384" in out
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+def test_empty_headers_rejected():
+    with pytest.raises(ValueError):
+        format_table([], [])
+
+def test_comparison_adds_delta():
+    out = format_comparison(["name", "paper", "ours"],
+                            [["x", 100, 110], ["y", 50, 50]],
+                            paper_col=1, model_col=2)
+    assert "+10.0%" in out
+    assert "+0.0%" in out
+
+def test_comparison_zero_paper_value():
+    out = format_comparison(["n", "p", "m"], [["x", 0, 0.5]],
+                            paper_col=1, model_col=2)
+    assert "+0.500" in out
+
+def test_comparison_non_numeric_cells():
+    out = format_comparison(["n", "p", "m"], [["x", "n/a", "n/a"]],
+                            paper_col=1, model_col=2)
+    assert "n/a" in out

@@ -1,0 +1,89 @@
+"""Tests for the 802.1p QoS Ethernet switch."""
+
+import pytest
+
+from repro.apps import QosEthernetSwitch, SwitchConfig
+from repro.net import Packet
+
+
+def frame(src, dst, pcp=0, length=64, flow=0):
+    return Packet(length, flow_id=flow,
+                  fields={"src_mac": src, "dst_mac": dst, "pcp": pcp})
+
+def test_learning_and_forwarding():
+    sw = QosEthernetSwitch(SwitchConfig(num_ports=3))
+    # A on port 0 talks first: learned, frame floods to 1 and 2
+    out = sw.ingress(0, frame("A", "B"))
+    assert sorted(out) == [1, 2]
+    assert sw.mac_table == {"A": 0}
+    # B answers from port 1: now known unicast both ways
+    out = sw.ingress(1, frame("B", "A"))
+    assert out == [0]
+    out = sw.ingress(0, frame("A", "B"))
+    assert out == [1]
+
+def test_frame_to_own_port_dropped():
+    sw = QosEthernetSwitch(SwitchConfig(num_ports=2))
+    sw.ingress(0, frame("A", "B"))      # learn A@0
+    sw.ingress(1, frame("B", "A"))      # learn B@1
+    dropped_before = sw.frames_dropped
+    out = sw.ingress(1, frame("X", "B"))  # B lives on the arrival port
+    assert out == []
+    assert sw.frames_dropped == dropped_before + 1
+
+def test_egress_fifo_within_priority():
+    sw = QosEthernetSwitch(SwitchConfig(num_ports=2))
+    sw.ingress(0, frame("A", "B"))      # flood -> port1 (learn A)
+    sw.ingress(1, frame("B", "A"))      # learn B
+    f1, f2 = frame("A", "B"), frame("A", "B")
+    sw.ingress(0, f1)
+    sw.ingress(0, f2)
+    got = [sw.egress(1).pid for _ in range(3)]
+    assert got[-2:] == [f1.pid, f2.pid]
+
+def test_strict_priority_egress():
+    sw = QosEthernetSwitch(SwitchConfig(num_ports=2))
+    sw.ingress(0, frame("A", "B"))      # learn/flood
+    sw.ingress(1, frame("B", "A"))      # learn B@1
+    sw.egress(1)                        # drain the flood frame
+    low = frame("A", "B", pcp=1)
+    high = frame("A", "B", pcp=7)
+    sw.ingress(0, low)
+    sw.ingress(0, high)
+    assert sw.egress(1).pid == high.pid  # priority 7 preempts
+    assert sw.egress(1).pid == low.pid
+    assert sw.egress(1) is None
+
+def test_multisegment_frames_survive_switching():
+    sw = QosEthernetSwitch(SwitchConfig(num_ports=2))
+    sw.ingress(0, frame("A", "B"))
+    sw.ingress(1, frame("B", "A"))
+    sw.egress(1)
+    big = frame("A", "B", length=1500)
+    sw.ingress(0, big)
+    out = sw.egress(1)
+    assert out.pid == big.pid
+    assert out.length_bytes == 1500
+
+def test_queued_frames_accounting():
+    sw = QosEthernetSwitch(SwitchConfig(num_ports=2))
+    sw.ingress(0, frame("A", "B"))
+    assert sw.queued_frames(1) == 1
+    sw.egress(1)
+    assert sw.queued_frames(1) == 0
+
+def test_flood_counts():
+    sw = QosEthernetSwitch(SwitchConfig(num_ports=4))
+    sw.ingress(0, frame("A", "UNKNOWN"))
+    assert sw.frames_flooded == 1
+
+def test_validation():
+    sw = QosEthernetSwitch(SwitchConfig(num_ports=2))
+    with pytest.raises(ValueError):
+        sw.ingress(5, frame("A", "B"))
+    with pytest.raises(ValueError):
+        sw.ingress(0, Packet(64, fields={"src_mac": "A"}))  # no dst
+    with pytest.raises(ValueError):
+        sw.ingress(0, frame("A", "B", pcp=9))
+    with pytest.raises(ValueError):
+        SwitchConfig(num_ports=1)

@@ -1,0 +1,127 @@
+"""Tests for the MMS-backed IP router and its LPM trie."""
+
+import pytest
+
+from repro.apps import IpRouter, RouteTable
+from repro.apps.ip_router import parse_ipv4
+from repro.net import Packet
+
+# ------------------------------------------------------------------ LPM
+
+def test_parse_ipv4():
+    assert parse_ipv4("0.0.0.0") == 0
+    assert parse_ipv4("10.0.0.1") == (10 << 24) | 1
+    assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+    with pytest.raises(ValueError):
+        parse_ipv4("1.2.3")
+    with pytest.raises(ValueError):
+        parse_ipv4("1.2.3.256")
+
+def test_longest_prefix_wins():
+    t = RouteTable()
+    t.add("10.0.0.0", 8, next_hop=1)
+    t.add("10.1.0.0", 16, next_hop=2)
+    t.add("10.1.2.0", 24, next_hop=3)
+    assert t.lookup("10.9.9.9") == 1
+    assert t.lookup("10.1.9.9") == 2
+    assert t.lookup("10.1.2.3") == 3
+
+def test_default_route():
+    t = RouteTable()
+    t.add("0.0.0.0", 0, next_hop=9)
+    assert t.lookup("192.168.1.1") == 9
+
+def test_no_route_returns_none():
+    t = RouteTable()
+    t.add("10.0.0.0", 8, next_hop=1)
+    assert t.lookup("11.0.0.1") is None
+
+def test_host_route():
+    t = RouteTable()
+    t.add("10.0.0.0", 8, next_hop=1)
+    t.add("10.0.0.5", 32, next_hop=5)
+    assert t.lookup("10.0.0.5") == 5
+    assert t.lookup("10.0.0.6") == 1
+
+def test_route_update_overwrites():
+    t = RouteTable()
+    t.add("10.0.0.0", 8, next_hop=1)
+    t.add("10.0.0.0", 8, next_hop=2)
+    assert t.lookup("10.1.1.1") == 2
+    assert t.num_routes == 1
+
+def test_route_validation():
+    t = RouteTable()
+    with pytest.raises(ValueError):
+        t.add("10.0.0.0", 33, 1)
+    with pytest.raises(ValueError):
+        t.add("10.0.0.0", 8, -1)
+
+# --------------------------------------------------------------- router
+
+def ip_packet(dst, ttl=64, length=64):
+    return Packet(length, fields={"dst_ip": dst, "ttl": ttl})
+
+def make_router():
+    r = IpRouter(num_next_hops=4)
+    r.table.add("10.0.0.0", 8, next_hop=0)
+    r.table.add("10.1.0.0", 16, next_hop=1)
+    r.table.add("192.168.0.0", 16, next_hop=2)
+    return r
+
+def test_route_and_transmit():
+    r = make_router()
+    p = ip_packet("10.1.2.3")
+    r.receive(p)
+    routed, hop = r.route_one()
+    assert hop == 1
+    assert routed.fields["ttl"] == 63  # decremented
+    out = r.transmit(1)
+    assert out.pid == p.pid
+
+def test_ttl_expiry_drops_whole_packet():
+    r = make_router()
+    r.receive(ip_packet("10.0.0.1", ttl=1, length=300))
+    free_before = r.mms.pqm.free_segments
+    _pkt, hop = r.route_one()
+    assert hop is None
+    assert r.stats().dropped_ttl == 1
+    # all 5 segments of the 300-byte packet returned to the free list
+    assert r.mms.pqm.free_segments == free_before + 5
+
+def test_no_route_drops():
+    r = make_router()
+    r.receive(ip_packet("172.16.0.1"))
+    _pkt, hop = r.route_one()
+    assert hop is None
+    assert r.stats().dropped_no_route == 1
+
+def test_route_all_processes_backlog():
+    r = make_router()
+    for i in range(10):
+        r.receive(ip_packet("10.0.0.1"))
+    assert r.route_all() == 10
+    assert r.stats().routed == 10
+
+def test_route_one_empty_returns_none():
+    r = make_router()
+    assert r.route_one() is None
+    assert r.transmit(0) is None
+
+def test_per_hop_fifo_order():
+    r = make_router()
+    a, b = ip_packet("10.0.0.1"), ip_packet("10.0.0.2")
+    r.receive(a)
+    r.receive(b)
+    r.route_all()
+    assert r.transmit(0).pid == a.pid
+    assert r.transmit(0).pid == b.pid
+
+def test_validation():
+    r = make_router()
+    with pytest.raises(ValueError):
+        r.receive(Packet(64))  # missing fields
+    with pytest.raises(ValueError):
+        r.transmit(7)
+    with pytest.raises(ValueError):
+        IpRouter(num_next_hops=0)

@@ -1,0 +1,163 @@
+"""Tests for the NAT gateway, ATM switch and PPP encapsulation apps."""
+
+import pytest
+
+from repro.apps import AtmSwitch, NatGateway, PppEncapsulator
+from repro.net import Packet, segment_into_cells
+
+# ------------------------------------------------------------------ NAT
+
+def out_pkt(src=("192.168.1.10", 1234), length=64):
+    return Packet(length, fields={"src_ip": src[0], "src_port": src[1]})
+
+def in_pkt(dst, length=64):
+    return Packet(length, fields={"dst_ip": dst[0], "dst_port": dst[1]})
+
+def test_outbound_rewrites_source():
+    nat = NatGateway(public_ip="1.2.3.4", first_public_port=5000)
+    p = nat.outbound(out_pkt())
+    assert p.fields["src_ip"] == "1.2.3.4"
+    assert p.fields["src_port"] == 5000
+    assert nat.active_bindings == 1
+
+def test_binding_reused_for_same_endpoint():
+    nat = NatGateway()
+    a = nat.outbound(out_pkt(("10.0.0.1", 99)))
+    b = nat.outbound(out_pkt(("10.0.0.1", 99)))
+    assert a.fields["src_port"] == b.fields["src_port"]
+    assert nat.active_bindings == 1
+
+def test_distinct_endpoints_get_distinct_ports():
+    nat = NatGateway()
+    a = nat.outbound(out_pkt(("10.0.0.1", 1)))
+    b = nat.outbound(out_pkt(("10.0.0.2", 1)))
+    assert a.fields["src_port"] != b.fields["src_port"]
+
+def test_inbound_reverse_translation():
+    nat = NatGateway(public_ip="1.2.3.4", first_public_port=7000)
+    nat.outbound(out_pkt(("192.168.1.5", 443)))
+    reply = nat.inbound(in_pkt(("1.2.3.4", 7000)))
+    assert reply.fields["dst_ip"] == "192.168.1.5"
+    assert reply.fields["dst_port"] == 443
+    assert nat.translated_in == 1
+
+def test_inbound_without_binding_dropped():
+    nat = NatGateway()
+    free = nat.mms.pqm.free_segments
+    assert nat.inbound(in_pkt(("9.9.9.9", 1))) is None
+    assert nat.dropped == 1
+    assert nat.mms.pqm.free_segments == free  # delete reclaimed the slot
+
+def test_drain_returns_translated_packets_in_order():
+    nat = NatGateway()
+    a = nat.outbound(out_pkt(("10.0.0.1", 1)))
+    b = nat.outbound(out_pkt(("10.0.0.2", 2)))
+    assert nat.drain(outside=True).pid == a.pid
+    assert nat.drain(outside=True).pid == b.pid
+    assert nat.drain(outside=True) is None
+
+def test_nat_field_validation():
+    nat = NatGateway()
+    with pytest.raises(ValueError):
+        nat.outbound(Packet(64))
+    with pytest.raises(ValueError):
+        nat.inbound(Packet(64))
+
+# ------------------------------------------------------------------ ATM
+
+def test_atm_cross_connect_and_remap():
+    sw = AtmSwitch(num_ports=3)
+    sw.vcs.connect(0, vpi=1, vci=100, out_port=2, new_vpi=7, new_vci=200)
+    cells = segment_into_cells(Packet(100), vpi=1, vci=100)
+    for c in cells:
+        out = sw.switch_cell(0, c)
+        assert out.out_port == 2
+        assert out.cell.vpi == 7
+        assert out.cell.vci == 200
+    assert sw.cells_switched == len(cells)
+    assert sw.queued_cells(2) == len(cells)
+
+def test_atm_unknown_vc_dropped():
+    sw = AtmSwitch()
+    cells = segment_into_cells(Packet(48), vpi=9, vci=9)
+    assert sw.switch_cell(0, cells[0]) is None
+    assert sw.cells_dropped == 1
+
+def test_atm_transmit_order_and_aal5_markers():
+    sw = AtmSwitch()
+    sw.vcs.connect(0, 1, 1, out_port=1, new_vpi=1, new_vci=1)
+    cells = segment_into_cells(Packet(100), vpi=1, vci=1)
+    for c in cells:
+        sw.switch_cell(0, c)
+    got = [sw.transmit(1) for _ in range(len(cells))]
+    assert [g.cell.index for g in got] == [0, 1, 2]
+    assert [g.cell.last for g in got] == [False, False, True]
+    assert sw.transmit(1) is None
+
+def test_atm_validation():
+    sw = AtmSwitch()
+    with pytest.raises(ValueError):
+        sw.transmit(9)
+    with pytest.raises(ValueError):
+        sw.vcs.connect(-1, 0, 0, 0, 0, 0)
+    with pytest.raises(ValueError):
+        AtmSwitch(num_ports=1)
+
+# ----------------------------------------------------------------- PPP
+
+def test_encapsulate_prepends_header_segment():
+    enc = PppEncapsulator()
+    enc.load(Packet(128))          # 2 full segments
+    assert enc.encapsulate_head() == 3
+    out = enc.unload()
+    assert out.length_bytes == 128 + 64  # header segment added
+
+def test_trailer_appended_after_full_tail():
+    enc = PppEncapsulator(trailer_bytes=4)
+    enc.load(Packet(128))
+    assert enc.add_trailer() == 3
+    out = enc.unload()
+    assert out.length_bytes == 128 + 4
+
+def test_trailer_pads_single_short_segment():
+    enc = PppEncapsulator(trailer_bytes=4)
+    enc.load(Packet(40))
+    enc.add_trailer()
+    out = enc.unload()
+    assert out.length_bytes == 64 + 4  # padded then trailed
+
+def test_trailer_on_short_multiseg_tail_rejected():
+    enc = PppEncapsulator()
+    enc.load(Packet(100))  # 64 + 36: short tail, 2 segments
+    with pytest.raises(ValueError):
+        enc.add_trailer()
+
+def test_decapsulation_removes_header_without_copying():
+    enc = PppEncapsulator()
+    enc.load(Packet(128))
+    enc.encapsulate_head()
+    assert enc.decapsulate_head() == 2
+    out = enc.unload()
+    assert out.length_bytes == 128
+
+def test_roundtrip_encap_decap_identity():
+    enc = PppEncapsulator()
+    p = Packet(640)
+    enc.load(p)
+    enc.encapsulate_head()
+    enc.decapsulate_head()
+    out = enc.unload()
+    assert out.length_bytes == p.length_bytes
+    assert out.pid == p.pid
+
+def test_stats_and_validation():
+    enc = PppEncapsulator()
+    enc.load(Packet(64))
+    enc.encapsulate_head()
+    enc.decapsulate_head()
+    s = enc.stats()
+    assert s.encapsulated == 1
+    assert s.decapsulated == 1
+    with pytest.raises(ValueError):
+        PppEncapsulator(trailer_bytes=0)
+    assert PppEncapsulator().unload() is None

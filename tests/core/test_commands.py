@@ -1,0 +1,47 @@
+"""Tests for the MMS command set."""
+
+import pytest
+
+from repro.core import Command, CommandType
+
+
+def test_unique_cids():
+    a = Command(type=CommandType.ENQUEUE, flow=0)
+    b = Command(type=CommandType.ENQUEUE, flow=0)
+    assert a.cid != b.cid
+
+def test_move_requires_dst():
+    with pytest.raises(ValueError):
+        Command(type=CommandType.MOVE, flow=0)
+    Command(type=CommandType.MOVE, flow=0, dst_flow=1)  # ok
+
+def test_combination_commands_require_dst():
+    for t in (CommandType.OVERWRITE_LENGTH_MOVE, CommandType.OVERWRITE_MOVE):
+        with pytest.raises(ValueError):
+            Command(type=t, flow=0)
+
+def test_non_move_rejects_dst():
+    with pytest.raises(ValueError):
+        Command(type=CommandType.ENQUEUE, flow=0, dst_flow=1)
+
+def test_validation_bounds():
+    with pytest.raises(ValueError):
+        Command(type=CommandType.ENQUEUE, flow=-1)
+    with pytest.raises(ValueError):
+        Command(type=CommandType.ENQUEUE, flow=0, length=0)
+    with pytest.raises(ValueError):
+        Command(type=CommandType.ENQUEUE, flow=0, length=65)
+
+def test_data_direction_classification():
+    assert Command(type=CommandType.ENQUEUE, flow=0).is_data_write
+    assert Command(type=CommandType.ENQUEUE, flow=0).touches_data_memory
+    deq = Command(type=CommandType.DEQUEUE, flow=0)
+    assert deq.touches_data_memory
+    assert not deq.is_data_write
+    move = Command(type=CommandType.MOVE, flow=0, dst_flow=1)
+    assert not move.touches_data_memory
+
+def test_pointer_only_commands_have_no_data():
+    for t in (CommandType.DELETE, CommandType.DELETE_PACKET,
+              CommandType.OVERWRITE_LENGTH):
+        assert not Command(type=t, flow=0).touches_data_memory

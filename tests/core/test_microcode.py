@@ -1,0 +1,119 @@
+"""Tests tying the microcode schedules to Table 4 and to the real
+data-structure access traces."""
+
+import pytest
+
+from repro.core import MICROCODE, TABLE4_CYCLES, CommandType, table4_command_types
+from repro.core.microcode import Microcode
+from repro.queueing import PacketQueueManager
+
+
+def test_every_command_type_has_microcode():
+    for t in CommandType:
+        assert t in MICROCODE
+
+def test_schedule_lengths_reproduce_table4_exactly():
+    """The headline contract: all nine published latencies."""
+    for t, want in TABLE4_CYCLES.items():
+        assert MICROCODE[t].latency_cycles == want, t
+
+def test_table4_order_and_coverage():
+    assert len(table4_command_types()) == 9
+
+def test_mean_of_enqueue_dequeue_is_10_5():
+    """Table 5's constant execution delay: the enqueue/dequeue mix."""
+    mean = (MICROCODE[CommandType.ENQUEUE].latency_cycles
+            + MICROCODE[CommandType.DEQUEUE].latency_cycles) / 2
+    assert mean == 10.5
+
+def test_processing_rate_is_12_mops_at_125mhz():
+    """'The MMS can handle one operation per 84 ns or 12 Mops/sec'."""
+    mean_cycles = 10.5
+    ns_per_op = mean_cycles * 8  # 125 MHz
+    assert ns_per_op == 84.0
+    mops = 1e3 / ns_per_op
+    assert mops == pytest.approx(11.9, abs=0.1)
+
+def test_all_schedules_start_with_decode():
+    for mc in MICROCODE.values():
+        assert mc.steps[0] == "decode"
+
+def test_data_commands_have_dmc_handoff():
+    for t in (CommandType.ENQUEUE, CommandType.DEQUEUE, CommandType.READ,
+              CommandType.OVERWRITE, CommandType.OVERWRITE_MOVE):
+        assert MICROCODE[t].has_dmc_handoff, t
+
+def test_pointer_only_commands_have_no_dmc_step():
+    for t in (CommandType.DELETE, CommandType.MOVE,
+              CommandType.OVERWRITE_LENGTH, CommandType.DELETE_PACKET,
+              CommandType.OVERWRITE_LENGTH_MOVE):
+        assert not MICROCODE[t].has_dmc_handoff, t
+
+def test_first_ptr_access_is_early():
+    """'a data access can start right after the first pointer memory
+    access of each command': the first ptr step must come right after
+    decode."""
+    for mc in MICROCODE.values():
+        assert mc.first_ptr_cycle == 1, mc.command
+
+def test_invalid_step_kind_rejected():
+    with pytest.raises(ValueError):
+        Microcode(CommandType.ENQUEUE, ("decode", "teleport"))
+
+def test_schedule_must_begin_with_decode():
+    with pytest.raises(ValueError):
+        Microcode(CommandType.ENQUEUE, ("ptr", "decode"))
+
+# ---------------------------------------------------------- trace tie-in
+
+def _typical_traces():
+    """Typical-path access traces per command (the schedules' basis)."""
+    m = PacketQueueManager(num_flows=8, num_segments=64, num_descriptors=32)
+
+    def fill(flow, nsegs=1):
+        for i in range(nsegs):
+            m.enqueue_segment(flow, eop=(i == nsegs - 1), pid=flow, index=i)
+
+    traces = {}
+    # enqueue mid-packet (open packet continuation)
+    m.enqueue_segment(0, eop=False)
+    _slot, tr = m.enqueue_segment(0, eop=False)
+    traces[CommandType.ENQUEUE] = tr
+    # dequeue mid-packet
+    fill(1, 3)
+    _info, tr = m.dequeue_segment(1)
+    traces[CommandType.DEQUEUE] = tr
+    # read / overwrite / overwrite-length on a queued head
+    fill(2, 1)
+    _info, tr = m.read_segment(2)
+    traces[CommandType.READ] = tr
+    _info, tr = m.overwrite_segment(2)
+    traces[CommandType.OVERWRITE] = tr
+    _info, tr = m.overwrite_segment_length(2, 64)
+    traces[CommandType.OVERWRITE_LENGTH] = tr
+    # move with non-empty destination
+    fill(3, 1)
+    fill(4, 1)
+    traces[CommandType.MOVE] = m.move_packet(3, 4)
+    # delete one segment
+    fill(5, 2)
+    _info, tr = m.delete_segment(5)
+    traces[CommandType.DELETE] = tr
+    # combination commands (non-empty destination)
+    fill(6, 1)
+    traces[CommandType.OVERWRITE_LENGTH_MOVE] = \
+        m.overwrite_length_and_move(2, 6, 64)
+    fill(7, 1)
+    _info, tr = m.overwrite_and_move(6, 7)
+    traces[CommandType.OVERWRITE_MOVE] = tr
+    return traces
+
+def test_ptr_step_counts_match_functional_traces():
+    """Every Table 4 schedule performs exactly the pointer accesses the
+    real data structure needs on the command's typical path."""
+    traces = _typical_traces()
+    for t, trace in traces.items():
+        assert MICROCODE[t].ptr_accesses == len(trace), (
+            f"{t.value}: schedule has {MICROCODE[t].ptr_accesses} ptr steps, "
+            f"structure performs {len(trace)} accesses"
+        )

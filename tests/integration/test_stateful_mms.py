@@ -1,0 +1,139 @@
+"""Hypothesis stateful test: the MMS queue structure against a pure
+Python reference model under arbitrary command interleavings."""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.queueing import PacketQueueManager, QueueEmptyError
+
+FLOWS = 4
+SEGMENTS = 96
+DESCRIPTORS = 48
+
+
+class MmsStructureMachine(RuleBasedStateMachine):
+    """Drives PacketQueueManager with random commands, mirroring every
+    effect in plain Python structures, and checks invariants after each
+    step."""
+
+    def __init__(self):
+        super().__init__()
+        self.m = PacketQueueManager(num_flows=FLOWS, num_segments=SEGMENTS,
+                                    num_descriptors=DESCRIPTORS)
+        # reference: per flow, deque of packets; packet = deque of
+        # (pid, index, eop, length)
+        self.ref = {f: deque() for f in range(FLOWS)}
+        self.open = {f: None for f in range(FLOWS)}
+        self.next_pid = 0
+
+    # ------------------------------------------------------------- rules
+
+    @rule(flow=st.integers(0, FLOWS - 1), nsegs=st.integers(1, 4),
+          last_len=st.integers(1, 64))
+    def enqueue_packet(self, flow, nsegs, last_len):
+        if self.m.free_segments < nsegs or self.m.free_descriptors == 0:
+            return
+        pid = self.next_pid
+        self.next_pid += 1
+        pkt = deque()
+        for i in range(nsegs):
+            eop = i == nsegs - 1
+            length = last_len if eop else 64
+            self.m.enqueue_segment(flow, eop=eop, length=length,
+                                   pid=pid, index=i)
+            pkt.append((pid, i, eop, length))
+        self.ref[flow].append(pkt)
+
+    @rule(flow=st.integers(0, FLOWS - 1))
+    def dequeue_segment(self, flow):
+        if not self.ref[flow]:
+            try:
+                self.m.dequeue_segment(flow)
+                raise AssertionError("expected QueueEmptyError")
+            except QueueEmptyError:
+                return
+        info, _ = self.m.dequeue_segment(flow)
+        want = self.ref[flow][0].popleft()
+        assert (info.pid, info.index, info.eop, info.length) == want
+        if not self.ref[flow][0]:
+            self.ref[flow].popleft()
+
+    @rule(src=st.integers(0, FLOWS - 1), dst=st.integers(0, FLOWS - 1))
+    def move_packet(self, src, dst):
+        if src == dst:
+            return
+        if not self.ref[src]:
+            try:
+                self.m.move_packet(src, dst)
+                raise AssertionError("expected QueueEmptyError")
+            except QueueEmptyError:
+                return
+        self.m.move_packet(src, dst)
+        self.ref[dst].append(self.ref[src].popleft())
+
+    @rule(flow=st.integers(0, FLOWS - 1))
+    def delete_packet(self, flow):
+        if not self.ref[flow]:
+            return
+        self.m.delete_packet(flow)
+        self.ref[flow].popleft()
+
+    @rule(flow=st.integers(0, FLOWS - 1))
+    def read_head(self, flow):
+        if not self.ref[flow]:
+            return
+        info, _ = self.m.read_segment(flow)
+        want = self.ref[flow][0][0]
+        assert (info.pid, info.index) == (want[0], want[1])
+
+    @rule(flow=st.integers(0, FLOWS - 1), new_len=st.integers(1, 64))
+    def overwrite_length(self, flow, new_len):
+        if not self.ref[flow]:
+            return
+        head = self.ref[flow][0][0]
+        if not head[2] and new_len != 64:
+            return  # only EOP segments may shrink
+        self.m.overwrite_segment_length(flow, new_len)
+        pid, index, eop, _old = head
+        self.ref[flow][0][0] = (pid, index, eop, new_len)
+
+    # --------------------------------------------------------- invariants
+
+    @invariant()
+    def conservation(self):
+        queued = sum(self.m.queued_segments(f) for f in range(FLOWS))
+        open_segs = sum(self.m.open_segments(f) for f in range(FLOWS))
+        assert self.m.free_segments + queued + open_segs == SEGMENTS
+
+    @invariant()
+    def packet_counts_agree(self):
+        for f in range(FLOWS):
+            assert self.m.queued_packets(f) == len(self.ref[f])
+
+    @invariant()
+    def segment_counts_agree(self):
+        for f in range(FLOWS):
+            want = sum(len(p) for p in self.ref[f])
+            assert self.m.queued_segments(f) == want
+
+    @invariant()
+    def walk_matches_reference(self):
+        for f in range(FLOWS):
+            walked = self.m.walk_packets(f)
+            assert len(walked) == len(self.ref[f])
+            for slots, pkt in zip(walked, self.ref[f]):
+                assert len(slots) == len(pkt)
+
+
+MmsStructureMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)
+TestMmsStructure = MmsStructureMachine.TestCase

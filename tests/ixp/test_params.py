@@ -1,0 +1,41 @@
+"""Tests for IXP1200 parameters and regime selection."""
+
+import pytest
+
+from repro.ixp import IxpParams, regime_for_queues
+from repro.ixp.params import MemoryCosts, SCRATCH_MAX_QUEUES, SRAM_MAX_QUEUES
+
+
+def test_table2_queue_counts_map_to_expected_units():
+    assert regime_for_queues(16).unit == "scratch"
+    assert regime_for_queues(128).unit == "sram"
+    assert regime_for_queues(1024).unit == "sdram"
+
+def test_regime_boundaries():
+    assert regime_for_queues(SCRATCH_MAX_QUEUES).unit == "scratch"
+    assert regime_for_queues(SCRATCH_MAX_QUEUES + 1).unit == "sram"
+    assert regime_for_queues(SRAM_MAX_QUEUES).unit == "sram"
+    assert regime_for_queues(SRAM_MAX_QUEUES + 1).unit == "sdram"
+
+def test_regime_validation():
+    with pytest.raises(ValueError):
+        regime_for_queues(0)
+
+def test_blocking_cycles_is_sum():
+    c = MemoryCosts(service_cycles=4, engine_overhead_cycles=21)
+    assert c.blocking_cycles == 25
+
+def test_costs_for_unknown_unit_raises():
+    with pytest.raises(ValueError):
+        IxpParams().costs_for("flash")
+
+def test_paper_clock():
+    assert IxpParams().clock_mhz == 200
+    assert IxpParams().num_microengines == 6
+
+def test_memory_hierarchy_ordering():
+    """Deeper levels must cost strictly more."""
+    p = IxpParams()
+    assert (p.scratch.blocking_cycles
+            < p.sram.blocking_cycles
+            < p.sdram.blocking_cycles)

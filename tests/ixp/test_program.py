@@ -1,0 +1,39 @@
+"""Tests for the per-packet program derivation."""
+
+import pytest
+
+from repro.ixp import IxpParams, build_queue_program
+from repro.ixp.program import derive_queue_op_access_count
+
+
+def test_access_count_derived_from_structure_is_14():
+    """pop(3) + link(4) + unlink(3) + push(4) on the Section 5.2
+    structure with anchors in memory."""
+    assert derive_queue_op_access_count() == 14
+
+def test_unloaded_cycles_match_table2_one_engine_column():
+    """209 / 513 / 3333 cycles per packet = 956 / 390 / 60 Kpps at
+    200 MHz (Table 2, 1-microengine column)."""
+    p = IxpParams()
+    assert build_queue_program(16, p).unloaded_cycles(p) == 209
+    assert build_queue_program(128, p).unloaded_cycles(p) == 513
+    assert build_queue_program(1024, p).unloaded_cycles(p) == 3333
+
+def test_scan_words_scale_with_queues():
+    assert build_queue_program(16).scan_words == 1
+    assert build_queue_program(128).scan_words == 4
+    assert build_queue_program(1024).scan_words == 32
+    assert build_queue_program(33).scan_words == 2
+
+def test_memory_accesses_same_across_regimes():
+    """The data structure does the same pointer work regardless of where
+    it lives; only the unit cost changes."""
+    a = build_queue_program(16)
+    b = build_queue_program(1024)
+    assert a.memory_accesses == b.memory_accesses == 14
+
+def test_unloaded_cycles_monotone_in_queue_count():
+    p = IxpParams()
+    cycles = [build_queue_program(q, p).unloaded_cycles(p)
+              for q in (4, 16, 64, 128, 512, 1024, 4096)]
+    assert cycles == sorted(cycles)

@@ -1,0 +1,76 @@
+"""Property tests: the DES DDR controller never violates device timing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import DdrController, MemOp
+from repro.sim import NS, Simulator
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from([MemOp.READ, MemOp.WRITE]),
+                          st.integers(0, 7)),
+                min_size=2, max_size=24))
+def test_issues_respect_bank_reuse_and_rate(ops):
+    """Whatever the request mix, consecutive issues are >= one access
+    cycle apart and same-bank issues >= the 160 ns precharge apart."""
+    sim = Simulator()
+    ctrl = DdrController(sim, num_banks=8, reorder_window=4)
+    finished = []
+
+    def client():
+        events = [ctrl.submit(op, bank, tag=i)
+                  for i, (op, bank) in enumerate(ops)]
+        for ev in events:
+            req = yield ev
+            finished.append(req)
+
+    sim.spawn(client())
+    sim.run()
+    assert len(finished) == len(ops)
+    by_issue = sorted(finished, key=lambda r: r.issue_ps)
+    for a, b in zip(by_issue, by_issue[1:]):
+        assert b.issue_ps - a.issue_ps >= 40 * NS
+    for bank in range(8):
+        same = [r for r in by_issue if r.bank == bank]
+        for a, b in zip(same, same[1:]):
+            assert b.issue_ps - a.issue_ps >= 160 * NS
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from([MemOp.READ, MemOp.WRITE]),
+                          st.integers(0, 7)),
+                min_size=1, max_size=20))
+def test_every_submission_completes_exactly_once(ops):
+    sim = Simulator()
+    ctrl = DdrController(sim, num_banks=8)
+    seen_tags = []
+
+    def client():
+        events = [ctrl.submit(op, bank, tag=i)
+                  for i, (op, bank) in enumerate(ops)]
+        for ev in events:
+            req = yield ev
+            seen_tags.append(req.tag)
+
+    sim.spawn(client())
+    sim.run()
+    assert sorted(seen_tags) == list(range(len(ops)))
+    assert ctrl.completed == len(ops)
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 16), st.integers(1, 8))
+def test_reorder_window_preserves_completion_set(num_banks, window):
+    """Reordering may change order, never drop or duplicate requests."""
+    sim = Simulator()
+    ctrl = DdrController(sim, num_banks=num_banks, reorder_window=window)
+    done = []
+
+    def client():
+        events = [ctrl.submit(MemOp.WRITE, i % num_banks, tag=i)
+                  for i in range(12)]
+        for ev in events:
+            req = yield ev
+            done.append(req.tag)
+
+    sim.spawn(client())
+    sim.run()
+    assert sorted(done) == list(range(12))

@@ -1,0 +1,137 @@
+"""Tests for the DDR bank-timing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import Access, DdrModel, DdrTiming, MemOp
+
+
+def make(banks=8, turnaround=True):
+    return DdrModel(num_banks=banks, model_rw_turnaround=turnaround)
+
+def test_bank_busy_window_after_issue():
+    ddr = make()
+    a = Access(MemOp.WRITE, bank=3)
+    ddr.issue(a, 0)
+    assert ddr.bank_busy_at(3, 1)
+    assert ddr.bank_busy_at(3, 3)
+    assert not ddr.bank_busy_at(3, 4)  # free after 160 ns = 4 slots
+    assert not ddr.bank_busy_at(2, 1)  # other banks unaffected
+
+def test_earliest_issue_same_bank_waits_full_precharge():
+    ddr = make()
+    ddr.issue(Access(MemOp.WRITE, bank=0), 0)
+    nxt = Access(MemOp.WRITE, bank=0)
+    assert ddr.earliest_issue_slot(nxt, 1) == 4
+
+def test_earliest_issue_other_bank_next_slot():
+    ddr = make()
+    ddr.issue(Access(MemOp.WRITE, bank=0), 0)
+    assert ddr.earliest_issue_slot(Access(MemOp.WRITE, bank=1), 1) == 1
+
+def test_write_after_read_turnaround_penalty():
+    ddr = make(turnaround=True)
+    ddr.issue(Access(MemOp.READ, bank=0), 0)
+    # write to a different bank wants slot 1 but must wait one extra cycle
+    assert ddr.earliest_issue_slot(Access(MemOp.WRITE, bank=1), 1) == 2
+
+def test_no_penalty_when_turnaround_unmodeled():
+    ddr = make(turnaround=False)
+    ddr.issue(Access(MemOp.READ, bank=0), 0)
+    assert ddr.earliest_issue_slot(Access(MemOp.WRITE, bank=1), 1) == 1
+
+def test_read_after_read_no_penalty():
+    ddr = make(turnaround=True)
+    ddr.issue(Access(MemOp.READ, bank=0), 0)
+    assert ddr.earliest_issue_slot(Access(MemOp.READ, bank=1), 1) == 1
+
+def test_read_after_write_no_penalty():
+    ddr = make(turnaround=True)
+    ddr.issue(Access(MemOp.WRITE, bank=0), 0)
+    assert ddr.earliest_issue_slot(Access(MemOp.READ, bank=1), 1) == 1
+
+def test_turnaround_overlaps_bank_busy():
+    # the 1-bank row of Table 1: both loss columns are 0.75 because the
+    # turnaround hides entirely inside the bank-precharge wait
+    ddr = DdrModel(num_banks=1, model_rw_turnaround=True)
+    ddr.issue(Access(MemOp.READ, bank=0), 0)
+    write = Access(MemOp.WRITE, bank=0)
+    assert ddr.earliest_issue_slot(write, 1) == 4  # not 4 + 1
+
+def test_illegal_issue_raises():
+    ddr = make()
+    ddr.issue(Access(MemOp.WRITE, bank=0), 0)
+    with pytest.raises(RuntimeError):
+        ddr.issue(Access(MemOp.WRITE, bank=0), 2)  # bank still busy
+
+def test_bank_out_of_range_raises():
+    ddr = make(banks=4)
+    with pytest.raises(ValueError):
+        ddr.issue(Access(MemOp.WRITE, bank=4), 0)
+
+def test_zero_banks_rejected():
+    with pytest.raises(ValueError):
+        DdrModel(num_banks=0)
+
+def test_issue_returns_completion_slot():
+    ddr = make()
+    # write: 40 ns = 1 slot; read: 60 ns -> ceil = 2 slots
+    assert ddr.issue(Access(MemOp.WRITE, bank=0), 0) == 1
+    assert ddr.issue(Access(MemOp.READ, bank=1), 1) == 3
+
+def test_data_delay_ns():
+    ddr = make()
+    assert ddr.data_delay_ns(MemOp.READ) == 60
+    assert ddr.data_delay_ns(MemOp.WRITE) == 40
+
+def test_counters_and_reset():
+    ddr = make()
+    ddr.issue(Access(MemOp.WRITE, bank=0), 0)
+    ddr.issue(Access(MemOp.READ, bank=1), 1)
+    assert ddr.total_issued == 2
+    assert ddr.reads_issued == 1
+    assert ddr.writes_issued == 1
+    ddr.reset()
+    assert ddr.total_issued == 0
+    assert not ddr.bank_busy_at(0, 0)
+
+def test_custom_timing_changes_busy_window():
+    t = DdrTiming(access_cycle_ns=40, bank_busy_ns=80)
+    ddr = DdrModel(timing=t, num_banks=2)
+    ddr.issue(Access(MemOp.WRITE, bank=0), 0)
+    assert ddr.earliest_issue_slot(Access(MemOp.WRITE, bank=0), 1) == 2
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from([MemOp.READ, MemOp.WRITE]),
+                          st.integers(0, 7)),
+                min_size=1, max_size=60))
+def test_property_earliest_issue_is_always_legal(ops):
+    """earliest_issue_slot must always return a slot issue() accepts,
+    and issues must be strictly monotone in time."""
+    ddr = make()
+    slot = 0
+    prev = -1
+    for op, bank in ops:
+        a = Access(op, bank=bank)
+        s = ddr.earliest_issue_slot(a, slot)
+        assert s >= slot
+        ddr.issue(a, s)  # must not raise
+        assert s > prev
+        prev = s
+        slot = s + 1
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 16))
+def test_property_single_bank_stream_spacing(banks):
+    """Accesses to one fixed bank are always >= 4 slots apart."""
+    ddr = DdrModel(num_banks=banks, model_rw_turnaround=False)
+    slots = []
+    slot = 0
+    for _ in range(10):
+        a = Access(MemOp.WRITE, bank=0)
+        s = ddr.earliest_issue_slot(a, slot)
+        ddr.issue(a, s)
+        slots.append(s)
+        slot = s + 1
+    gaps = [b - a for a, b in zip(slots, slots[1:])]
+    assert all(g >= 4 for g in gaps)

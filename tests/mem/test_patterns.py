@@ -1,0 +1,68 @@
+"""Tests for access-pattern generators."""
+
+import random
+from itertools import islice
+
+import pytest
+
+from repro.mem import MemOp, hotspot_pattern, sequential_pattern, uniform_random_pattern
+from repro.mem.patterns import paper_port_patterns
+
+
+def take(pattern, n):
+    return list(islice(pattern, n))
+
+def test_uniform_banks_in_range_and_op_fixed():
+    rng = random.Random(1)
+    accesses = take(uniform_random_pattern(rng, 8, MemOp.READ, port=2), 500)
+    assert all(0 <= a.bank < 8 for a in accesses)
+    assert all(a.op is MemOp.READ for a in accesses)
+    assert all(a.port == 2 for a in accesses)
+    assert {a.bank for a in accesses} == set(range(8))  # all banks hit
+
+def test_uniform_tags_increment():
+    rng = random.Random(1)
+    accesses = take(uniform_random_pattern(rng, 4, MemOp.WRITE), 10)
+    assert [a.tag for a in accesses] == list(range(10))
+
+def test_uniform_invalid_banks():
+    with pytest.raises(ValueError):
+        next(uniform_random_pattern(random.Random(1), 0, MemOp.READ))
+
+def test_sequential_strides_through_banks():
+    accesses = take(sequential_pattern(4, MemOp.WRITE), 8)
+    assert [a.bank for a in accesses] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+def test_sequential_custom_stride():
+    accesses = take(sequential_pattern(8, MemOp.WRITE, stride=3), 8)
+    assert [a.bank for a in accesses] == [0, 3, 6, 1, 4, 7, 2, 5]
+
+def test_sequential_invalid_banks():
+    with pytest.raises(ValueError):
+        next(sequential_pattern(0, MemOp.READ))
+
+def test_hotspot_concentrates_accesses():
+    rng = random.Random(7)
+    accesses = take(
+        hotspot_pattern(rng, 16, MemOp.READ, hot_banks=(3,), hot_fraction=0.9),
+        2000,
+    )
+    hot = sum(1 for a in accesses if a.bank == 3)
+    assert hot / len(accesses) > 0.85
+
+def test_hotspot_validation():
+    rng = random.Random(1)
+    with pytest.raises(ValueError):
+        next(hotspot_pattern(rng, 8, MemOp.READ, hot_fraction=1.5))
+    with pytest.raises(ValueError):
+        next(hotspot_pattern(rng, 8, MemOp.READ, hot_banks=()))
+    with pytest.raises(ValueError):
+        next(hotspot_pattern(rng, 8, MemOp.READ, hot_banks=(8,)))
+
+def test_paper_port_patterns_layout():
+    """Footnote 3: net write, net read, cpu write, cpu read."""
+    rng = random.Random(1)
+    ports = paper_port_patterns(rng, 8)
+    assert len(ports) == 4
+    ops = [next(p).op for p in ports]
+    assert ops == [MemOp.WRITE, MemOp.READ, MemOp.WRITE, MemOp.READ]

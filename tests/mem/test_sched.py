@@ -1,0 +1,161 @@
+"""Tests for the Table 1 schedulers: serializing vs reordering."""
+
+import random
+
+import pytest
+
+from repro.mem import (
+    DdrModel,
+    MemOp,
+    PortSpec,
+    run_reordering,
+    run_serializing,
+    sequential_pattern,
+    simulate_throughput_loss,
+    uniform_random_pattern,
+)
+
+N = 30_000  # accesses per cell; enough for ~1% repeatability
+
+def loss(banks, optimized, rw, **kw):
+    return simulate_throughput_loss(banks, optimized=optimized,
+                                    model_rw_turnaround=rw,
+                                    num_accesses=N, **kw).loss
+
+# ------------------------------------------------------- paper anchoring
+
+def test_one_bank_loss_is_exactly_three_quarters():
+    """With 1 bank every access waits the full 160 ns precharge: the
+    analytic loss is 3/4 in all four Table 1 configurations."""
+    for opt in (False, True):
+        for rw in (False, True):
+            assert loss(1, opt, rw) == pytest.approx(0.75, abs=0.005)
+
+def test_serializing_conflict_losses_match_table1():
+    expected = {4: 0.522, 8: 0.384, 12: 0.305, 16: 0.253}
+    for banks, want in expected.items():
+        assert loss(banks, optimized=False, rw=False) == pytest.approx(want, abs=0.02)
+
+def test_reordering_conflict_losses_match_table1():
+    expected = {4: 0.260, 8: 0.046, 12: 0.012, 16: 0.003}
+    for banks, want in expected.items():
+        assert loss(banks, optimized=True, rw=False) == pytest.approx(want, abs=0.02)
+
+def test_optimization_halves_loss_at_8_banks():
+    """Paper: 'Assuming 8 banks per device, this very simple optimization
+    scheme reduces the throughput loss by 50%' (with interleaving)."""
+    base = loss(8, optimized=False, rw=True)
+    opt = loss(8, optimized=True, rw=True)
+    assert opt < 0.62 * base
+
+def test_interleaving_adds_loss_for_reordering():
+    assert loss(8, True, True) > loss(8, True, False) + 0.05
+
+# ----------------------------------------------------------- monotonicity
+
+def test_loss_decreases_with_banks_serializing():
+    losses = [loss(b, False, False) for b in (1, 4, 8, 16)]
+    assert losses == sorted(losses, reverse=True)
+
+def test_loss_decreases_with_banks_reordering():
+    losses = [loss(b, True, False) for b in (1, 4, 8, 16)]
+    assert losses == sorted(losses, reverse=True)
+
+def test_reordering_never_worse_than_serializing():
+    for banks in (1, 4, 8, 16):
+        assert loss(banks, True, False) <= loss(banks, False, False) + 0.01
+
+# --------------------------------------------------------------- details
+
+def test_sequential_pattern_has_no_conflicts_when_enough_banks():
+    """4 interleaved sequential ports across 8 banks never conflict under
+    reordering: utilization reaches ~1."""
+    ddr = DdrModel(num_banks=8, model_rw_turnaround=False)
+    ports = [
+        PortSpec(f"p{i}", sequential_pattern(8, MemOp.WRITE, port=i, stride=1))
+        for i in range(4)
+    ]
+    res = run_reordering(ddr, ports, 5000)
+    assert res.loss < 0.01
+
+def test_serializing_per_port_fairness_exact():
+    """Strict round-robin serialization issues the same count per port."""
+    rng = random.Random(3)
+    ddr = DdrModel(num_banks=8)
+    ports = [
+        PortSpec(f"p{i}", uniform_random_pattern(rng, 8, MemOp.WRITE, port=i))
+        for i in range(4)
+    ]
+    res = run_serializing(ddr, ports, 4000)
+    assert res.per_port_issued == [1000, 1000, 1000, 1000]
+
+def test_reordering_per_port_roughly_fair():
+    rng = random.Random(3)
+    ddr = DdrModel(num_banks=8)
+    ports = [
+        PortSpec(f"p{i}", uniform_random_pattern(rng, 8, MemOp.WRITE, port=i))
+        for i in range(4)
+    ]
+    res = run_reordering(ddr, ports, 8000)
+    for count in res.per_port_issued:
+        assert count == pytest.approx(2000, rel=0.1)
+
+def test_result_accounting_consistent():
+    res = simulate_throughput_loss(8, optimized=True, model_rw_turnaround=True,
+                                   num_accesses=5000)
+    assert res.issued == 5000
+    assert res.elapsed_slots >= res.issued
+    assert res.nop_slots == res.elapsed_slots - res.issued
+    assert 0.0 <= res.loss < 1.0
+    assert res.utilization == pytest.approx(1.0 - res.loss)
+
+def test_determinism_same_seed():
+    a = simulate_throughput_loss(8, True, True, num_accesses=5000, seed=42)
+    b = simulate_throughput_loss(8, True, True, num_accesses=5000, seed=42)
+    assert a.loss == b.loss
+    assert a.per_port_issued == b.per_port_issued
+
+def test_different_seeds_close_results():
+    a = simulate_throughput_loss(8, True, False, num_accesses=N, seed=1)
+    b = simulate_throughput_loss(8, True, False, num_accesses=N, seed=2)
+    assert a.loss == pytest.approx(b.loss, abs=0.01)
+
+def test_shallow_history_hurts_or_equal():
+    """History < 3 makes the scheduler optimistic: it attempts busy banks
+    and pays the residual precharge (ablation A1)."""
+    full = loss(8, True, False, history_depth=3)
+    shallow = loss(8, True, False, history_depth=1)
+    assert shallow >= full - 0.005
+
+def test_deeper_history_than_needed_changes_nothing():
+    d3 = loss(8, True, False, history_depth=3)
+    d8 = loss(8, True, False, history_depth=8)
+    assert d8 == pytest.approx(d3, abs=0.02)
+
+def test_prefer_same_type_reduces_turnaround_loss():
+    base = simulate_throughput_loss(8, True, True, num_accesses=N)
+    grouped = simulate_throughput_loss(8, True, True, num_accesses=N,
+                                       prefer_same_type=True)
+    assert grouped.turnaround_stall_slots < base.turnaround_stall_slots
+
+def test_empty_ports_rejected():
+    ddr = DdrModel(num_banks=8)
+    with pytest.raises(ValueError):
+        run_serializing(ddr, [], 10)
+    with pytest.raises(ValueError):
+        run_reordering(ddr, [], 10)
+
+def test_negative_history_rejected():
+    rng = random.Random(0)
+    ddr = DdrModel(num_banks=8)
+    ports = [PortSpec("p", uniform_random_pattern(rng, 8, MemOp.READ))]
+    with pytest.raises(ValueError):
+        run_reordering(ddr, ports, 10, history_depth=-1)
+
+def test_zero_accesses():
+    rng = random.Random(0)
+    ddr = DdrModel(num_banks=8)
+    ports = [PortSpec("p", uniform_random_pattern(rng, 8, MemOp.READ))]
+    res = run_serializing(ddr, ports, 0)
+    assert res.issued == 0
+    assert res.loss == 0.0

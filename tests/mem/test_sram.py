@@ -1,0 +1,49 @@
+"""Tests for the ZBT SRAM functional model."""
+
+import pytest
+
+from repro.mem import ZbtSram
+
+
+def test_read_uninitialized_is_zero():
+    s = ZbtSram(64)
+    assert s.read(10) == 0
+
+def test_write_then_read():
+    s = ZbtSram(64)
+    s.write(5, 1234)
+    assert s.read(5) == 1234
+
+def test_access_counters():
+    s = ZbtSram(64)
+    s.write(0, 1)
+    s.write(1, 2)
+    s.read(0)
+    assert s.write_count == 2
+    assert s.read_count == 1
+    assert s.access_count == 3
+    s.reset_counters()
+    assert s.access_count == 0
+
+def test_out_of_range_raises():
+    s = ZbtSram(8)
+    with pytest.raises(IndexError):
+        s.read(8)
+    with pytest.raises(IndexError):
+        s.write(-1, 0)
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        ZbtSram(0)
+
+def test_pipelined_cycles():
+    s = ZbtSram(64)
+    # N accesses + pipeline fill (2 cycles read latency)
+    assert s.pipelined_cycles(1) == 3
+    assert s.pipelined_cycles(6) == 8
+    assert s.pipelined_cycles(0) == 0
+
+def test_sparse_storage_handles_large_spaces():
+    s = ZbtSram(1 << 24)  # 16M words, should not allocate
+    s.write((1 << 24) - 1, 7)
+    assert s.read((1 << 24) - 1) == 7

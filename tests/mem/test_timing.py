@@ -1,0 +1,48 @@
+"""Tests for memory timing parameter sets."""
+
+import pytest
+
+from repro.mem import DdrTiming, ZbtTiming
+
+
+def test_paper_defaults():
+    t = DdrTiming()
+    assert t.access_cycle_ns == 40
+    assert t.bank_busy_ns == 160
+    assert t.read_delay_ns == 60
+    assert t.write_delay_ns == 40
+    assert t.write_after_read_penalty_cycles == 1
+
+def test_bank_busy_cycles():
+    assert DdrTiming().bank_busy_cycles == 4
+
+def test_peak_gbps_matches_paper():
+    # "The DDR technology provides 12.8 Gbps of peak throughput when
+    # using a 64-bit data bus at 100 MHz with double clocking"
+    assert DdrTiming().peak_gbps == pytest.approx(12.8)
+
+def test_bytes_per_access():
+    assert DdrTiming().bytes_per_access == 64
+
+def test_bank_busy_must_be_multiple_of_access_cycle():
+    with pytest.raises(ValueError):
+        DdrTiming(access_cycle_ns=40, bank_busy_ns=150)
+
+def test_nonpositive_access_cycle_rejected():
+    with pytest.raises(ValueError):
+        DdrTiming(access_cycle_ns=0)
+
+def test_negative_penalty_rejected():
+    with pytest.raises(ValueError):
+        DdrTiming(write_after_read_penalty_cycles=-1)
+
+def test_zbt_defaults_valid():
+    t = ZbtTiming()
+    assert t.accesses_per_cycle == 1
+    assert t.read_latency_cycles == 2
+
+def test_zbt_validation():
+    with pytest.raises(ValueError):
+        ZbtTiming(clock_mhz=0)
+    with pytest.raises(ValueError):
+        ZbtTiming(accesses_per_cycle=0)

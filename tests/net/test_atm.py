@@ -1,0 +1,48 @@
+"""Tests for ATM cell segmentation."""
+
+import pytest
+
+from repro.net import ATM_CELL_BYTES, ATM_PAYLOAD_BYTES, Packet, segment_into_cells
+from repro.net.atm import AtmCell, cells_needed
+
+
+def test_cell_constants():
+    assert ATM_CELL_BYTES == 53
+    assert ATM_PAYLOAD_BYTES == 48
+
+def test_single_cell_packet():
+    cells = segment_into_cells(Packet(40), vpi=1, vci=2)
+    assert len(cells) == 1
+    assert cells[0].last
+    assert cells[0].payload_bytes == 48  # padded
+
+def test_multi_cell_packet_markers():
+    cells = segment_into_cells(Packet(100), vpi=1, vci=2)
+    assert len(cells) == 3  # 48 + 48 + 4
+    assert [c.last for c in cells] == [False, False, True]
+    assert [c.index for c in cells] == [0, 1, 2]
+    assert all(c.vpi == 1 and c.vci == 2 for c in cells)
+
+def test_unpadded_last_cell_reports_true_payload():
+    cells = segment_into_cells(Packet(100), vpi=0, vci=0, pad_last=False)
+    assert cells[-1].payload_bytes == 4
+
+def test_exact_multiple_no_extra_cell():
+    cells = segment_into_cells(Packet(96), vpi=0, vci=0)
+    assert len(cells) == 2
+    assert cells[-1].payload_bytes == 48
+
+def test_cells_needed():
+    assert cells_needed(1) == 1
+    assert cells_needed(48) == 1
+    assert cells_needed(49) == 2
+    with pytest.raises(ValueError):
+        cells_needed(0)
+
+def test_cell_validation():
+    with pytest.raises(ValueError):
+        AtmCell(vpi=4096, vci=0, pid=0, index=0, last=True, payload_bytes=48)
+    with pytest.raises(ValueError):
+        AtmCell(vpi=0, vci=65536, pid=0, index=0, last=True, payload_bytes=48)
+    with pytest.raises(ValueError):
+        AtmCell(vpi=0, vci=0, pid=0, index=0, last=True, payload_bytes=0)

@@ -1,0 +1,43 @@
+"""Tests for Ethernet line-rate arithmetic (paper conventions)."""
+
+import pytest
+
+from repro.net import line_rate_pps, packet_service_time_ps, pps_to_gbps, wire_time_ps
+from repro.sim import US
+
+
+def test_paper_100mbps_64byte_budget():
+    """Section 5.3: 'for a 100Mbps network and a minimum packet length of
+    64 bytes the available time to serve this packet is 5.12 usec'."""
+    assert packet_service_time_ps(64, 0.1) == round(5.12 * US)
+
+def test_paper_ixp_150mbps_claim():
+    """Section 4: 300 Kpps of 64-byte packets ~ 150 Mbps."""
+    gbps = pps_to_gbps(300_000, 64)
+    assert gbps == pytest.approx(0.1536)
+    assert gbps < 0.154  # "cannot support more than 150 Mbps" (rounded)
+
+def test_wire_time_includes_preamble_and_ifg():
+    raw = packet_service_time_ps(64, 1.0)
+    wire = wire_time_ps(64, 1.0)
+    assert wire == packet_service_time_ps(64 + 8 + 12, 1.0)
+    assert wire > raw
+
+def test_gigabit_64byte_packet_rate():
+    # raw convention: 1 Gbps / 512 bits = ~1.953 Mpps
+    assert line_rate_pps(1.0, 64) == pytest.approx(1_953_125, rel=1e-6)
+    # with overhead: 1 Gbps / 672 bits = ~1.488 Mpps (the classic figure)
+    assert line_rate_pps(1.0, 64, include_overhead=True) == pytest.approx(
+        1_488_095, rel=1e-4)
+
+def test_mms_headline_rate_conversion():
+    """Section 6.1: 12 Mops/s on 64-byte segments = 6.145 Gbps."""
+    assert pps_to_gbps(12_000_000, 64) == pytest.approx(6.144)
+
+def test_validation():
+    with pytest.raises(ValueError):
+        packet_service_time_ps(0, 1.0)
+    with pytest.raises(ValueError):
+        packet_service_time_ps(64, 0)
+    with pytest.raises(ValueError):
+        pps_to_gbps(-1)

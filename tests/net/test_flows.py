@@ -1,0 +1,72 @@
+"""Tests for flow tables and flow choosers."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.net import FlowTable, uniform_flow_chooser, zipf_flow_chooser
+
+
+def test_flow_table_attrs():
+    ft = FlowTable(8)
+    ft.set_attr(3, priority=7, port=1)
+    assert ft.get_attr(3, "priority") == 7
+    assert ft.get_attr(3, "port") == 1
+    assert ft.get_attr(3, "missing", default="x") == "x"
+    assert ft.get_attr(0, "priority") is None
+
+def test_flow_table_bounds():
+    ft = FlowTable(4)
+    with pytest.raises(ValueError):
+        ft.set_attr(4, a=1)
+    with pytest.raises(ValueError):
+        ft.get_attr(-1, "a")
+
+def test_flow_table_len_and_iter():
+    ft = FlowTable(5)
+    assert len(ft) == 5
+    assert list(ft.flows()) == [0, 1, 2, 3, 4]
+
+def test_flow_table_validation():
+    with pytest.raises(ValueError):
+        FlowTable(0)
+
+def test_uniform_chooser_covers_all_flows():
+    rng = random.Random(1)
+    choose = uniform_flow_chooser(16)
+    seen = {choose(rng) for _ in range(2000)}
+    assert seen == set(range(16))
+
+def test_uniform_chooser_roughly_flat():
+    rng = random.Random(2)
+    choose = uniform_flow_chooser(4)
+    counts = Counter(choose(rng) for _ in range(8000))
+    for flow in range(4):
+        assert counts[flow] == pytest.approx(2000, rel=0.15)
+
+def test_zipf_chooser_skews_to_low_ranks():
+    rng = random.Random(3)
+    choose = zipf_flow_chooser(64, s=1.2)
+    counts = Counter(choose(rng) for _ in range(20000))
+    assert counts[0] > counts[10] > counts.get(50, 0)
+
+def test_zipf_zero_exponent_is_uniform():
+    rng = random.Random(4)
+    choose = zipf_flow_chooser(4, s=0.0)
+    counts = Counter(choose(rng) for _ in range(8000))
+    for flow in range(4):
+        assert counts[flow] == pytest.approx(2000, rel=0.15)
+
+def test_zipf_in_range():
+    rng = random.Random(5)
+    choose = zipf_flow_chooser(10, s=1.0)
+    assert all(0 <= choose(rng) < 10 for _ in range(1000))
+
+def test_chooser_validation():
+    with pytest.raises(ValueError):
+        uniform_flow_chooser(0)
+    with pytest.raises(ValueError):
+        zipf_flow_chooser(0)
+    with pytest.raises(ValueError):
+        zipf_flow_chooser(4, s=-1)

@@ -1,0 +1,111 @@
+"""Tests for traffic generators."""
+
+import random
+from itertools import islice
+
+import pytest
+
+from repro.net import (
+    cbr_stream,
+    imix_stream,
+    merge_streams,
+    onoff_stream,
+    poisson_stream,
+    uniform_flow_chooser,
+)
+from repro.sim import SEC
+
+
+def take(stream, n):
+    return list(islice(stream, n))
+
+def rate_of(timed, length_bytes=None):
+    """Achieved Gbps over a list of TimedPacket (raw frame bits)."""
+    if len(timed) < 2:
+        return 0.0
+    span = timed[-1].arrival_ps - timed[0].arrival_ps
+    bits = sum(tp.packet.length_bytes for tp in timed[1:]) * 8
+    return bits * 1000 / span
+
+def test_cbr_spacing_is_constant():
+    pkts = take(cbr_stream(1.0, 64), 10)
+    gaps = {b.arrival_ps - a.arrival_ps for a, b in zip(pkts, pkts[1:])}
+    assert len(gaps) == 1
+    assert gaps.pop() == 512_000  # 512 bits at 1 Gbps = 512 ns
+
+def test_cbr_achieves_requested_rate():
+    pkts = take(cbr_stream(2.5, 64), 1000)
+    assert rate_of(pkts) == pytest.approx(2.5, rel=0.01)
+
+def test_cbr_flow_chooser_used():
+    rng = random.Random(0)
+    pkts = take(cbr_stream(1.0, 64, flow_chooser=uniform_flow_chooser(8),
+                           rng=rng), 200)
+    assert {tp.packet.flow_id for tp in pkts} == set(range(8))
+
+def test_poisson_mean_rate():
+    rng = random.Random(1)
+    pkts = take(poisson_stream(1_000_000, rng=rng), 5000)
+    span_s = (pkts[-1].arrival_ps - pkts[0].arrival_ps) / SEC
+    assert (len(pkts) - 1) / span_s == pytest.approx(1_000_000, rel=0.05)
+
+def test_poisson_arrivals_monotone():
+    rng = random.Random(2)
+    pkts = take(poisson_stream(1_000_000, rng=rng), 500)
+    assert all(b.arrival_ps >= a.arrival_ps for a, b in zip(pkts, pkts[1:]))
+
+def test_onoff_long_run_rate_matches_average():
+    rng = random.Random(3)
+    pkts = take(onoff_stream(2.0, burst_len=8, idle_factor=1.0, rng=rng), 4000)
+    assert rate_of(pkts) == pytest.approx(2.0, rel=0.05)
+
+def test_onoff_is_burstier_than_cbr():
+    rng = random.Random(4)
+    bursty = take(onoff_stream(1.0, burst_len=8, idle_factor=1.0, rng=rng), 2000)
+    gaps = [b.arrival_ps - a.arrival_ps for a, b in zip(bursty, bursty[1:])]
+    mean = sum(gaps) / len(gaps)
+    var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+    cv2 = var / mean**2
+    assert cv2 > 0.3  # CBR has cv2 == 0
+
+def test_imix_mixes_sizes_with_expected_ratio():
+    rng = random.Random(5)
+    pkts = take(imix_stream(1.0, rng=rng), 6000)
+    sizes = [tp.packet.length_bytes for tp in pkts]
+    n64 = sizes.count(64)
+    n594 = sizes.count(594)
+    n1518 = sizes.count(1518)
+    assert n64 + n594 + n1518 == 6000
+    assert n64 / n594 == pytest.approx(7 / 4, rel=0.15)
+    assert n594 / n1518 == pytest.approx(4 / 1, rel=0.25)
+
+def test_imix_rate():
+    rng = random.Random(6)
+    pkts = take(imix_stream(3.0, rng=rng), 4000)
+    assert rate_of(pkts) == pytest.approx(3.0, rel=0.05)
+
+def test_merge_streams_ordered():
+    a = cbr_stream(1.0, 64, start_ps=0)
+    b = cbr_stream(1.0, 64, start_ps=100_000)
+    merged = take(merge_streams(a, b), 100)
+    times = [tp.arrival_ps for tp in merged]
+    assert times == sorted(times)
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        next(cbr_stream(0))
+    with pytest.raises(ValueError):
+        next(poisson_stream(0))
+    with pytest.raises(ValueError):
+        next(onoff_stream(1.0, burst_len=0))
+    with pytest.raises(ValueError):
+        next(onoff_stream(1.0, idle_factor=-1))
+    with pytest.raises(ValueError):
+        next(imix_stream(1.0, mix=[]))
+    with pytest.raises(ValueError):
+        merge_streams()
+
+def test_determinism_with_same_rng_seed():
+    a = take(poisson_stream(1e6, rng=random.Random(42)), 100)
+    b = take(poisson_stream(1e6, rng=random.Random(42)), 100)
+    assert [tp.arrival_ps for tp in a] == [tp.arrival_ps for tp in b]

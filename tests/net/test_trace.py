@@ -1,0 +1,69 @@
+"""Tests for packet traces."""
+
+import pytest
+
+from repro.net import Packet, PacketTrace
+from repro.sim import US
+
+
+def test_record_and_len():
+    t = PacketTrace()
+    t.record(0, Packet(64, flow_id=1))
+    t.record(1000, Packet(128, flow_id=2))
+    assert len(t) == 2
+    assert t.total_bytes == 192
+
+def test_non_monotone_rejected():
+    t = PacketTrace()
+    t.record(100, Packet(64))
+    with pytest.raises(ValueError):
+        t.record(99, Packet(64))
+
+def test_rate_pps():
+    t = PacketTrace()
+    for i in range(11):
+        t.record(i * int(US), Packet(64))
+    assert t.rate_pps() == pytest.approx(1_000_000)
+
+def test_rate_gbps():
+    t = PacketTrace()
+    # 64-byte packets every 512 ns -> 1 Gbps raw
+    for i in range(101):
+        t.record(i * 512_000, Packet(64))
+    assert t.rate_gbps() == pytest.approx(1.0)
+
+def test_empty_trace_rates_zero():
+    t = PacketTrace()
+    assert t.rate_pps() == 0.0
+    assert t.rate_gbps() == 0.0
+    assert t.duration_ps == 0
+
+def test_per_flow_pids():
+    t = PacketTrace()
+    p1, p2, p3 = Packet(64, flow_id=0), Packet(64, flow_id=1), Packet(64, flow_id=0)
+    for i, p in enumerate((p1, p2, p3)):
+        t.record(i, p)
+    flows = t.per_flow_pids()
+    assert flows[0] == [p1.pid, p3.pid]
+    assert flows[1] == [p2.pid]
+
+def test_order_preservation_check():
+    inp = PacketTrace("in")
+    out = PacketTrace("out")
+    pkts = [Packet(64, flow_id=i % 2) for i in range(6)]
+    for i, p in enumerate(pkts):
+        inp.record(i, p)
+    # same per-flow order, different interleaving
+    for i, p in enumerate([pkts[1], pkts[0], pkts[3], pkts[2], pkts[5], pkts[4]]):
+        out.record(i, p)
+    assert out.is_per_flow_order_preserved(inp)
+
+def test_order_violation_detected():
+    inp = PacketTrace("in")
+    out = PacketTrace("out")
+    a, b = Packet(64, flow_id=0), Packet(64, flow_id=0)
+    inp.record(0, a)
+    inp.record(1, b)
+    out.record(0, b)
+    out.record(1, a)
+    assert not out.is_per_flow_order_preserved(inp)

@@ -1,0 +1,34 @@
+"""Tests for PLB/DMA timing parameters."""
+
+import pytest
+
+from repro.npu import DmaTiming, NpuParams, PlbTiming
+
+
+def test_line_transaction_is_twelve_cycles():
+    """Section 5.3: '9 cycles for 9 double words and 3 cycle latency'."""
+    assert PlbTiming().line_transaction_cycles == 12
+
+def test_dma_setup_is_sixteen_cycles():
+    """Section 5.3: 4 register writes x 4 cycles = 16 cycles."""
+    assert DmaTiming().setup_cycles == 16
+
+def test_dma_transfer_cycles():
+    assert DmaTiming().transfer_cycles == 34
+
+def test_plb_validation():
+    with pytest.raises(ValueError):
+        PlbTiming(single_read_cycles=0)
+    with pytest.raises(ValueError):
+        PlbTiming(line_beats=0)
+
+def test_dma_validation():
+    with pytest.raises(ValueError):
+        DmaTiming(setup_registers=0)
+    with pytest.raises(ValueError):
+        DmaTiming(transfer_cycles=0)
+
+def test_default_clocks_match_paper():
+    p = NpuParams()
+    assert p.cpu_clock_mhz == 100
+    assert p.plb.clock_mhz == 100

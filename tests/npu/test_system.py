@@ -1,0 +1,58 @@
+"""Tests for the end-to-end Figure 1 platform model."""
+
+import pytest
+
+from repro.net import cbr_stream
+from repro.npu import CopyStrategy, ReferenceNpu, figure1_diagram
+
+
+def run_npu(strategy, rate_gbps, packets=800, **kw):
+    npu = ReferenceNpu(strategy=strategy, num_buffer_segments=128, **kw)
+    return npu.run(cbr_stream(rate_gbps, 64), offered_gbps=rate_gbps,
+                   num_packets=packets)
+
+def test_baseline_forwards_100mbps_without_loss():
+    r = run_npu(CopyStrategy.WORD, 0.1)
+    assert r.dropped == 0
+    assert r.forwarded == r.received
+    assert r.forwarded_gbps == pytest.approx(0.1, rel=0.05)
+
+def test_baseline_saturates_above_line_rate():
+    """Offered 300 Mbps >> the ~110 Mbps the CPU sustains: drops appear
+    and goodput pins at the Table 3 bound."""
+    r = run_npu(CopyStrategy.WORD, 0.3, packets=1500)
+    assert r.drop_rate > 0.3
+    assert r.forwarded_gbps == pytest.approx(0.115, abs=0.01)
+
+def test_line_strategy_roughly_doubles_goodput():
+    word = run_npu(CopyStrategy.WORD, 0.4, packets=1200)
+    line = run_npu(CopyStrategy.LINE, 0.4, packets=1200)
+    assert line.forwarded_gbps > 1.7 * word.forwarded_gbps
+
+def test_line_forwards_200mbps_cleanly():
+    r = run_npu(CopyStrategy.LINE, 0.2)
+    assert r.drop_rate == 0.0
+    assert r.forwarded_gbps == pytest.approx(0.2, rel=0.05)
+
+def test_conservation_received_equals_forwarded_plus_dropped():
+    r = run_npu(CopyStrategy.WORD, 0.3, packets=1000)
+    assert r.received == r.forwarded + r.dropped
+
+def test_multiple_flows_spread_over_queues():
+    import random
+    from repro.net import uniform_flow_chooser
+    npu = ReferenceNpu(strategy=CopyStrategy.LINE, num_queues=8,
+                       num_buffer_segments=128)
+    stream = cbr_stream(0.15, 64, flow_chooser=uniform_flow_chooser(8),
+                        rng=random.Random(1))
+    r = npu.run(stream, offered_gbps=0.15, num_packets=600)
+    assert r.forwarded == r.received
+
+def test_drop_rate_zero_when_no_packets_received():
+    npu = ReferenceNpu()
+    assert npu.run(cbr_stream(0.1, 64), 0.1, num_packets=1).drop_rate == 0.0
+
+def test_figure1_diagram_mentions_all_blocks():
+    art = figure1_diagram()
+    for block in ("PowerPC", "PLB", "DDR", "ZBT", "MAC", "DP-BRAM", "OCM"):
+        assert block in art

@@ -1,0 +1,110 @@
+"""Tests for the region-structured, traced pointer memory."""
+
+import pytest
+
+from repro.queueing import PointerMemory
+from repro.queueing.pointer_memory import AccessRecord
+
+
+def make():
+    pm = PointerMemory()
+    pm.add_region("next", 16)
+    pm.add_region("qhead", 4)
+    pm.freeze()
+    return pm
+
+def test_regions_are_disjoint():
+    pm = PointerMemory()
+    a = pm.add_region("a", 10)
+    b = pm.add_region("b", 5)
+    assert a.base == 0
+    assert b.base == 10
+    assert pm.total_words == 15
+
+def test_read_write_roundtrip():
+    pm = make()
+    pm.write("next", 3, 99)
+    assert pm.read("next", 3) == 99
+
+def test_regions_do_not_alias():
+    pm = make()
+    pm.write("next", 0, 1)
+    pm.write("qhead", 0, 2)
+    assert pm.read("next", 0) == 1
+    assert pm.read("qhead", 0) == 2
+
+def test_counters_per_region():
+    pm = make()
+    pm.write("next", 0, 1)
+    pm.read("next", 0)
+    pm.read("qhead", 1)
+    assert pm.writes_by_region["next"] == 1
+    assert pm.reads_by_region["next"] == 1
+    assert pm.reads_by_region["qhead"] == 1
+    assert pm.total_accesses == 3
+    pm.reset_counters()
+    assert pm.total_accesses == 0
+
+def test_trace_records_order_and_kind():
+    pm = make()
+    pm.start_trace()
+    pm.write("next", 1, 5)
+    pm.read("qhead", 0)
+    trace = pm.end_trace()
+    assert trace == [AccessRecord("W", "next", 1), AccessRecord("R", "qhead", 0)]
+
+def test_accesses_outside_trace_not_recorded():
+    pm = make()
+    pm.write("next", 0, 1)
+    pm.start_trace()
+    pm.read("next", 0)
+    trace = pm.end_trace()
+    assert len(trace) == 1
+
+def test_end_trace_without_start_raises():
+    pm = make()
+    with pytest.raises(RuntimeError):
+        pm.end_trace()
+
+def test_peek_is_uncounted_and_untraced():
+    pm = make()
+    pm.write("next", 2, 7)
+    pm.reset_counters()
+    pm.start_trace()
+    assert pm.peek("next", 2) == 7
+    assert pm.end_trace() == []
+    assert pm.total_accesses == 0
+
+def test_bounds_checked_per_region():
+    pm = make()
+    with pytest.raises(IndexError):
+        pm.read("qhead", 4)
+    with pytest.raises(IndexError):
+        pm.write("next", 16, 0)
+
+def test_layout_frozen_rules():
+    pm = PointerMemory()
+    pm.add_region("a", 4)
+    with pytest.raises(RuntimeError):
+        pm.read("a", 0)  # not frozen yet
+    pm.freeze()
+    with pytest.raises(RuntimeError):
+        pm.add_region("b", 4)  # frozen
+    with pytest.raises(RuntimeError):
+        pm.freeze()  # double freeze
+
+def test_duplicate_region_rejected():
+    pm = PointerMemory()
+    pm.add_region("a", 4)
+    with pytest.raises(ValueError):
+        pm.add_region("a", 4)
+
+def test_empty_layout_rejected():
+    pm = PointerMemory()
+    with pytest.raises(RuntimeError):
+        pm.freeze()
+
+def test_zero_word_region_rejected():
+    pm = PointerMemory()
+    with pytest.raises(ValueError):
+        pm.add_region("a", 0)

@@ -1,0 +1,190 @@
+"""Tests for the Section 5.2 software queue structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing import OutOfBuffersError, SegmentQueueManager
+from repro.queueing.errors import QueueEmptyError
+from repro.queueing.segment_queues import SegmentMeta
+
+
+def make(queues=4, slots=64, **kw):
+    return SegmentQueueManager(num_queues=queues, num_slots=slots, **kw)
+
+# ------------------------------------------------------------- semantics
+
+def test_fifo_order_single_queue():
+    m = make()
+    s1, _ = m.enqueue(0, SegmentMeta(pid=1))
+    s2, _ = m.enqueue(0, SegmentMeta(pid=2))
+    s3, _ = m.enqueue(0, SegmentMeta(pid=3))
+    out = [m.dequeue(0)[0] for _ in range(3)]
+    assert out == [s1, s2, s3]
+
+def test_queues_are_independent():
+    m = make()
+    a, _ = m.enqueue(0, SegmentMeta(pid=1))
+    b, _ = m.enqueue(1, SegmentMeta(pid=2))
+    slot, meta, _t = m.dequeue(1)
+    assert slot == b
+    assert meta.pid == 2
+    assert m.queue_length(0) == 1
+
+def test_meta_roundtrip_through_sram_words():
+    m = make()
+    meta_in = SegmentMeta(eop=True, length=17, pid=9, index=3)
+    m.enqueue(2, meta_in)
+    _slot, meta_out, _t = m.dequeue(2)
+    assert meta_out.eop
+    assert meta_out.length == 17
+    assert meta_out.pid == 9
+
+def test_dequeue_empty_raises():
+    m = make()
+    with pytest.raises(QueueEmptyError):
+        m.dequeue(0)
+
+def test_exhaustion_raises_out_of_buffers():
+    m = make(slots=4)
+    for _ in range(4):
+        m.enqueue(0)
+    with pytest.raises(OutOfBuffersError):
+        m.enqueue(0)
+
+def test_slots_recycled_after_dequeue():
+    m = make(slots=4)
+    for _ in range(4):
+        m.enqueue(0)
+    m.dequeue(0)
+    m.enqueue(1)  # must not raise
+    assert m.free_slots == 0
+
+def test_queue_validation():
+    m = make(queues=2)
+    with pytest.raises(ValueError):
+        m.enqueue(2)
+    with pytest.raises(ValueError):
+        m.dequeue(-1)
+
+def test_walk_queue_matches_fifo():
+    m = make()
+    slots = [m.enqueue(0)[0] for _ in range(5)]
+    assert m.walk_queue(0) == slots
+    m.mem.reset_counters()
+
+# ------------------------------------------------ paper access patterns
+
+def test_alloc_trace_is_three_accesses():
+    """'Dequeue Free List' = R head, R next, W head."""
+    m = make()
+    _slot, trace = m.alloc()
+    assert [t.kind for t in trace] == ["R", "R", "W"]
+
+def test_release_trace_is_four_accesses():
+    """'Enqueue Free List' = R tail, W next[slot], W next[tail], W tail."""
+    m = make()
+    slot, _ = m.alloc()
+    trace = m.release(slot)
+    assert len(trace) == 4
+    assert [t.kind for t in trace].count("W") == 3
+
+def test_link_first_of_packet_is_four_accesses():
+    """Table 3 footnote: first segment of the packet costs less (no
+    packet-header read-modify-write)."""
+    m = make()
+    slot, _ = m.alloc()
+    trace = m.link_segment(0, slot, SegmentMeta())
+    assert len(trace) == 4
+
+def test_link_rest_of_packet_is_six_accesses():
+    """Non-first segments add the head-word RMW (68 vs 46 cycles)."""
+    m = make()
+    head, _ = m.alloc()
+    m.link_segment(0, head, SegmentMeta())
+    slot, _ = m.alloc()
+    trace = m.link_segment(0, slot, SegmentMeta(), packet_head_slot=head)
+    assert len(trace) == 6
+
+def test_unlink_nonlast_is_three_accesses():
+    m = make()
+    m.enqueue(0)
+    m.enqueue(0)
+    _slot, _meta, trace = m.unlink_segment(0)
+    assert len(trace) == 3
+
+def test_unlink_last_clears_tail_four_accesses():
+    m = make()
+    m.enqueue(0)
+    _slot, _meta, trace = m.unlink_segment(0)
+    assert len(trace) == 4  # + W qtail = NIL
+    assert m.is_empty(0)
+
+# -------------------------------------------------------- packet helpers
+
+def test_enqueue_packet_segments_and_lengths():
+    m = make()
+    slots = m.enqueue_packet(0, num_segments=3, pid=5, last_length=10)
+    assert len(slots) == 3
+    assert m.packet_length_bytes(slots[0]) == 64 + 64 + 10
+    segs = m.dequeue_packet(0)
+    assert [meta.eop for _s, meta in segs] == [False, False, True]
+    assert [meta.index for _s, meta in segs] == [0, 1, 2]
+
+def test_dequeue_packet_stops_at_eop():
+    m = make()
+    m.enqueue_packet(0, 2, pid=1)
+    m.enqueue_packet(0, 3, pid=2)
+    first = m.dequeue_packet(0)
+    assert len(first) == 2
+    assert all(meta.pid == 1 for _s, meta in first)
+    assert m.queue_length(0) == 3
+
+def test_enqueue_packet_validation():
+    m = make()
+    with pytest.raises(ValueError):
+        m.enqueue_packet(0, 0)
+
+# ----------------------------------------------------------- invariants
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["enq", "deq"]), st.integers(0, 3)),
+                min_size=1, max_size=120))
+def test_property_matches_reference_deques(ops):
+    """The SRAM-backed queues behave exactly like Python deques, and
+    slot conservation holds throughout."""
+    from collections import deque
+
+    m = make(queues=4, slots=32)
+    ref = [deque() for _ in range(4)]
+    next_pid = 0
+    for op, q in ops:
+        if op == "enq":
+            if m.free_slots == 0:
+                continue
+            slot, _ = m.enqueue(q, SegmentMeta(pid=next_pid))
+            ref[q].append((slot, next_pid))
+            next_pid += 1
+        else:
+            if not ref[q]:
+                with pytest.raises(QueueEmptyError):
+                    m.dequeue(q)
+                continue
+            want_slot, want_pid = ref[q].popleft()
+            slot, meta, _ = m.dequeue(q)
+            assert slot == want_slot
+            assert meta.pid == want_pid
+        # conservation: free + queued == total
+        queued = sum(m.queue_length(i) for i in range(4))
+        assert m.free_slots + queued == 32
+
+def test_segment_meta_length_validation():
+    with pytest.raises(ValueError):
+        SegmentMeta(length=0)
+    with pytest.raises(ValueError):
+        SegmentMeta(length=65)
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        SegmentQueueManager(0, 8)
+    with pytest.raises(ValueError):
+        SegmentQueueManager(2, 0)

@@ -1,0 +1,42 @@
+"""Tests for clock-domain conversion."""
+
+import pytest
+
+from repro.sim import Clock, NS
+
+
+def test_paper_clock_domains_have_integer_periods():
+    assert Clock(100).period_ps == 10_000
+    assert Clock(125).period_ps == 8_000
+    assert Clock(200).period_ps == 5_000
+
+def test_cycles_to_ps_roundtrip():
+    clk = Clock(125)
+    assert clk.cycles_to_ps(10) == 80 * NS
+    assert clk.ps_to_cycles(80 * NS) == 10
+    assert clk.ps_to_whole_cycles(81 * NS) == 10
+
+def test_fractional_cycles():
+    clk = Clock(125)
+    assert clk.cycles_to_ps(10.5) == 84 * NS  # the paper's 84 ns per MMS op
+
+def test_next_edge_on_edge():
+    clk = Clock(100)
+    assert clk.next_edge(20_000) == 20_000
+
+def test_next_edge_between_edges():
+    clk = Clock(100)
+    assert clk.next_edge(20_001) == 30_000
+    assert clk.next_edge(29_999) == 30_000
+
+def test_zero_frequency_rejected():
+    with pytest.raises(ValueError):
+        Clock(0)
+
+def test_negative_frequency_rejected():
+    with pytest.raises(ValueError):
+        Clock(-5)
+
+def test_non_integer_period_rejected():
+    with pytest.raises(ValueError):
+        Clock(3)  # 333333.33.. ps

@@ -1,0 +1,166 @@
+"""Tests for the bounded FIFO: ordering, blocking, backpressure."""
+
+import pytest
+
+from repro.sim import Fifo, FifoEmptyError, FifoFullError, Simulator
+
+
+def test_try_put_try_get_fifo_order():
+    sim = Simulator()
+    f = Fifo(sim, capacity=4)
+    for i in range(4):
+        f.try_put(i)
+    assert [f.try_get() for _ in range(4)] == [0, 1, 2, 3]
+
+def test_try_put_full_raises():
+    sim = Simulator()
+    f = Fifo(sim, capacity=1)
+    f.try_put("x")
+    with pytest.raises(FifoFullError):
+        f.try_put("y")
+
+def test_try_get_empty_raises():
+    sim = Simulator()
+    f = Fifo(sim, capacity=1)
+    with pytest.raises(FifoEmptyError):
+        f.try_get()
+
+def test_peek_does_not_remove():
+    sim = Simulator()
+    f = Fifo(sim)
+    f.try_put("head")
+    assert f.peek() == "head"
+    assert len(f) == 1
+
+def test_peek_empty_raises():
+    sim = Simulator()
+    f = Fifo(sim)
+    with pytest.raises(FifoEmptyError):
+        f.peek()
+
+def test_capacity_zero_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Fifo(sim, capacity=0)
+
+def test_blocking_get_waits_for_put():
+    sim = Simulator()
+    f = Fifo(sim, capacity=2)
+    got = []
+
+    def consumer():
+        item = yield from f.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield 500
+        yield from f.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(500, "late")]
+
+def test_blocking_put_backpressure():
+    sim = Simulator()
+    f = Fifo(sim, capacity=1)
+    timeline = []
+
+    def producer():
+        yield from f.put("a")
+        timeline.append(("put-a", sim.now))
+        yield from f.put("b")  # blocks until consumer frees the slot
+        timeline.append(("put-b", sim.now))
+
+    def consumer():
+        yield 300
+        item = yield from f.get()
+        timeline.append(("got-" + item, sim.now))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert ("put-a", 0) in timeline
+    assert ("got-a", 300) in timeline
+    assert ("put-b", 300) in timeline
+    # 'b' is now queued
+    assert f.try_get() == "b"
+
+def test_multiple_blocked_getters_served_in_order():
+    sim = Simulator()
+    f = Fifo(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield from f.get()
+        got.append((tag, item))
+
+    def producer():
+        yield 10
+        f.try_put(1)
+        yield 10
+        f.try_put(2)
+
+    sim.spawn(consumer("c1"))
+    sim.spawn(consumer("c2"))
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("c1", 1), ("c2", 2)]
+
+def test_multiple_blocked_putters_served_in_order():
+    sim = Simulator()
+    f = Fifo(sim, capacity=1)
+    f.try_put("initial")
+
+    def producer(item):
+        yield from f.put(item)
+
+    def consumer():
+        yield 100
+        assert f.try_get() == "initial"
+        yield 100
+        assert f.try_get() == "p1"
+        yield 100
+        assert f.try_get() == "p2"
+
+    sim.spawn(producer("p1"))
+    sim.spawn(producer("p2"))
+    sim.spawn(consumer())
+    sim.run()
+    assert len(f) == 0
+
+def test_put_get_counters():
+    sim = Simulator()
+    f = Fifo(sim, capacity=8)
+    for i in range(5):
+        f.try_put(i)
+    f.try_get()
+    f.try_get()
+    assert f.total_put == 5
+    assert f.total_got == 2
+
+def test_occupancy_time_weighted_mean():
+    sim = Simulator()
+    f = Fifo(sim, capacity=4)
+
+    def body():
+        f.try_put("a")       # occupancy 1 from t=0
+        yield 100
+        f.try_put("b")       # occupancy 2 from t=100
+        yield 100
+        f.try_get()          # occupancy 1 from t=200
+        f.try_get()          # occupancy 0 from t=200
+        yield 100
+
+    sim.spawn(body())
+    sim.run()
+    # mean = (1*100 + 2*100 + 0*100)/300 = 1.0
+    assert f.occupancy.mean == pytest.approx(1.0)
+
+def test_unbounded_fifo_never_full():
+    sim = Simulator()
+    f = Fifo(sim, capacity=None)
+    for i in range(10_000):
+        f.try_put(i)
+    assert not f.is_full
+    assert len(f) == 10_000
