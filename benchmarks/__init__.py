@@ -1,0 +1,7 @@
+"""Benchmark suite: every module regenerates a published artifact.
+
+Making this a package lets the ``bench_*`` modules import shared helpers
+as ``benchmarks.bench_common`` regardless of the current working
+directory -- pytest puts the repository root (the package parent) on
+``sys.path`` when collecting package-resident files.
+"""

@@ -7,7 +7,7 @@ shows the delay/utilization trade-off behind the paper's small FIFOs.
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis.tables import format_table
 from repro.core.mms import MmsConfig, run_load
 from repro.core.scheduler import PortConfig

@@ -10,7 +10,7 @@ top of every data access.
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis.tables import format_table
 from repro.core.mms import MmsConfig, run_load
 

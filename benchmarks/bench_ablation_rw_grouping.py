@@ -9,7 +9,7 @@ table.
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis.tables import format_table
 from repro.mem import simulate_throughput_loss
 

@@ -9,7 +9,7 @@ engines across the Table 2 queue counts.
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis.tables import format_table
 from repro.ixp import simulate_ixp
 

@@ -1,0 +1,13 @@
+"""Shared benchmark helpers (package-safe home for :func:`emit`).
+
+Benchmarks import this as ``from benchmarks.bench_common import emit``;
+the package-qualified form resolves from any working directory, unlike
+the old ``from conftest import emit`` which depended on pytest happening
+to put the benchmarks directory itself on ``sys.path``.
+"""
+
+
+def emit(report_text: str) -> None:
+    """Print a rendered experiment report under the bench output."""
+    print()
+    print(report_text)

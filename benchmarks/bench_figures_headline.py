@@ -3,7 +3,7 @@ the cross-cutting headline claims."""
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis.experiments import run_figure1, run_figure2, run_headline
 from repro.core import MMS, MmsConfig
 from repro.npu import CopyStrategy, ReferenceNpu

@@ -6,7 +6,7 @@ serializing vs reordering scheduler; conflicts-only vs +interleaving.
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis import PAPER_TABLE1
 from repro.analysis.experiments import run_table1
 from repro.mem import simulate_throughput_loss

@@ -7,7 +7,7 @@ contention.
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis import PAPER_TABLE2
 from repro.analysis.experiments import run_table2
 from repro.ixp import simulate_ixp

@@ -4,7 +4,7 @@ the Section 5.3 copy-strategy progression (ablation A3).
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis.experiments import run_table3
 from repro.npu import CopyStrategy, QueueSwModel
 

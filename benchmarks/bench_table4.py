@@ -4,7 +4,7 @@ end-to-end command execution in the assembled MMS.
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis import PAPER_TABLE4
 from repro.analysis.experiments import run_table4
 from repro.core import MMS, Command, CommandType, MmsConfig

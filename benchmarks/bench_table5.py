@@ -4,7 +4,7 @@ and the saturation headline (12 Mops / ~6.1 Gbps).
 
 import pytest
 
-from conftest import emit
+from benchmarks.bench_common import emit
 from repro.analysis.experiments import run_table5
 from repro.core.mms import MmsConfig, run_load, run_saturation
 

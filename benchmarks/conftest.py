@@ -7,12 +7,10 @@ ablation and prints the paper-vs-model comparison; run with::
 
 Simulations are deterministic, so small round counts give stable timing
 without sacrificing the comparison output.
+
+The :func:`emit` helper lives in :mod:`benchmarks.bench_common`; the
+re-export here keeps any out-of-tree ``from conftest import emit`` users
+working.
 """
 
-import pytest
-
-
-def emit(report_text: str) -> None:
-    """Print a rendered experiment report under the bench output."""
-    print()
-    print(report_text)
+from benchmarks.bench_common import emit  # noqa: F401  (re-export)

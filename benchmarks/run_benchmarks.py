@@ -1,0 +1,193 @@
+"""Record the fast-path perf trajectory to ``BENCH_<n>.json``.
+
+Runs each benchmark workload on its *reference* engine and on its *fast*
+engine, verifies the simulated results are identical (and that Table 1
+still matches the paper within the suite's tolerances), then appends a
+timestamped entry to the trajectory file so successive PRs accumulate a
+wall-clock history::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py             # full
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick     # CI smoke
+
+Benchmarks
+----------
+* ``bench_table1`` -- the full Table 1 regeneration (5 bank rows x 4
+  scheduler configs): batched bank engine vs per-access reference walk.
+* ``bench_ablation_threads`` -- the IXP1200 multithreading ablation
+  sweep: calendar-queue kernel vs heapq reference kernel.
+* ``kernel_events`` -- raw same-time + delay event throughput of the two
+  kernel engines.
+
+Exits non-zero if any engine pair disagrees on simulated results or the
+headline ``bench_table1`` speedup drops below the 2x floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import paper_data as paper                     # noqa: E402
+from repro.analysis.experiments import run_table1                  # noqa: E402
+from repro.ixp import simulate_ixp                                 # noqa: E402
+import repro.ixp.system as ixp_system                              # noqa: E402
+from repro.sim.kernel import HeapqSimulator, Simulator             # noqa: E402
+
+#: Headline requirement: the batched engine must keep Table 1 at least
+#: this much faster than the reference walk.
+TABLE1_SPEEDUP_FLOOR = 2.0
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_table1(quick: bool, repeats: int) -> dict:
+    """Full Table 1 on both DDR engines; results must be identical."""
+    fast_flag = quick  # quick mode shrinks access counts, same workload shape
+    ref_s, ref_report = _best_of(
+        lambda: run_table1(fast=fast_flag, engine="reference"), repeats)
+    fast_s, fast_report = _best_of(
+        lambda: run_table1(fast=fast_flag, engine="fast"), repeats)
+    if fast_report.values != ref_report.values:
+        raise SystemExit("bench_table1: engines disagree on simulated values")
+    # The suite's own tolerance: conflict-only columns within 0.03.
+    for banks, row in paper.PAPER_TABLE1.items():
+        ours = fast_report.values[f"banks{banks}"]
+        for col in (0, 2):
+            if abs(ours[col] - row[col]) > 0.03:
+                raise SystemExit(
+                    f"bench_table1: banks={banks} col={col} drifted from the "
+                    f"paper ({ours[col]:.3f} vs {row[col]:.3f})")
+    return {
+        "reference_s": round(ref_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup": round(ref_s / fast_s, 2),
+        "identical_results": True,
+    }
+
+
+def bench_ablation_threads(quick: bool, repeats: int) -> dict:
+    """IXP multithreading ablation sweep on both kernel engines."""
+    queues = (16, 128) if quick else (16, 128, 1024)
+
+    def sweep():
+        return {
+            q: (simulate_ixp(q, 6, multithreading=False).kpps,
+                simulate_ixp(q, 6, multithreading=True).kpps)
+            for q in queues
+        }
+
+    try:
+        ixp_system.Simulator = HeapqSimulator
+        ref_s, ref_rows = _best_of(sweep, repeats)
+    finally:
+        ixp_system.Simulator = Simulator
+    cal_s, cal_rows = _best_of(sweep, repeats)
+    if cal_rows != ref_rows:
+        raise SystemExit(
+            "bench_ablation_threads: kernels disagree on simulated rates")
+    return {
+        "reference_s": round(ref_s, 4),
+        "fast_s": round(cal_s, 4),
+        "speedup": round(ref_s / cal_s, 2),
+        "identical_results": True,
+    }
+
+
+def bench_kernel_events(quick: bool, repeats: int) -> dict:
+    """Raw kernel event throughput: clocked processes with shared edges."""
+    procs, steps = (50, 200) if quick else (200, 500)
+
+    def drive(sim_cls):
+        sim = sim_cls()
+
+        def clocked(period):
+            for _ in range(steps):
+                yield period
+                yield None
+
+        for i in range(procs):
+            sim.spawn(clocked(1000 * (1 + i % 4)))
+        sim.run()
+        return sim.now
+
+    ref_s, ref_now = _best_of(lambda: drive(HeapqSimulator), repeats)
+    cal_s, cal_now = _best_of(lambda: drive(Simulator), repeats)
+    if cal_now != ref_now:
+        raise SystemExit("kernel_events: kernels disagree on final time")
+    events = procs * steps * 2
+    return {
+        "reference_s": round(ref_s, 4),
+        "fast_s": round(cal_s, 4),
+        "speedup": round(ref_s / cal_s, 2),
+        "fast_events_per_s": round(events / cal_s),
+        "identical_results": True,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output", default=str(REPO_ROOT / "BENCH_1.json"),
+                    help="trajectory file to append to (default: BENCH_1.json)")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke subset: shrunken workloads, 1 repeat")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per engine (best-of; default 3, 1 with --quick)")
+    args = ap.parse_args(argv)
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    benches = {
+        "bench_table1": bench_table1,
+        "bench_ablation_threads": bench_ablation_threads,
+        "kernel_events": bench_kernel_events,
+    }
+    results = {}
+    for name, fn in benches.items():
+        results[name] = fn(args.quick, repeats)
+        r = results[name]
+        print(f"{name}: reference={r['reference_s']}s fast={r['fast_s']}s "
+              f"-> {r['speedup']}x")
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "repeats": repeats,
+        "benchmarks": results,
+    }
+    out = Path(args.output)
+    trajectory = {"schema": 1, "runs": []}
+    if out.exists():
+        try:
+            trajectory = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {out} was unreadable, starting fresh")
+    trajectory.setdefault("runs", []).append(entry)
+    out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended run #{len(trajectory['runs'])} to {out}")
+
+    headline = results["bench_table1"]["speedup"]
+    if headline < TABLE1_SPEEDUP_FLOOR:
+        print(f"FAIL: bench_table1 speedup {headline}x is below the "
+              f"{TABLE1_SPEEDUP_FLOOR}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,8 +38,14 @@ class ExperimentReport:
 _MMS_CFG = MmsConfig(num_flows=2048, num_segments=16384, num_descriptors=8192)
 
 
-def run_table1(fast: bool = False, seed: int = 2005) -> ExperimentReport:
-    """Table 1: DDR throughput loss vs banks and scheduler."""
+def run_table1(fast: bool = False, seed: int = 2005,
+               engine: str = "fast") -> ExperimentReport:
+    """Table 1: DDR throughput loss vs banks and scheduler.
+
+    ``engine`` selects the DDR execution engine (``"fast"`` = batched
+    bank model, ``"reference"`` = per-access generator walk); results
+    are bit-identical, only wall-clock differs.
+    """
     accesses = 20_000 if fast else 100_000
     rows = []
     values: Dict[str, object] = {}
@@ -49,7 +55,7 @@ def run_table1(fast: bool = False, seed: int = 2005) -> ExperimentReport:
                               (True, False), (True, True)):
             res = simulate_throughput_loss(
                 banks, optimized=optimized, model_rw_turnaround=rw,
-                num_accesses=accesses, seed=seed)
+                num_accesses=accesses, seed=seed, engine=engine)
             ours.append(res.loss)
         values[f"banks{banks}"] = tuple(ours)
         rows.append([banks, p_ser, round(ours[0], 3), p_ser_rw,

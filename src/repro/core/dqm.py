@@ -15,14 +15,38 @@ can be done, almost, in parallel with the pointer handling".
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from functools import lru_cache
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.commands import Command, CommandType
 from repro.core.dmc import DataMemoryController
-from repro.core.latency import CommandLatency, LatencyBreakdown
-from repro.core.microcode import MICROCODE
+from repro.core.latency import LatencyBreakdown
+from repro.core.microcode import SCHEDULE_COSTS
 from repro.queueing import PacketQueueManager
 from repro.sim import Clock, Simulator
+
+#: Per-command timing tuple used on the execute hot path:
+#: (handoff_ps, tail_ps, latency_cycles, execution_cycles_f, ptr_accesses)
+_CmdTiming = Tuple[int, int, int, float, int]
+
+
+@lru_cache(maxsize=None)
+def _timing_table(period_ps: int, overlap_data: bool) -> Dict[CommandType, _CmdTiming]:
+    """Memoized per-clock expansion of every command schedule.
+
+    The schedule is a pure function of ``(CommandType, overlap flag)``
+    and the clock period, so the picosecond conversions are done once
+    per configuration instead of once per executed command.
+    """
+    table: Dict[CommandType, _CmdTiming] = {}
+    for cmd, costs in SCHEDULE_COSTS.items():
+        handoff_cycles = (costs.overlap_handoff_cycles if overlap_data
+                          else costs.latency_cycles)
+        handoff_ps = handoff_cycles * period_ps
+        tail_ps = (costs.latency_cycles - handoff_cycles) * period_ps
+        table[cmd] = (handoff_ps, tail_ps, costs.latency_cycles,
+                      costs.execution_cycles_f, costs.ptr_accesses)
+    return table
 
 
 class MicrocodeMismatchError(AssertionError):
@@ -48,6 +72,10 @@ class DataQueueManager:
         #: Section 6.1 credits the overlap for the 10.5-cycle overhead).
         self.overlap_data = overlap_data
         self.commands_executed = 0
+        # Memoized per-command timing for this clock domain; both overlap
+        # variants are kept so flipping the ablation flag stays valid.
+        self._timing_overlap = _timing_table(clock.period_ps, True)
+        self._timing_serial = _timing_table(clock.period_ps, False)
 
     # ----------------------------------------------------------- execute
 
@@ -59,34 +87,34 @@ class DataQueueManager:
         completes asynchronously.  The latency record is finalized when
         both execution and data transfer are done.
         """
-        micro = MICROCODE[cmd.type]
+        timing = (self._timing_overlap if self.overlap_data
+                  else self._timing_serial)
+        handoff_ps, tail_ps, latency_cycles, exec_cycles_f, ptr_accesses = \
+            timing[cmd.type]
         cmd.start_exec_ps = self.sim.now
         result, trace_len, data_slot = self._dispatch(cmd)
-        if self.strict_microcode and trace_len != micro.ptr_accesses:
+        if self.strict_microcode and trace_len != ptr_accesses:
             raise MicrocodeMismatchError(
                 f"{cmd.type.value}: functional trace has {trace_len} pointer "
-                f"accesses, schedule has {micro.ptr_accesses}"
+                f"accesses, schedule has {ptr_accesses}"
             )
         cmd.result = result  # type: ignore[attr-defined]
 
-        cyc = self.clock.cycles_to_ps
-        handoff_cycles = (micro.first_ptr_cycle + 1 if self.overlap_data
-                          else micro.latency_cycles)
-        yield cyc(handoff_cycles)
+        yield handoff_ps
 
         data_event = None
         if cmd.touches_data_memory and self.dmc is not None:
             data_event = self.dmc.submit(cmd.is_data_write, data_slot or 0,
                                          tag=cmd.cid)
-        yield cyc(micro.latency_cycles - handoff_cycles)
+        yield tail_ps
         cmd.end_exec_ps = self.sim.now
         self.commands_executed += 1
         if cmd.completion is not None:
             cmd.completion.trigger(result)
-        self.sim.spawn(self._finalize(cmd, micro.latency_cycles, data_event),
+        self.sim.spawn(self._finalize(cmd, exec_cycles_f, data_event),
                        name=f"fin{cmd.cid}")
 
-    def _finalize(self, cmd: Command, exec_cycles: int, data_event):
+    def _finalize(self, cmd: Command, exec_cycles_f: float, data_event):
         period = self.clock.period_ps
         data_cycles = 0.0
         if data_event is not None:
@@ -100,13 +128,12 @@ class DataQueueManager:
             if cmd.submit_ps >= 0 else 0.0
         submit = cmd.submit_ps if cmd.submit_ps >= 0 else cmd.start_exec_ps
         completion = max(cmd.end_exec_ps, cmd.data_done_ps)
-        self.breakdown.record(CommandLatency(
-            cid=cmd.cid,
+        self.breakdown.record_parts(
             fifo_cycles=fifo_cycles,
-            execution_cycles=float(exec_cycles),
+            execution_cycles=exec_cycles_f,
             data_cycles=data_cycles,
             end_to_end_cycles=(completion - submit) / period,
-        ))
+        )
 
     # ---------------------------------------------------------- dispatch
 

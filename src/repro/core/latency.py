@@ -48,11 +48,19 @@ class LatencyBreakdown:
                                           keep_samples=keep_samples)
 
     def record(self, lat: CommandLatency) -> None:
-        self.fifo.record(lat.fifo_cycles)
-        self.execution.record(lat.execution_cycles)
-        self.data.record(lat.data_cycles)
-        self.total.record(lat.total_cycles)
-        self.end_to_end.record(lat.end_to_end_cycles)
+        self.record_parts(lat.fifo_cycles, lat.execution_cycles,
+                          lat.data_cycles, lat.end_to_end_cycles)
+
+    def record_parts(self, fifo_cycles: float, execution_cycles: float,
+                     data_cycles: float, end_to_end_cycles: float = 0.0) -> None:
+        """Record one command's decomposition without materializing a
+        :class:`CommandLatency` -- the per-command fast path of the load
+        experiments (``total`` is the paper's additive decomposition)."""
+        self.fifo.record(fifo_cycles)
+        self.execution.record(execution_cycles)
+        self.data.record(data_cycles)
+        self.total.record(fifo_cycles + execution_cycles + data_cycles)
+        self.end_to_end.record(end_to_end_cycles)
 
     @property
     def count(self) -> int:

@@ -25,6 +25,7 @@ real data-structure work rather than free-floating constants.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Tuple
 
 from repro.core.commands import CommandType
@@ -35,7 +36,13 @@ STEP_KINDS = ("decode", "ptr", "alu", "dmc", "resp", "sync", "ack")
 
 @dataclass(frozen=True)
 class Microcode:
-    """One command's pipeline schedule."""
+    """One command's pipeline schedule.
+
+    The derived quantities (``latency_cycles``, ``ptr_accesses``, ...)
+    are pure functions of the step tuple; they are computed once per
+    schedule and cached -- the MMS load experiments evaluate them per
+    executed command, millions of times per run.
+    """
 
     command: CommandType
     steps: Tuple[str, ...]
@@ -47,23 +54,23 @@ class Microcode:
         if not self.steps or self.steps[0] != "decode":
             raise ValueError("schedules must begin with a decode step")
 
-    @property
+    @cached_property
     def latency_cycles(self) -> int:
         """Execution latency of the command (one cycle per step)."""
         return len(self.steps)
 
-    @property
+    @cached_property
     def ptr_accesses(self) -> int:
         """Pointer-SRAM accesses in the schedule."""
         return sum(1 for s in self.steps if s == "ptr")
 
-    @property
+    @cached_property
     def first_ptr_cycle(self) -> int:
         """Cycle (0-based) of the first pointer access -- the data-memory
         address is available one cycle later."""
         return self.steps.index("ptr")
 
-    @property
+    @cached_property
     def has_dmc_handoff(self) -> bool:
         return "dmc" in self.steps
 
@@ -152,6 +159,49 @@ MICROCODE: Dict[CommandType, Microcode] = {
         "ack",
     ),
 }
+
+@dataclass(frozen=True)
+class ScheduleCosts:
+    """Fully expanded, precomputed costs of one command schedule.
+
+    Everything the DQM needs per executed command, collapsed into one
+    flat record so the execute path does a single dict lookup instead of
+    re-walking the step tuple: the WRITE/READ/ENQ/DEQ commands of a load
+    run reuse the same expansion millions of times.
+    """
+
+    latency_cycles: int
+    ptr_accesses: int
+    first_ptr_cycle: int
+    has_dmc_handoff: bool
+    #: cycles until the DMC hand-off when data/pointer work overlaps
+    #: (one cycle after the first pointer access)
+    overlap_handoff_cycles: int
+    #: execution latency as a float, pre-converted for latency records
+    execution_cycles_f: float
+
+
+def _expand(micro: Microcode) -> ScheduleCosts:
+    return ScheduleCosts(
+        latency_cycles=micro.latency_cycles,
+        ptr_accesses=micro.ptr_accesses,
+        first_ptr_cycle=micro.first_ptr_cycle,
+        has_dmc_handoff=micro.has_dmc_handoff,
+        overlap_handoff_cycles=micro.first_ptr_cycle + 1,
+        execution_cycles_f=float(micro.latency_cycles),
+    )
+
+
+#: Memoized schedule expansion, one entry per command type.
+SCHEDULE_COSTS: Dict[CommandType, ScheduleCosts] = {
+    cmd: _expand(micro) for cmd, micro in MICROCODE.items()
+}
+
+
+def schedule_costs(command: CommandType) -> ScheduleCosts:
+    """Precomputed costs for ``command`` (pure function of the type)."""
+    return SCHEDULE_COSTS[command]
+
 
 #: Table 4 of the paper: command -> published latency in cycles.
 TABLE4_CYCLES: Dict[CommandType, int] = {

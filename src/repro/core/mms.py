@@ -263,18 +263,23 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
     # fresh recorders after warm-up for clean steady-state means
     horizon = (num_volleys + 64) * volley_period_ps + 10 * SEC // 1000
     warm_breakdown = LatencyBreakdown(mms.clock, keep_samples=config.keep_samples)
-    original_record = mms.breakdown.record
+    original_record_parts = mms.breakdown.record_parts
     state = {"t0": None, "t_last": 0}
 
-    def recording_with_warmup(lat):
-        original_record(lat)
+    # Hook the parts-level recorder: both LatencyBreakdown.record and the
+    # DQM's allocation-free record_parts fast path funnel through it.
+    def recording_with_warmup(fifo_cycles, execution_cycles, data_cycles,
+                              end_to_end_cycles=0.0):
+        original_record_parts(fifo_cycles, execution_cycles, data_cycles,
+                              end_to_end_cycles)
         state["t_last"] = sim.now
         if mms.breakdown.count == warmup_volleys * 4:
             state["t0"] = sim.now
         if state["t0"] is not None and mms.breakdown.count > warmup_volleys * 4:
-            warm_breakdown.record(lat)
+            warm_breakdown.record_parts(fifo_cycles, execution_cycles,
+                                        data_cycles, end_to_end_cycles)
 
-    mms.breakdown.record = recording_with_warmup  # type: ignore[assignment]
+    mms.breakdown.record_parts = recording_with_warmup  # type: ignore[assignment]
     sim.run(until_ps=horizon)
 
     elapsed = state["t_last"] - (state["t0"] or 0)

@@ -29,6 +29,9 @@ class SharedMemoryUnit:
         self._port = Resource(sim, slots=1, name=f"{name}.port")
         self.total_accesses = 0
         self.wait = LatencyRecorder(f"{name}.wait")
+        # Pure functions of (costs, clock): convert once, not per access.
+        self._service_ps = clock.cycles_to_ps(costs.service_cycles)
+        self._overhead_ps = clock.cycles_to_ps(costs.engine_overhead_cycles)
 
     def access(self) -> Generator:
         """One blocking single-word access from microengine code.
@@ -39,9 +42,9 @@ class SharedMemoryUnit:
         t0 = self.sim.now
         yield from self._port.acquire()
         self.wait.record(self.sim.now - t0)
-        yield self.clock.cycles_to_ps(self.costs.service_cycles)
+        yield self._service_ps
         self._port.release()
-        yield self.clock.cycles_to_ps(self.costs.engine_overhead_cycles)
+        yield self._overhead_ps
         self.total_accesses += 1
 
     @property

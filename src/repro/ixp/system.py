@@ -88,14 +88,17 @@ class IxpSystem:
 
     def _engine_body(self, idx: int):
         """Single-threaded microengine: block on every memory access."""
-        cyc = self.clock.cycles_to_ps
         prog = self.program
         work = prog.alu_cycles + prog.scan_words * self.params.bitmap_word_cycles
+        work_ps = self.clock.cycles_to_ps(work)
+        accesses = prog.memory_accesses
+        unit_access = self._unit.access
+        done = self._done
         while True:
-            yield cyc(work)
-            for _ in range(prog.memory_accesses):
-                yield from self._unit.access()
-            self._done[idx] += 1
+            yield work_ps
+            for _ in range(accesses):
+                yield from unit_access()
+            done[idx] += 1
 
     def _spawn_threaded_engine(self, idx: int) -> None:
         """Hardware-multithreaded engine (ablation): contexts share the
@@ -108,21 +111,24 @@ class IxpSystem:
                            name=f"me{idx}.t{t}")
 
     def _thread_body(self, idx: int, engine: Resource):
-        cyc = self.clock.cycles_to_ps
         prog = self.program
         work = prog.alu_cycles + prog.scan_words * self.params.bitmap_word_cycles
-        ctx = self.params.context_switch_cycles
+        work_ps = self.clock.cycles_to_ps(work)
+        ctx_ps = self.clock.cycles_to_ps(self.params.context_switch_cycles)
+        accesses = prog.memory_accesses
+        unit_access = self._unit.access
+        done = self._done
         while True:
             yield from engine.acquire()
-            yield cyc(work)
-            for _ in range(prog.memory_accesses):
+            yield work_ps
+            for _ in range(accesses):
                 # swap out while the access is in flight
                 engine.release()
-                yield from self._unit.access()
+                yield from unit_access()
                 yield from engine.acquire()
-                yield cyc(ctx)
+                yield ctx_ps
             engine.release()
-            self._done[idx] += 1
+            done[idx] += 1
 
     # ---------------------------------------------------------------- run
 

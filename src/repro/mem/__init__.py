@@ -15,7 +15,10 @@ in Table 1 (round-robin serializing vs reordering with per-port FIFOs and
 last-3-access history); :mod:`repro.mem.patterns` generates the random
 bank access patterns of the evaluation; :mod:`repro.mem.sram` models the
 ZBT SRAM pointer memory; :mod:`repro.mem.controller` wraps the raw models
-behind the DES kernel for use inside the platform models.
+behind the DES kernel for use inside the platform models;
+:mod:`repro.mem.fastpath` is the batched bank-state engine behind
+``simulate_throughput_loss(engine="fast")`` -- bit-identical to the
+reference drivers, an order of magnitude fewer Python operations.
 """
 
 from repro.mem.timing import DDR_64B_ACCESS_BYTES, DdrTiming, ZbtTiming
@@ -33,6 +36,11 @@ from repro.mem.sched import (
     simulate_throughput_loss,
     run_reordering,
     run_serializing,
+)
+from repro.mem.fastpath import (
+    fast_reordering,
+    fast_serializing,
+    fast_throughput_loss,
 )
 from repro.mem.controller import DdrController, MemRequest, SramController
 
@@ -53,6 +61,9 @@ __all__ = [
     "run_serializing",
     "run_reordering",
     "simulate_throughput_loss",
+    "fast_serializing",
+    "fast_reordering",
+    "fast_throughput_loss",
     "DdrController",
     "SramController",
     "MemRequest",

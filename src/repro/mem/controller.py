@@ -79,6 +79,12 @@ class DdrController:
                               model_rw_turnaround=True)
         self.reorder_window = reorder_window
         self.pipeline_overhead_ps = pipeline_overhead_ns * NS
+        # Completion delay is a pure function of the op; precompute both
+        # directions instead of re-deriving them per request.
+        self._complete_delay_ps = {
+            MemOp.READ: timing.read_delay_ns * NS + self.pipeline_overhead_ps,
+            MemOp.WRITE: timing.write_delay_ns * NS + self.pipeline_overhead_ps,
+        }
         self._queue: List[tuple[MemRequest, Event]] = []
         self._kick: Optional[Event] = None
         self.queue_wait = LatencyRecorder(f"{name}.queue_wait")
@@ -134,8 +140,7 @@ class DdrController:
             self.model.issue(access, issue_slot)
             # Data valid after the device delay plus the fixed controller
             # pipeline; the issue stage only holds the access cycle.
-            delay_ps = (self.model.data_delay_ns(req.op) * NS
-                        + self.pipeline_overhead_ps)
+            delay_ps = self._complete_delay_ps[req.op]
             self.sim.spawn(self._complete(req, done, delay_ps),
                            name=f"{self.name}.data")
             yield access_cycle_ps

@@ -1,0 +1,236 @@
+"""Batched fast-path engine for the Table 1 DDR experiments.
+
+The reference drivers in :mod:`repro.mem.sched` walk one
+:class:`~repro.mem.ddr.Access` dataclass at a time through
+:class:`~repro.mem.ddr.DdrModel` method calls and per-port generator
+patterns.  That is the right shape for composability, but Table 1 runs
+hundreds of thousands of accesses per cell, and at that volume the
+allocation and call overhead dominates the arithmetic.
+
+This module advances the *entire* bank state machine per scheduling
+decision in plain local-variable loops: bank release slots live in one
+list, the reordering scheduler's bounded issue history in a short list
+of ``(bank, slot)`` pairs, and the uniform random bank draws come
+straight from ``Random._randbelow`` -- the exact primitive
+``Random.randrange(n)`` resolves to, so the consumed bit stream (and
+hence every simulated value) is identical to the generator-based
+patterns.  No ``Access`` objects, no DES processes, no per-access method
+dispatch.
+
+Equivalence is not aspirational: ``tests/mem/test_fastpath.py`` asserts
+field-for-field equal :class:`~repro.mem.sched.ScheduleResult` outputs
+against the reference engine across bank counts, seeds, history depths
+and both ablation flags, and the benchmark harness re-checks the Table 1
+values whenever it records a speedup.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.mem.ddr import MemOp
+from repro.mem.timing import DdrTiming
+
+# Imported late by repro.mem.sched to avoid a cycle; ScheduleResult is
+# the shared result type.
+from repro.mem import sched as _sched
+
+#: Port operation layout of the paper's 4-port set-up (Section 3,
+#: footnote 3): net-write, net-read, cpu-write, cpu-read.
+_PAPER_PORT_IS_WRITE: Tuple[bool, ...] = (True, False, True, False)
+
+
+def fast_serializing(num_banks: int, num_accesses: int,
+                     rng: random.Random,
+                     timing: DdrTiming = DdrTiming(),
+                     model_rw_turnaround: bool = True) -> "_sched.ScheduleResult":
+    """Batched round-robin serializing scheduler (reference:
+    :func:`repro.mem.sched.run_serializing` over the paper's patterns)."""
+    randbelow = rng._randbelow  # identical bit stream to randrange(n)
+    busy = timing.bank_busy_cycles
+    war = timing.write_after_read_penalty_cycles
+    is_write = _PAPER_PORT_IS_WRITE
+    nports = len(is_write)
+    bank_free = [0] * num_banks
+    per_port = [0] * nports
+    bank_stalls = 0
+    turnaround_stalls = 0
+    next_free = 0
+    last_slot = -1
+    last_was_read = False
+    for i in range(num_accesses):
+        write = is_write[i % nports]
+        bank = randbelow(num_banks)
+        bf = bank_free[bank]
+        bank_wait = bf - next_free
+        if bank_wait < 0:
+            bank_wait = 0
+        slot = bf if bf > next_free else next_free
+        if model_rw_turnaround and write and last_was_read:
+            turnaround_free = last_slot + 1 + war
+            if turnaround_free > slot:
+                slot = turnaround_free
+        total_wait = slot - next_free
+        bank_stalls += bank_wait if bank_wait < total_wait else total_wait
+        if total_wait > bank_wait:
+            turnaround_stalls += total_wait - bank_wait
+        bank_free[bank] = slot + busy
+        last_was_read = not write
+        per_port[i % nports] += 1
+        last_slot = slot
+        next_free = slot + 1
+    elapsed = last_slot + 1 if last_slot >= 0 else 0
+    return _sched.ScheduleResult(
+        issued=num_accesses,
+        elapsed_slots=elapsed,
+        nop_slots=elapsed - num_accesses,
+        bank_stall_slots=bank_stalls,
+        turnaround_stall_slots=turnaround_stalls,
+        history_miss_slots=0,
+        per_port_issued=per_port,
+    )
+
+
+def fast_reordering(num_banks: int, num_accesses: int,
+                    rng: random.Random,
+                    timing: DdrTiming = DdrTiming(),
+                    model_rw_turnaround: bool = True,
+                    history_depth: int = _sched.PAPER_HISTORY_DEPTH,
+                    prefer_same_type: bool = False) -> "_sched.ScheduleResult":
+    """Batched reordering scheduler (reference:
+    :func:`repro.mem.sched.run_reordering` over the paper's patterns).
+
+    The bounded issue history is a short list of ``(bank, slot)`` pairs
+    scanned inline -- at the paper's depth of 3 that is at most twelve
+    integer compares per access cycle, replacing a set comprehension
+    over dataclass records plus a ``sorted`` round-robin pick.
+    """
+    if history_depth < 0:
+        raise ValueError(f"history_depth must be >= 0, got {history_depth}")
+    randbelow = rng._randbelow
+    busy = timing.bank_busy_cycles
+    war = timing.write_after_read_penalty_cycles
+    is_write = _PAPER_PORT_IS_WRITE
+    n = len(is_write)
+    heads: List[int] = [randbelow(num_banks) for _ in range(n)]
+    bank_free = [0] * num_banks
+    per_port = [0] * n
+    history: List[Tuple[int, int]] = []  # (bank, issue slot), newest last
+
+    issued = 0
+    slot = 0
+    nop_slots = 0
+    bank_stalls = 0
+    turnaround_stalls = 0
+    history_miss = 0
+    rr_next = 0
+    last_was_read = False
+    have_last = False
+    last_issue_slot = -1
+
+    while issued < num_accesses:
+        # --- eligibility: banks the (bounded) history believes busy -----
+        choice = -1
+        if prefer_same_type and model_rw_turnaround and have_last and last_was_read:
+            # ablation A4: among eligible heads prefer reads (no
+            # write-after-read turnaround), round-robin from rr_next
+            fallback = -1
+            for off in range(n):
+                p = (rr_next + off) % n
+                bank = heads[p]
+                for hb, hs in history:
+                    if hb == bank and hs + busy > slot:
+                        break
+                else:
+                    if not is_write[p]:
+                        choice = p
+                        break
+                    if fallback < 0:
+                        fallback = p
+            if choice < 0:
+                choice = fallback
+        else:
+            for off in range(n):
+                p = (rr_next + off) % n
+                bank = heads[p]
+                for hb, hs in history:
+                    if hb == bank and hs + busy > slot:
+                        break
+                else:
+                    choice = p
+                    break
+        if choice < 0:
+            # "the scheduler sends a no-operation to the memory, losing
+            # an access cycle"
+            nop_slots += 1
+            bank_stalls += 1
+            slot += 1
+            continue
+
+        bank = heads[choice]
+        write = is_write[choice]
+
+        # --- earliest legal issue slot (bank reuse + turnaround) --------
+        bf = bank_free[bank]
+        issue_slot = bf if bf > slot else slot
+        if model_rw_turnaround and write and last_was_read and have_last:
+            turnaround_free = last_issue_slot + 1 + war
+            if turnaround_free > issue_slot:
+                issue_slot = turnaround_free
+        if issue_slot > slot:
+            lost = issue_slot - slot
+            if bf > slot:
+                history_miss += lost
+            else:
+                turnaround_stalls += lost
+            nop_slots += lost
+            slot = issue_slot
+
+        bank_free[bank] = slot + busy
+        if history_depth > 0:
+            history.append((bank, slot))
+            if len(history) > history_depth:
+                del history[0]
+        per_port[choice] += 1
+        heads[choice] = randbelow(num_banks)
+        rr_next = (choice + 1) % n
+        last_was_read = not write
+        have_last = True
+        last_issue_slot = slot
+        issued += 1
+        slot += 1
+
+    elapsed = last_issue_slot + 1 if last_issue_slot >= 0 else 0
+    return _sched.ScheduleResult(
+        issued=issued,
+        elapsed_slots=elapsed,
+        nop_slots=nop_slots,
+        bank_stall_slots=bank_stalls,
+        turnaround_stall_slots=turnaround_stalls,
+        history_miss_slots=history_miss,
+        per_port_issued=per_port,
+    )
+
+
+def fast_throughput_loss(num_banks: int, optimized: bool,
+                         model_rw_turnaround: bool,
+                         num_accesses: int = 200_000,
+                         seed: int = 2005,
+                         timing: DdrTiming = DdrTiming(),
+                         history_depth: int = _sched.PAPER_HISTORY_DEPTH,
+                         prefer_same_type: bool = False) -> "_sched.ScheduleResult":
+    """One Table 1 cell on the batched engine.
+
+    Same contract (and bit-identical result) as
+    :func:`repro.mem.sched.simulate_throughput_loss` with
+    ``engine="reference"``.
+    """
+    rng = random.Random(seed)
+    if optimized:
+        return fast_reordering(num_banks, num_accesses, rng, timing=timing,
+                               model_rw_turnaround=model_rw_turnaround,
+                               history_depth=history_depth,
+                               prefer_same_type=prefer_same_type)
+    return fast_serializing(num_banks, num_accesses, rng, timing=timing,
+                            model_rw_turnaround=model_rw_turnaround)

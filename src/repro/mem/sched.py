@@ -246,13 +246,31 @@ def simulate_throughput_loss(num_banks: int, optimized: bool,
                              seed: int = 2005,
                              timing: DdrTiming = DdrTiming(),
                              history_depth: int = PAPER_HISTORY_DEPTH,
-                             prefer_same_type: bool = False) -> ScheduleResult:
+                             prefer_same_type: bool = False,
+                             engine: str = "fast") -> ScheduleResult:
     """One Table 1 cell: throughput loss for a bank count and scheduler.
 
     Reproduces the paper's set-up: 4 backlogged ports (2 write + 2 read)
     issuing uniformly random bank accesses, serialized round-robin
     (``optimized=False``) or reordered (``optimized=True``).
+
+    ``engine`` selects the execution engine: ``"fast"`` (default) runs
+    the batched bank model of :mod:`repro.mem.fastpath`, ``"reference"``
+    walks the generator patterns through :class:`DdrModel` one access at
+    a time.  Both produce bit-identical results (asserted by
+    ``tests/mem/test_fastpath.py``); the reference engine remains the
+    executable specification.
     """
+    if engine == "fast":
+        from repro.mem.fastpath import fast_throughput_loss
+        return fast_throughput_loss(
+            num_banks, optimized=optimized,
+            model_rw_turnaround=model_rw_turnaround,
+            num_accesses=num_accesses, seed=seed, timing=timing,
+            history_depth=history_depth, prefer_same_type=prefer_same_type)
+    if engine != "reference":
+        raise ValueError(
+            f"unknown engine {engine!r} (choose 'fast' or 'reference')")
     rng = random.Random(seed)
     ddr = DdrModel(timing=timing, num_banks=num_banks,
                    model_rw_turnaround=model_rw_turnaround)

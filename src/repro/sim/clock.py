@@ -62,6 +62,8 @@ class Clock:
 
     def cycles_to_ps(self, cycles: float) -> int:
         """Duration of ``cycles`` clock cycles, in picoseconds."""
+        if type(cycles) is int:  # exact already; skip float round-trip
+            return cycles * self.period_ps
         return round(cycles * self.period_ps)
 
     def ps_to_cycles(self, ps: int) -> float:

@@ -1,0 +1,80 @@
+"""Engine equivalence for the batched DDR fast path.
+
+The batched engine must produce results *field-for-field identical* to
+the reference generator/DdrModel walk -- same RNG bit stream, same issue
+slots, same stall decomposition -- across bank counts, seeds, history
+depths and both ablation flags.  ``ScheduleResult`` is a dataclass, so
+``==`` compares every field including the per-port issue counts.
+"""
+
+import pytest
+
+from repro.mem import (
+    DdrTiming,
+    fast_throughput_loss,
+    simulate_throughput_loss,
+)
+from repro.analysis.experiments import run_table1
+
+BANKS = (1, 4, 8, 16)
+
+
+@pytest.mark.parametrize("optimized", (False, True))
+@pytest.mark.parametrize("rw", (False, True))
+@pytest.mark.parametrize("banks", BANKS)
+def test_fast_engine_bit_identical(banks, optimized, rw):
+    kw = dict(num_banks=banks, optimized=optimized, model_rw_turnaround=rw,
+              num_accesses=4000, seed=2005)
+    ref = simulate_throughput_loss(engine="reference", **kw)
+    fast = simulate_throughput_loss(engine="fast", **kw)
+    assert fast == ref
+    assert fast.loss == ref.loss
+
+@pytest.mark.parametrize("seed", (0, 1, 42, 2005))
+def test_fast_engine_seed_sweep(seed):
+    kw = dict(num_banks=8, optimized=True, model_rw_turnaround=True,
+              num_accesses=3000, seed=seed)
+    assert (simulate_throughput_loss(engine="fast", **kw)
+            == simulate_throughput_loss(engine="reference", **kw))
+
+@pytest.mark.parametrize("history_depth", (0, 1, 2, 3))
+def test_fast_engine_history_ablation(history_depth):
+    """Ablation A1: shallow scheduler history must degrade identically."""
+    kw = dict(num_banks=8, optimized=True, model_rw_turnaround=True,
+              num_accesses=3000, seed=11, history_depth=history_depth)
+    assert (simulate_throughput_loss(engine="fast", **kw)
+            == simulate_throughput_loss(engine="reference", **kw))
+
+def test_fast_engine_rw_grouping_ablation():
+    """Ablation A4: read/write grouping preference must match."""
+    kw = dict(num_banks=8, optimized=True, model_rw_turnaround=True,
+              num_accesses=3000, seed=11, prefer_same_type=True)
+    assert (simulate_throughput_loss(engine="fast", **kw)
+            == simulate_throughput_loss(engine="reference", **kw))
+
+def test_fast_engine_custom_timing():
+    timing = DdrTiming(access_cycle_ns=40, bank_busy_ns=240,
+                       write_after_read_penalty_cycles=2)
+    kw = dict(num_banks=8, optimized=True, model_rw_turnaround=True,
+              num_accesses=2000, seed=3, timing=timing)
+    assert (simulate_throughput_loss(engine="fast", **kw)
+            == simulate_throughput_loss(engine="reference", **kw))
+
+def test_fast_throughput_loss_direct_entry_point():
+    assert (fast_throughput_loss(8, optimized=True, model_rw_turnaround=False,
+                                 num_accesses=2000)
+            == simulate_throughput_loss(8, optimized=True,
+                                        model_rw_turnaround=False,
+                                        num_accesses=2000,
+                                        engine="reference"))
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        simulate_throughput_loss(8, optimized=True, model_rw_turnaround=False,
+                                 num_accesses=100, engine="turbo")
+
+def test_run_table1_engines_agree():
+    """The full Table 1 driver returns identical values on both engines."""
+    fast = run_table1(fast=True, engine="fast")
+    ref = run_table1(fast=True, engine="reference")
+    assert fast.values == ref.values

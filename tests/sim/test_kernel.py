@@ -137,6 +137,70 @@ def test_negative_delay_raises():
     with pytest.raises(SimulationError):
         sim.run()
 
+def test_negative_delay_raises_under_run_until():
+    """The until_ps bound must not mask the negative-delay guard."""
+    sim = Simulator()
+
+    def body():
+        yield 10
+        yield -1
+
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run(until_ps=1000)
+
+def test_negative_delay_raises_mid_model():
+    """A later negative delay fails even after valid same-time traffic."""
+    sim = Simulator()
+
+    def good():
+        for _ in range(5):
+            yield 0
+
+    def bad():
+        yield None
+        yield -7
+
+    sim.spawn(good())
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run(until_ps=100)
+
+def test_stale_entries_skipped_lazily():
+    """Resumes for already-finished processes are dropped on pop (lazy
+    deletion) and counted, never executed."""
+    sim = Simulator()
+    ran = []
+
+    def body():
+        ran.append(sim.now)
+        yield 10
+
+    proc = sim.spawn(body())
+    sim.run()
+    assert proc.done
+    # schedule a resume for the dead process directly (kernel internals)
+    sim._push(sim.now + 5, proc, None)
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.stale_skips == 1
+    assert sim.pending_events == 0
+    assert ran == [0]
+
+def test_pending_events_counter_tracks_schedule():
+    sim = Simulator()
+
+    def body():
+        yield 10
+        yield 20
+
+    sim.spawn(body())
+    assert sim.pending_events == 1
+    sim.run(until_ps=10)
+    assert sim.pending_events == 1  # the resume at t=30 is scheduled
+    sim.run()
+    assert sim.pending_events == 0
+
 def test_bad_yield_type_raises():
     sim = Simulator()
 
