@@ -1,39 +1,25 @@
 """Ablation A2: MMS per-port command FIFO depth.
 
 The FIFOs "smooth the bursts of commands"; deeper FIFOs admit more burst
-without backpressure but let the saturation FIFO delay grow.  This sweep
-shows the delay/utilization trade-off behind the paper's small FIFOs.
+without backpressure but let the saturation FIFO delay grow.  The
+registered ``ablation-fifo-depth`` scenario shows the delay/utilization
+trade-off behind the paper's small FIFOs.
 """
 
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.analysis.tables import format_table
-from repro.core.mms import MmsConfig, run_load
-from repro.core.scheduler import PortConfig
+from repro.scenarios import Runner, render
 
 DEPTHS = (1, 2, 4, 8)
 
 
-def sweep(load=6.14):
-    out = {}
-    for depth in DEPTHS:
-        ports = tuple(PortConfig(n, priority=0, fifo_depth=depth)
-                      for n in ("in", "out", "cpu0", "cpu1"))
-        cfg = MmsConfig(num_flows=1024, num_segments=8192,
-                        num_descriptors=4096, ports=ports)
-        res = run_load(load, num_volleys=800, config=cfg, warmup_volleys=100)
-        out[depth] = (res.fifo_cycles, res.total_cycles)
-    return out
-
 def test_bench_fifo_depth_sweep(benchmark):
-    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
-    emit(format_table(
-        ["fifo depth", "fifo delay (cycles)", "total delay (cycles)"],
-        [[d, round(results[d][0], 1), round(results[d][1], 1)]
-         for d in DEPTHS],
-        title="Ablation A2: per-port FIFO depth at 6.14 Gbps"))
+    result = benchmark.pedantic(
+        lambda: Runner().run("ablation-fifo-depth"), iterations=1, rounds=1)
+    emit(render(result))
+    fifo = {d: result.metrics[f"depth{d}"][0] for d in DEPTHS}
     # saturation FIFO delay grows with depth (more queueing admitted)
-    assert results[8][0] > results[1][0]
+    assert fifo[8] > fifo[1]
     # the calibrated depth-2 point sits in the paper's regime (~68)
-    assert 30 <= results[2][0] <= 110
+    assert 30 <= fifo[2] <= 110

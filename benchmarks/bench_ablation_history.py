@@ -2,35 +2,26 @@
 
 The paper's scheduler "remembers the last 3 accesses" -- with a 4-slot
 bank-busy window and one issue per slot, depth 3 is exactly sufficient.
-This ablation sweeps the depth and shows: shallower history makes the
-scheduler optimistic (it attempts busy banks and stalls); deeper history
-buys nothing.
+This ablation sweeps the depth (as the registered
+``ablation-history-depth`` scenario) and shows: shallower history makes
+the scheduler optimistic (it attempts busy banks and stalls); deeper
+history buys nothing.
 """
 
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.analysis.tables import format_table
-from repro.mem import simulate_throughput_loss
+from repro.scenarios import Runner, render
 
 DEPTHS = (0, 1, 2, 3, 4, 6, 8)
 
 
-def sweep(num_accesses=15_000):
-    return {
-        d: simulate_throughput_loss(8, optimized=True,
-                                    model_rw_turnaround=False,
-                                    num_accesses=num_accesses,
-                                    history_depth=d).loss
-        for d in DEPTHS
-    }
-
 def test_bench_history_depth_sweep(benchmark):
-    losses = benchmark.pedantic(sweep, iterations=1, rounds=2)
-    emit(format_table(
-        ["history depth", "loss (8 banks, conflicts only)"],
-        [[d, round(losses[d], 4)] for d in DEPTHS],
-        title="Ablation A1: scheduler history depth (paper uses 3)"))
+    result = benchmark.pedantic(
+        lambda: Runner().run("ablation-history-depth"),
+        iterations=1, rounds=2)
+    emit(render(result))
+    losses = {d: result.metrics[f"depth{d}"] for d in DEPTHS}
     # depth 3 achieves the paper's 0.046; shallower is strictly worse
     assert losses[3] == pytest.approx(0.046, abs=0.02)
     assert losses[0] > losses[3] + 0.1

@@ -3,52 +3,33 @@
 Section 6.1: "The actual data accesses at the Data Memory can be done,
 almost, in parallel with the pointer handling ... a data access can
 start right after the first pointer memory access of each command."
-Serializing them (data issued only after the pointer work completes)
-shows what that scheduling bought: the full execution latency lands on
-top of every data access.
+Serializing them (the registered ``ablation-overlap`` scenario) shows
+what that scheduling bought: the full execution latency lands on top of
+every data access.
 """
 
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.analysis.tables import format_table
 from repro.core.mms import MmsConfig, run_load
+from repro.scenarios import Runner, render
 
 BASE = dict(num_flows=1024, num_segments=8192, num_descriptors=4096)
 
 
-def sweep(load=4.0):
-    overlapped = run_load(load, num_volleys=800, warmup_volleys=100,
-                          config=MmsConfig(**BASE, overlap_data=True))
-    serialized = run_load(load, num_volleys=800, warmup_volleys=100,
-                          config=MmsConfig(**BASE, overlap_data=False))
-    return overlapped, serialized
-
 def test_bench_pointer_data_overlap(benchmark):
-    overlapped, serialized = benchmark.pedantic(sweep, iterations=1, rounds=1)
-    emit(format_table(
-        ["configuration", "fifo", "exec", "data",
-         "additive total", "true end-to-end (cycles)"],
-        [["overlapped (MMS design)", round(overlapped.fifo_cycles, 1),
-          round(overlapped.execution_cycles, 1),
-          round(overlapped.data_cycles, 1),
-          round(overlapped.total_cycles, 1),
-          round(overlapped.end_to_end_cycles, 1)],
-         ["serialized (ablation)", round(serialized.fifo_cycles, 1),
-          round(serialized.execution_cycles, 1),
-          round(serialized.data_cycles, 1),
-          round(serialized.total_cycles, 1),
-          round(serialized.end_to_end_cycles, 1)]],
-        title="Ablation A5: data access overlapped with pointer work "
-              "(4 Gbps load)"))
+    result = benchmark.pedantic(
+        lambda: Runner().run("ablation-overlap"), iterations=1, rounds=1)
+    emit(render(result))
+    overlapped = result.metrics["overlapped"]
+    serialized = result.metrics["serialized"]
     # The paper's additive decomposition is insensitive to the overlap;
     # the true submit-to-completion latency shows what it bought: the
     # data transfer no longer waits out the pointer schedule (~8 cycles
-    # on a 10/11-cycle command).
-    assert (serialized.end_to_end_cycles
-            > overlapped.end_to_end_cycles + 5)
-    assert serialized.total_cycles == pytest.approx(
-        overlapped.total_cycles, abs=3)
+    # on a 10/11-cycle command).  (Index 3 = additive total, 4 = true
+    # end-to-end.)
+    assert serialized[4] > overlapped[4] + 5
+    assert serialized[3] == pytest.approx(overlapped[3], abs=3)
 
 def test_bench_overlap_at_light_load(benchmark):
     def light():

@@ -3,43 +3,25 @@
 The paper's reordering scheduler only minimizes *bank* conflicts; the
 write-after-read turnaround remains.  Grouping same-direction accesses
 (prefer an access that avoids the turnaround) recovers part of the
-interleaving loss -- the ablation quantifies how much was left on the
-table.
+interleaving loss -- the registered ``ablation-rw-grouping`` scenario
+quantifies how much was left on the table.
 """
 
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.analysis.tables import format_table
-from repro.mem import simulate_throughput_loss
+from repro.scenarios import Runner, render
 
 BANKS = (4, 8, 16)
 
 
-def sweep(num_accesses=15_000):
-    rows = {}
-    for banks in BANKS:
-        base = simulate_throughput_loss(banks, optimized=True,
-                                        model_rw_turnaround=True,
-                                        num_accesses=num_accesses)
-        grouped = simulate_throughput_loss(banks, optimized=True,
-                                           model_rw_turnaround=True,
-                                           num_accesses=num_accesses,
-                                           prefer_same_type=True)
-        rows[banks] = (base.loss, grouped.loss,
-                       base.turnaround_stall_slots,
-                       grouped.turnaround_stall_slots)
-    return rows
-
 def test_bench_rw_grouping(benchmark):
-    rows = benchmark.pedantic(sweep, iterations=1, rounds=2)
-    emit(format_table(
-        ["banks", "loss (paper policy)", "loss (+rw grouping)",
-         "turnaround stalls", "stalls w/ grouping"],
-        [[b, round(rows[b][0], 3), round(rows[b][1], 3),
-          rows[b][2], rows[b][3]] for b in BANKS],
-        title="Ablation A4: direction-aware selection on top of bank-aware"))
+    result = benchmark.pedantic(
+        lambda: Runner().run("ablation-rw-grouping"),
+        iterations=1, rounds=2)
+    emit(render(result))
     for banks in BANKS:
-        base_loss, grouped_loss, base_stalls, grouped_stalls = rows[banks]
+        base_loss, grouped_loss, base_stalls, grouped_stalls = \
+            result.metrics[f"banks{banks}"]
         assert grouped_stalls < base_stalls
         assert grouped_loss <= base_loss + 0.005

@@ -3,35 +3,25 @@
 The paper (citing its [10]) argues that "the overhead for the context
 switch, in the case of multithreading, exceeds the memory latency and
 thus this IXP feature cannot increase the performance of the memory
-management system".  The sweep compares single-threaded and 4-thread
-engines across the Table 2 queue counts.
+management system".  The registered ``ablation-multithreading`` scenario
+compares single-threaded and 4-thread engines across the Table 2 queue
+counts.
 """
 
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.analysis.tables import format_table
-from repro.ixp import simulate_ixp
+from repro.scenarios import Runner, render
 
 QUEUES = (16, 128, 1024)
 
 
-def sweep(engines=6):
-    rows = {}
-    for q in QUEUES:
-        plain = simulate_ixp(q, engines, multithreading=False)
-        threaded = simulate_ixp(q, engines, multithreading=True)
-        rows[q] = (plain.kpps, threaded.kpps)
-    return rows
-
 def test_bench_multithreading(benchmark):
-    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
-    emit(format_table(
-        ["queues", "single-thread Kpps", "4-thread Kpps", "speedup"],
-        [[q, round(rows[q][0]), round(rows[q][1]),
-          round(rows[q][1] / rows[q][0], 2)] for q in QUEUES],
-        title="Ablation: IXP1200 multithreading (6 engines)"))
+    result = benchmark.pedantic(
+        lambda: Runner().run("ablation-multithreading"),
+        iterations=1, rounds=1)
+    emit(render(result))
     # the paper's claim holds where it matters: in the SRAM regime the
     # context switch eats the benefit
-    plain, threaded = rows[128]
+    plain, threaded = result.metrics["q128"]
     assert threaded < plain * 1.10

@@ -4,9 +4,9 @@ the cross-cutting headline claims."""
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.analysis.experiments import run_figure1, run_figure2, run_headline
 from repro.core import MMS, MmsConfig
 from repro.npu import CopyStrategy, ReferenceNpu
+from repro.scenarios import Runner, render
 
 
 def test_bench_figure1_platform_build(benchmark):
@@ -14,18 +14,18 @@ def test_bench_figure1_platform_build(benchmark):
     npu = benchmark.pedantic(ReferenceNpu,
                              kwargs={"strategy": CopyStrategy.LINE},
                              iterations=1, rounds=5)
-    emit(run_figure1().rendered)
+    emit(render(Runner().run("figure1")))
     assert npu.queues.num_queues == 16
 
 def test_bench_figure2_mms_build(benchmark):
     """Construct the full Figure 2 MMS at paper scale (32 K flows)."""
     mms = benchmark.pedantic(MMS, iterations=1, rounds=3)
-    emit(run_figure2().rendered)
+    emit(render(Runner().run("figure2")))
     assert mms.pqm.num_flows == 32 * 1024
 
 def test_bench_headline_claims(benchmark):
-    report = benchmark.pedantic(run_headline, kwargs={"fast": True},
-                                iterations=1, rounds=1)
-    emit(report.rendered)
-    assert report.values["mms_gbps"] == pytest.approx(6.1, rel=0.05)
-    assert report.values["ixp_1k_mbps"] < 170
+    result = benchmark.pedantic(
+        lambda: Runner().run("headline", fast=True), iterations=1, rounds=1)
+    emit(render(result))
+    assert result.metrics["mms_gbps"] == pytest.approx(6.1, rel=0.05)
+    assert result.metrics["ixp_1k_mbps"] < 170

@@ -2,23 +2,24 @@
 
 Workload: 4 backlogged ports (2 write + 2 read), uniform random banks;
 serializing vs reordering scheduler; conflicts-only vs +interleaving.
+Runs through the scenario API (``Runner().run("table1", ...)``).
 """
 
 import pytest
 
 from benchmarks.bench_common import emit
 from repro.analysis import PAPER_TABLE1
-from repro.analysis.experiments import run_table1
 from repro.mem import simulate_throughput_loss
+from repro.scenarios import Runner, render
 
 
 def test_bench_table1_full(benchmark):
-    report = benchmark.pedantic(run_table1, kwargs={"fast": True},
-                                iterations=1, rounds=2)
-    emit(report.rendered)
+    result = benchmark.pedantic(
+        lambda: Runner().run("table1", fast=True), iterations=1, rounds=2)
+    emit(render(result))
     # shape assertions: conflict columns track the paper closely
     for banks, row in PAPER_TABLE1.items():
-        ours = report.values[f"banks{banks}"]
+        ours = result.metrics[f"banks{banks}"]
         assert ours[0] == pytest.approx(row[0], abs=0.03)
         assert ours[2] == pytest.approx(row[2], abs=0.03)
 

@@ -2,22 +2,23 @@
 
 Workload: saturated queue management (enqueue+dequeue per 64 B packet)
 for 16/128/1024 queues on 1 and 6 microengines with shared-controller
-contention.
+contention, through the scenario API.
 """
 
 import pytest
 
 from benchmarks.bench_common import emit
 from repro.analysis import PAPER_TABLE2
-from repro.analysis.experiments import run_table2
 from repro.ixp import simulate_ixp
+from repro.scenarios import Runner, render
 
 
 def test_bench_table2_full(benchmark):
-    report = benchmark.pedantic(run_table2, iterations=1, rounds=2)
-    emit(report.rendered)
+    result = benchmark.pedantic(
+        lambda: Runner().run("table2"), iterations=1, rounds=2)
+    emit(render(result))
     for (queues, engines), want in PAPER_TABLE2.items():
-        got = report.values[f"q{queues}_e{engines}"]
+        got = result.metrics[f"q{queues}_e{engines}"]
         assert got == pytest.approx(want, rel=0.12), (queues, engines)
 
 def test_bench_table2_worst_case_cell(benchmark):

@@ -5,15 +5,16 @@ the Section 5.3 copy-strategy progression (ablation A3).
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.analysis.experiments import run_table3
 from repro.npu import CopyStrategy, QueueSwModel
+from repro.scenarios import Runner, render
 
 
 def test_bench_table3_full(benchmark):
-    report = benchmark.pedantic(run_table3, iterations=1, rounds=3)
-    emit(report.rendered)
-    assert report.values["enqueue_word"] == 216
-    assert report.values["dequeue_word"] == 230
+    result = benchmark.pedantic(
+        lambda: Runner().run("table3"), iterations=1, rounds=3)
+    emit(render(result))
+    assert result.metrics["enqueue_word"] == 216
+    assert result.metrics["dequeue_word"] == 230
 
 def test_bench_table3_model_construction(benchmark):
     """Deriving the cost model from live data-structure traces."""

@@ -6,17 +6,18 @@ import pytest
 
 from benchmarks.bench_common import emit
 from repro.analysis import PAPER_TABLE4
-from repro.analysis.experiments import run_table4
 from repro.core import MMS, Command, CommandType, MmsConfig
+from repro.scenarios import Runner, render
 
 CFG = MmsConfig(num_flows=256, num_segments=4096, num_descriptors=2048)
 
 
 def test_bench_table4_full(benchmark):
-    report = benchmark.pedantic(run_table4, iterations=1, rounds=5)
-    emit(report.rendered)
+    result = benchmark.pedantic(
+        lambda: Runner().run("table4"), iterations=1, rounds=5)
+    emit(render(result))
     for name, want in PAPER_TABLE4.items():
-        assert report.values[name] == want
+        assert result.metrics[name] == want
 
 def test_bench_command_stream_execution(benchmark):
     """Timed execution of a 400-command mixed stream through the DQM."""

@@ -1,25 +1,26 @@
 """Benchmark T5: regenerate Table 5 (MMS delay decomposition vs load)
-and the saturation headline (12 Mops / ~6.1 Gbps).
+and the saturation headline (12 Mops / ~6.1 Gbps), through the scenario
+API.
 """
 
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.analysis.experiments import run_table5
 from repro.core.mms import MmsConfig, run_load, run_saturation
+from repro.scenarios import Runner, render
 
 CFG = MmsConfig(num_flows=1024, num_segments=8192, num_descriptors=4096)
 
 
 def test_bench_table5_full(benchmark):
-    report = benchmark.pedantic(run_table5, kwargs={"fast": True},
-                                iterations=1, rounds=1)
-    emit(report.rendered)
+    result = benchmark.pedantic(
+        lambda: Runner().run("table5", fast=True), iterations=1, rounds=1)
+    emit(render(result))
     # execution delay is the paper's 10.5 at every load
-    for load, (fifo, execution, data, total) in report.values.items():
+    for load, (fifo, execution, data, total) in result.metrics.items():
         assert execution == pytest.approx(10.5, abs=0.01)
-    low = report.values["load1.6"]
-    high = report.values["load6.14"]
+    low = result.metrics["load1.6"]
+    high = result.metrics["load6.14"]
     assert low[3] == pytest.approx(58.5, abs=6)    # total at 1.6 Gbps
     assert high[0] > low[0]                        # fifo grows with load
     assert high[2] > low[2] - 0.5                  # data grows with load

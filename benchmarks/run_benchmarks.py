@@ -1,10 +1,10 @@
 """Record the fast-path perf trajectory to ``BENCH_<n>.json``.
 
 Runs each benchmark workload on its *reference* engine and on its *fast*
-engine, verifies the simulated results are identical (and that Table 1
-still matches the paper within the suite's tolerances), then appends a
-timestamped entry to the trajectory file so successive PRs accumulate a
-wall-clock history::
+engine through the unified scenario API, verifies the simulated results
+are identical (and that Table 1 still matches the paper within the
+suite's tolerances), then appends a timestamped entry to the trajectory
+file so successive PRs accumulate a wall-clock history::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py             # full
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick     # CI smoke
@@ -14,12 +14,14 @@ Benchmarks
 * ``bench_table1`` -- the full Table 1 regeneration (5 bank rows x 4
   scheduler configs): batched bank engine vs per-access reference walk.
 * ``bench_ablation_threads`` -- the IXP1200 multithreading ablation
-  sweep: calendar-queue kernel vs heapq reference kernel.
+  scenario: calendar-queue kernel vs heapq reference kernel.
 * ``kernel_events`` -- raw same-time + delay event throughput of the two
   kernel engines.
 
-Exits non-zero if any engine pair disagrees on simulated results or the
-headline ``bench_table1`` speedup drops below the 2x floor.
+Every recorded number carries the engine it came from
+(``reference_engine`` / ``fast_engine``).  Exits non-zero if any engine
+pair disagrees on simulated results or the headline ``bench_table1``
+speedup drops below the 2x floor.
 """
 
 from __future__ import annotations
@@ -36,9 +38,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis import paper_data as paper                     # noqa: E402
-from repro.analysis.experiments import run_table1                  # noqa: E402
-from repro.ixp import simulate_ixp                                 # noqa: E402
-import repro.ixp.system as ixp_system                              # noqa: E402
+from repro.scenarios import Runner                                 # noqa: E402
 from repro.sim.kernel import HeapqSimulator, Simulator             # noqa: E402
 
 #: Headline requirement: the batched engine must keep Table 1 at least
@@ -58,16 +58,18 @@ def _best_of(fn, repeats: int) -> tuple[float, object]:
 
 def bench_table1(quick: bool, repeats: int) -> dict:
     """Full Table 1 on both DDR engines; results must be identical."""
+    runner = Runner()
     fast_flag = quick  # quick mode shrinks access counts, same workload shape
-    ref_s, ref_report = _best_of(
-        lambda: run_table1(fast=fast_flag, engine="reference"), repeats)
-    fast_s, fast_report = _best_of(
-        lambda: run_table1(fast=fast_flag, engine="fast"), repeats)
-    if fast_report.values != ref_report.values:
+    ref_s, ref_result = _best_of(
+        lambda: runner.run("table1", fast=fast_flag, engine="reference"),
+        repeats)
+    fast_s, fast_result = _best_of(
+        lambda: runner.run("table1", fast=fast_flag, engine="fast"), repeats)
+    if fast_result.metrics != ref_result.metrics:
         raise SystemExit("bench_table1: engines disagree on simulated values")
     # The suite's own tolerance: conflict-only columns within 0.03.
     for banks, row in paper.PAPER_TABLE1.items():
-        ours = fast_report.values[f"banks{banks}"]
+        ours = fast_result.metrics[f"banks{banks}"]
         for col in (0, 2):
             if abs(ours[col] - row[col]) > 0.03:
                 raise SystemExit(
@@ -78,27 +80,22 @@ def bench_table1(quick: bool, repeats: int) -> dict:
         "fast_s": round(fast_s, 4),
         "speedup": round(ref_s / fast_s, 2),
         "identical_results": True,
+        "reference_engine": "ddr reference walk (mem.sched)",
+        "fast_engine": "ddr batched bank model (mem.fastpath)",
     }
 
 
 def bench_ablation_threads(quick: bool, repeats: int) -> dict:
-    """IXP multithreading ablation sweep on both kernel engines."""
-    queues = (16, 128) if quick else (16, 128, 1024)
+    """IXP multithreading ablation scenario on both kernel engines."""
+    runner = Runner()
 
-    def sweep():
-        return {
-            q: (simulate_ixp(q, 6, multithreading=False).kpps,
-                simulate_ixp(q, 6, multithreading=True).kpps)
-            for q in queues
-        }
+    def sweep(engine: str):
+        return runner.run("ablation-multithreading", fast=quick,
+                          engine=engine)
 
-    try:
-        ixp_system.Simulator = HeapqSimulator
-        ref_s, ref_rows = _best_of(sweep, repeats)
-    finally:
-        ixp_system.Simulator = Simulator
-    cal_s, cal_rows = _best_of(sweep, repeats)
-    if cal_rows != ref_rows:
+    ref_s, ref_result = _best_of(lambda: sweep("reference"), repeats)
+    cal_s, cal_result = _best_of(lambda: sweep("fast"), repeats)
+    if cal_result.metrics != ref_result.metrics:
         raise SystemExit(
             "bench_ablation_threads: kernels disagree on simulated rates")
     return {
@@ -106,6 +103,8 @@ def bench_ablation_threads(quick: bool, repeats: int) -> dict:
         "fast_s": round(cal_s, 4),
         "speedup": round(ref_s / cal_s, 2),
         "identical_results": True,
+        "reference_engine": "heapq kernel (sim.kernel.HeapqSimulator)",
+        "fast_engine": "calendar-queue kernel (sim.kernel.Simulator)",
     }
 
 
@@ -137,6 +136,8 @@ def bench_kernel_events(quick: bool, repeats: int) -> dict:
         "speedup": round(ref_s / cal_s, 2),
         "fast_events_per_s": round(events / cal_s),
         "identical_results": True,
+        "reference_engine": "heapq kernel (sim.kernel.HeapqSimulator)",
+        "fast_engine": "calendar-queue kernel (sim.kernel.Simulator)",
     }
 
 

@@ -1,57 +1,44 @@
 #!/usr/bin/env python3
 """Section 3 in action: DDR bank tuning and the reordering scheduler.
 
-Sweeps bank counts and scheduler policies on the behavioral DDR model,
-reproducing Table 1, then explores the two knobs the paper fixes: the
-scheduler's history depth (3) and direction-aware selection (not used).
+Regenerates Table 1 and the two scheduler ablations the paper fixes --
+history depth (3) and direction-aware selection (not used) -- through
+the scenario API, then shows the engine and seed knobs every DDR
+scenario exposes: the batched ``fast`` engine and the per-access
+``reference`` walk produce bit-identical results.
 
-Run:  python examples/ddr_scheduler_tuning.py
+Run:  PYTHONPATH=src python examples/ddr_scheduler_tuning.py
 """
 
-from repro.analysis import PAPER_TABLE1
-from repro.analysis.tables import format_table
-from repro.mem import simulate_throughput_loss
-
-ACCESSES = 30_000
+from repro.scenarios import Runner, render
 
 
 def main() -> None:
-    rows = []
-    for banks, paper in PAPER_TABLE1.items():
-        ser = simulate_throughput_loss(banks, optimized=False,
-                                       model_rw_turnaround=False,
-                                       num_accesses=ACCESSES)
-        opt = simulate_throughput_loss(banks, optimized=True,
-                                       model_rw_turnaround=False,
-                                       num_accesses=ACCESSES)
-        rows.append([banks, paper[0], round(ser.loss, 3),
-                     paper[2], round(opt.loss, 3)])
-    print(format_table(
-        ["banks", "serializing (paper)", "serializing (model)",
-         "reordering (paper)", "reordering (model)"],
-        rows, title="Table 1 (conflicts-only columns)"))
+    runner = Runner()
 
-    print("\nHistory-depth sweep at 8 banks (paper uses 3):")
-    for depth in (0, 1, 2, 3, 4, 8):
-        res = simulate_throughput_loss(8, optimized=True,
-                                       model_rw_turnaround=False,
-                                       num_accesses=ACCESSES,
-                                       history_depth=depth)
-        bar = "#" * round(res.loss * 200)
-        print(f"  depth {depth}: loss {res.loss:.3f} {bar}")
+    # --- Table 1 on the fast budget (the CLI equivalent:
+    # `repro-experiments run table1 --fast`)
+    print(render(runner.run("table1", fast=True)))
 
-    print("\nWrite-read turnaround at 8 banks:")
-    base = simulate_throughput_loss(8, optimized=True,
-                                    model_rw_turnaround=True,
-                                    num_accesses=ACCESSES)
-    grouped = simulate_throughput_loss(8, optimized=True,
-                                       model_rw_turnaround=True,
-                                       num_accesses=ACCESSES,
-                                       prefer_same_type=True)
-    print(f"  paper policy (bank-aware only): loss {base.loss:.3f} "
-          f"({base.turnaround_stall_slots} turnaround stalls)")
-    print(f"  + direction-aware selection:    loss {grouped.loss:.3f} "
-          f"({grouped.turnaround_stall_slots} turnaround stalls)")
+    # --- the paper's fixed knobs, as registered ablation scenarios
+    print()
+    print(render(runner.run("ablation-history-depth", fast=True)))
+    print()
+    print(render(runner.run("ablation-rw-grouping", fast=True)))
+
+    # --- engine selection: batched vs reference walk, bit-identical
+    fast = runner.run("ablation-history-depth", fast=True, engine="fast")
+    ref = runner.run("ablation-history-depth", fast=True,
+                     engine="reference")
+    print(f"\nfast vs reference engines: identical = "
+          f"{fast.metrics == ref.metrics} "
+          f"({fast.wall_clock_s * 1000:.0f} ms vs "
+          f"{ref.wall_clock_s * 1000:.0f} ms)")
+
+    # --- seeds thread through every scenario that declares them
+    reseeded = runner.run("ablation-history-depth", fast=True, seed=42)
+    print(f"seed=42 shifts the simulated losses: "
+          f"{reseeded.metrics != fast.metrics}")
 
 
 if __name__ == "__main__":

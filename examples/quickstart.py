@@ -2,22 +2,16 @@
 """Quickstart: drive the MMS with a handful of commands.
 
 Builds a small MMS (the paper's Figure 2 block), pushes two packets
-through enqueue/dequeue, demonstrates a packet move and prints the
-Table 4 command latencies the model executes with.
+through enqueue/dequeue, demonstrates a packet move, then regenerates
+the Table 4 command latencies through the scenario API -- the same
+``Runner`` the CLI, the benchmarks and the tests all use.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro.core import (
-    MICROCODE,
-    MMS,
-    Command,
-    CommandType,
-    MmsConfig,
-    figure2_diagram,
-    table4_command_types,
-)
+from repro.core import MMS, Command, CommandType, MmsConfig, figure2_diagram
 from repro.net import Packet
+from repro.scenarios import Runner, render
 
 
 def main() -> None:
@@ -49,16 +43,18 @@ def main() -> None:
                   f"{packet.num_segments} segments, "
                   f"{packet.length_bytes} bytes")
 
-    # --- the command latencies everything above executed with
-    print("\nTable 4 command latencies (125 MHz cycles):")
-    for ct in table4_command_types():
-        print(f"  {ct.value:<38} {MICROCODE[ct].latency_cycles:>3}")
+    # --- the command latencies everything above executed with, as a
+    # scenario run: typed metrics + rendered paper comparison
+    result = Runner().run("table4")
+    print()
+    print(render(result))
 
-    mean = (MICROCODE[CommandType.ENQUEUE].latency_cycles
-            + MICROCODE[CommandType.DEQUEUE].latency_cycles) / 2
+    mean = (result.metrics["enqueue"] + result.metrics["dequeue"]) / 2
     print(f"\nenqueue/dequeue mix: {mean} cycles = {mean * 8:.0f} ns/op "
           f"= {1e3 / (mean * 8):.1f} Mops/s "
           f"= {1e3 / (mean * 8) * 512 / 1000:.2f} Gbps of 64-byte segments")
+    print(f"(result round-trips: RunResult.from_json(result.to_json()) "
+          f"== result -> {type(result).from_json(result.to_json()) == result})")
 
 
 if __name__ == "__main__":

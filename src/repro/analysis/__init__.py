@@ -1,9 +1,13 @@
-"""Experiment harness: one driver per table/figure of the paper.
+"""Experiment harness: paper data, rendering, CLI, legacy drivers.
 
-``python -m repro.analysis table1`` (or the installed
+``python -m repro.analysis run table1`` (or the installed
 ``repro-experiments`` script) regenerates any published artifact and
-prints it side-by-side with the paper's numbers.  The benchmark suite in
-``benchmarks/`` wraps the same drivers.
+prints it side-by-side with the paper's numbers.  Execution lives in
+:mod:`repro.scenarios` (declarative specs + Runner + typed results);
+this package keeps the paper's numbers (:mod:`~repro.analysis.paper_data`),
+the table renderer (:mod:`~repro.analysis.tables`), the sweep helpers
+(:mod:`~repro.analysis.sweeps`), the CLI front-end and the deprecated
+``run_tableN`` shims (:mod:`~repro.analysis.experiments`).
 """
 
 from repro.analysis.paper_data import (

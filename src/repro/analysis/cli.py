@@ -1,49 +1,156 @@
 """Command-line entry point: ``repro-experiments`` / ``python -m repro.analysis``.
 
-Usage::
+The CLI is a thin front-end over the scenario registry
+(:mod:`repro.scenarios`)::
 
-    repro-experiments table1              # one experiment
-    repro-experiments all                 # everything
-    repro-experiments table5 --fast       # reduced run lengths
+    repro-experiments list                         # every scenario
+    repro-experiments list --kind sweep            # one category
+    repro-experiments run table1 --engine reference --seed 7
+    repro-experiments run all --fast --json out.json
+    repro-experiments sweep all --fast             # just the sweeps
+
+``run``/``sweep`` accept ``--engine fast|reference`` and ``--seed N``;
+each scenario honors the knobs it declares (closed-form scenarios have
+no engine, for example) and silently keeps its defaults for the rest.
+``--json PATH`` additionally writes the typed results (schema-valid
+:class:`repro.scenarios.RunResult` dicts) to a file, or to stdout with
+``--json -``.
+
+The pre-scenario invocation style (``repro-experiments table1 --fast``)
+still works as an alias for ``run table1 --fast``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.analysis.experiments import EXPERIMENTS
+from repro.scenarios import (
+    BUDGETS,
+    ENGINES,
+    KINDS,
+    Runner,
+    all_scenarios,
+    render,
+    scenario_names,
+    scenarios_of_kind,
+)
+
+#: Envelope schema version for --json documents.
+DOCUMENT_SCHEMA = 1
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
-            "Regenerate the tables and figures of 'Queue Management in "
-            "Network Processors' (DATE 2005) from the behavioral models."
+            "Regenerate the tables, figures, sweeps and ablations of "
+            "'Queue Management in Network Processors' (DATE 2005) from "
+            "the behavioral models."
         ),
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which published artifact to regenerate",
-    )
-    parser.add_argument(
-        "--fast", action="store_true",
-        help="shorter simulations (CI mode; slightly noisier numbers)",
-    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate registered scenarios")
+    p_list.add_argument("--kind", choices=KINDS, default=None,
+                        help="only scenarios of one category")
+
+    def add_run_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fast", action="store_true",
+                       help="fast run-length budget (CI mode; noisier numbers)")
+        p.add_argument("--engine", choices=ENGINES, default=None,
+                       help="execution engine for scenarios that support it")
+        p.add_argument("--seed", type=int, default=None,
+                       help="RNG seed for scenarios that support it")
+        p.add_argument("--json", dest="json_path", metavar="PATH",
+                       default=None,
+                       help="write typed results as JSON ('-' for stdout)")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress the rendered tables")
+
+    p_run = sub.add_parser("run", help="run one scenario (or 'all')")
+    p_run.add_argument("scenario",
+                       choices=scenario_names() + ["all"],
+                       help="which scenario to run")
+    add_run_flags(p_run)
+
+    sweep_names = [s.spec.name for s in scenarios_of_kind("sweep")]
+    p_sweep = sub.add_parser("sweep",
+                             help="run one parameter sweep (or 'all')")
+    p_sweep.add_argument("scenario", choices=sweep_names + ["all"],
+                         help="which sweep to run")
+    add_run_flags(p_sweep)
+
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        report = EXPERIMENTS[name](fast=args.fast)
-        print(report.rendered)
-        print()
+def _legacy_rewrite(argv: List[str]) -> List[str]:
+    """Map the pre-scenario invocation style onto ``run``.
+
+    ``repro-experiments table1 --fast`` (and the option-first ordering
+    argparse used to accept, ``--fast table1``) predate the
+    subcommands; keep both working as aliases for ``run``.
+    """
+    if not argv or argv[0] in ("list", "run", "sweep"):
+        return argv
+    legacy = set(scenario_names()) | {"all"}
+    if any(token in legacy for token in argv):
+        return ["run"] + argv
+    return argv
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name, scenario in all_scenarios().items():
+        spec = scenario.spec
+        if args.kind and spec.kind != args.kind:
+            continue
+        knobs = ",".join(sorted(spec.supports)) or "-"
+        rows.append((name, spec.kind, spec.workload, knobs, spec.description))
+    rows.sort(key=lambda r: (KINDS.index(r[1]), r[0]))
+    widths = [max(len(str(r[i])) for r in rows) for i in range(4)]
+    for r in rows:
+        print(f"{r[0]:<{widths[0]}}  {r[1]:<{widths[1]}}  "
+              f"{r[2]:<{widths[2]}}  {r[3]:<{widths[3]}}  {r[4]}")
     return 0
+
+
+def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
+    runner = Runner()
+    results = []
+    for name in names:
+        result = runner.run(name, engine=args.engine, seed=args.seed,
+                            fast=args.fast or None)
+        results.append(result)
+        if not args.quiet:
+            print(render(result))
+            print()
+    if args.json_path is not None:
+        doc = {"schema": DOCUMENT_SCHEMA,
+               "runs": [r.to_dict() for r in results]}
+        text = json.dumps(doc, indent=2) + "\n"
+        if args.json_path == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_legacy_rewrite(list(argv)))
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "sweep":
+        sweep_names = [s.spec.name for s in scenarios_of_kind("sweep")]
+        names = sweep_names if args.scenario == "all" else [args.scenario]
+        return _cmd_run(args, names)
+    names = scenario_names() if args.scenario == "all" else [args.scenario]
+    return _cmd_run(args, names)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -1,30 +1,32 @@
-"""Experiment drivers: regenerate every table and figure of the paper.
+"""Deprecated experiment drivers: thin shims over :mod:`repro.scenarios`.
 
-Each ``run_*`` function executes the corresponding simulation(s) and
-returns an :class:`ExperimentReport` carrying the raw values and a
-rendered paper-vs-model comparison.  ``fast=True`` shrinks simulation
-lengths for CI-style runs; defaults aim at repeatable 3-digit results.
+The hand-written ``run_tableN(fast=...)`` drivers that used to live here
+are now declarative scenarios in :mod:`repro.scenarios.catalog`,
+executed by :class:`repro.scenarios.Runner` and rendered by the
+presenter.  Each ``run_*`` function below delegates to the registry,
+emits a :class:`DeprecationWarning`, and returns the familiar
+:class:`ExperimentReport` -- with output proven byte-identical to the
+new path by ``tests/scenarios/test_runner.py``.
+
+New code should use the scenario API directly::
+
+    from repro.scenarios import Runner, render
+    result = Runner().run("table1", engine="reference", seed=7, fast=True)
+    print(render(result))
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.analysis import paper_data as paper
-from repro.analysis.tables import format_comparison, format_table
-from repro.core import CommandType, MICROCODE, MmsConfig
-from repro.core.mms import figure2_diagram, run_load, run_saturation
-from repro.ixp import simulate_ixp
-from repro.mem import simulate_throughput_loss
-from repro.net import pps_to_gbps
-from repro.npu import CopyStrategy, QueueSwModel
-from repro.npu.system import figure1_diagram
+from repro.core import MmsConfig
 
 
 @dataclass
 class ExperimentReport:
-    """Outcome of one experiment driver."""
+    """Outcome of one experiment driver (legacy result type)."""
 
     experiment: str
     rendered: str
@@ -34,191 +36,87 @@ class ExperimentReport:
         return self.rendered
 
 
-#: Moderate MMS configuration: full results, minutes-not-hours runtime.
-_MMS_CFG = MmsConfig(num_flows=2048, num_segments=16384, num_descriptors=8192)
+def _delegate(name: str, **overrides) -> ExperimentReport:
+    """Run a registered scenario and repackage it as a legacy report."""
+    warnings.warn(
+        f"run_{name}() is deprecated; use "
+        f"repro.scenarios.Runner().run({name!r}, ...) and render() instead",
+        DeprecationWarning, stacklevel=3)
+    from repro.scenarios import Runner, render
+
+    result = Runner().run(name, **overrides)
+    return ExperimentReport(name, render(result), dict(result.metrics))
 
 
 def run_table1(fast: bool = False, seed: int = 2005,
                engine: str = "fast") -> ExperimentReport:
     """Table 1: DDR throughput loss vs banks and scheduler.
 
-    ``engine`` selects the DDR execution engine (``"fast"`` = batched
-    bank model, ``"reference"`` = per-access generator walk); results
-    are bit-identical, only wall-clock differs.
+    .. deprecated:: use ``Runner().run("table1", ...)``.
     """
-    accesses = 20_000 if fast else 100_000
-    rows = []
-    values: Dict[str, object] = {}
-    for banks, (p_ser, p_ser_rw, p_opt, p_opt_rw) in paper.PAPER_TABLE1.items():
-        ours = []
-        for optimized, rw in ((False, False), (False, True),
-                              (True, False), (True, True)):
-            res = simulate_throughput_loss(
-                banks, optimized=optimized, model_rw_turnaround=rw,
-                num_accesses=accesses, seed=seed, engine=engine)
-            ours.append(res.loss)
-        values[f"banks{banks}"] = tuple(ours)
-        rows.append([banks, p_ser, round(ours[0], 3), p_ser_rw,
-                     round(ours[1], 3), p_opt, round(ours[2], 3),
-                     p_opt_rw, round(ours[3], 3)])
-    rendered = format_table(
-        ["banks",
-         "ser/conf (paper)", "ser/conf (ours)",
-         "ser/conf+rw (paper)", "ser/conf+rw (ours)",
-         "opt/conf (paper)", "opt/conf (ours)",
-         "opt/conf+rw (paper)", "opt/conf+rw (ours)"],
-        rows,
-        title="Table 1: DDR-DRAM throughput loss, 1-16 banks",
-    )
-    return ExperimentReport("table1", rendered, values)
+    return _delegate("table1", fast=fast, seed=seed, engine=engine)
 
 
 def run_table2(fast: bool = False) -> ExperimentReport:
-    """Table 2: IXP1200 maximum serviced rate vs queues and engines."""
-    rows = []
-    values: Dict[str, object] = {}
-    for (queues, engines), want_kpps in paper.PAPER_TABLE2.items():
-        res = simulate_ixp(queues, engines)
-        values[f"q{queues}_e{engines}"] = res.kpps
-        rows.append([queues, engines, want_kpps, round(res.kpps, 1)])
-    rendered = format_comparison(
-        ["queues", "engines", "paper Kpps", "model Kpps"],
-        rows, paper_col=2, model_col=3,
-        title="Table 2: IXP1200 queue management rate",
-    )
-    return ExperimentReport("table2", rendered, values)
+    """Table 2: IXP1200 maximum serviced rate vs queues and engines.
+
+    .. deprecated:: use ``Runner().run("table2")``.
+    """
+    return _delegate("table2", fast=fast)
 
 
 def run_table3(fast: bool = False) -> ExperimentReport:
-    """Table 3 + Section 5.3 variants: software queue-manager cycles."""
-    model = QueueSwModel()
-    p = model.params
-    word = CopyStrategy.WORD
-    rows = [
-        ["Dequeue Free List", paper.PAPER_TABLE3["free_list"][0],
-         model.free_pop.cpu_cycles(p), paper.PAPER_TABLE3["free_list"][1],
-         model.free_push.cpu_cycles(p)],
-        ["Enqueue Segment (first)", paper.PAPER_TABLE3["segment_first"][0],
-         model.link_first.cpu_cycles(p), paper.PAPER_TABLE3["segment_first"][1],
-         model.unlink.cpu_cycles(p)],
-        ["Enqueue Segment (rest)", paper.PAPER_TABLE3["segment_rest"][0],
-         model.link_rest.cpu_cycles(p), paper.PAPER_TABLE3["segment_rest"][1],
-         model.unlink.cpu_cycles(p)],
-        ["Copy a segment", paper.PAPER_TABLE3["copy"][0],
-         model.copy_cost(word).cpu_cycles(p), paper.PAPER_TABLE3["copy"][1],
-         model.copy_cost(word).cpu_cycles(p)],
-        ["Total (first)", paper.PAPER_TABLE3["total_first"][0],
-         model.enqueue_cycles(word, first_segment=True),
-         paper.PAPER_TABLE3["total_first"][1], model.dequeue_cycles(word)],
-        ["Total (rest)", paper.PAPER_TABLE3["total_rest"][0],
-         model.enqueue_cycles(word, first_segment=False),
-         paper.PAPER_TABLE3["total_rest"][1], model.dequeue_cycles(word)],
-    ]
-    base = format_table(
-        ["function", "enq (paper)", "enq (ours)", "deq (paper)", "deq (ours)"],
-        rows, title="Table 3: cycles per segment operation (PowerPC/PLB)")
-    variants = format_table(
-        ["copy strategy", "enqueue", "dequeue", "full-duplex Mbps"],
-        [[s.value,
-          model.enqueue_cycles(s, first_segment=False),
-          model.dequeue_cycles(s),
-          round(model.full_duplex_gbps(s) * 1000, 1)]
-         for s in CopyStrategy],
-        title="Section 5.3 variants (paper: word ~100 Mbps, line ~200 Mbps)")
-    values = {
-        "enqueue_word": model.enqueue_cycles(word, first_segment=True),
-        "dequeue_word": model.dequeue_cycles(word),
-        "line_copy": model.copy_cost(CopyStrategy.LINE).cpu_cycles(p),
-        "fd_word_mbps": model.full_duplex_gbps(word) * 1000,
-        "fd_line_mbps": model.full_duplex_gbps(CopyStrategy.LINE) * 1000,
-    }
-    return ExperimentReport("table3", base + "\n\n" + variants, values)
+    """Table 3 + Section 5.3 variants: software queue-manager cycles.
+
+    .. deprecated:: use ``Runner().run("table3")``.
+    """
+    return _delegate("table3", fast=fast)
 
 
 def run_table4(fast: bool = False) -> ExperimentReport:
-    """Table 4: latency of the MMS commands."""
-    rows = []
-    values: Dict[str, object] = {}
-    for name, want in paper.PAPER_TABLE4.items():
-        ct = CommandType(name)
-        got = MICROCODE[ct].latency_cycles
-        values[name] = got
-        rows.append([name, want, got])
-    rendered = format_comparison(
-        ["command", "paper cycles", "model cycles"],
-        rows, paper_col=1, model_col=2,
-        title="Table 4: latency of the MMS commands (125 MHz)")
-    return ExperimentReport("table4", rendered, values)
+    """Table 4: latency of the MMS commands.
+
+    .. deprecated:: use ``Runner().run("table4")``.
+    """
+    return _delegate("table4", fast=fast)
 
 
 def run_table5(fast: bool = False, config: Optional[MmsConfig] = None
                ) -> ExperimentReport:
-    """Table 5: MMS delay decomposition vs offered load."""
-    cfg = config or _MMS_CFG
-    volleys = 800 if fast else 2500
-    warmup = 100 if fast else 300
-    rows = []
-    values: Dict[str, object] = {}
-    for load in sorted(paper.PAPER_TABLE5, reverse=True):
-        p_fifo, p_exec, p_data, p_total = paper.PAPER_TABLE5[load]
-        res = run_load(load, num_volleys=volleys, config=cfg,
-                       warmup_volleys=warmup)
-        values[f"load{load}"] = (res.fifo_cycles, res.execution_cycles,
-                                 res.data_cycles, res.total_cycles)
-        rows.append([load,
-                     p_fifo, round(res.fifo_cycles, 1),
-                     p_exec, round(res.execution_cycles, 1),
-                     p_data, round(res.data_cycles, 1),
-                     p_total, round(res.total_cycles, 1)])
-    rendered = format_table(
-        ["Gbps", "fifo (paper)", "fifo (ours)", "exec (paper)", "exec (ours)",
-         "data (paper)", "data (ours)", "total (paper)", "total (ours)"],
-        rows, title="Table 5: MMS delays vs offered load (cycles)")
-    return ExperimentReport("table5", rendered, values)
+    """Table 5: MMS delay decomposition vs offered load.
+
+    .. deprecated:: use ``Runner().run("table5", mms=config)``.
+    """
+    return _delegate("table5", fast=fast, mms=config)
 
 
 def run_headline(fast: bool = False) -> ExperimentReport:
     """Cross-cutting claims: MMS saturation rate, IXP 1K-queue ceiling,
-    the PowerPC rule of thumb."""
-    sat = run_saturation(num_commands=2000 if fast else 8000, config=_MMS_CFG)
-    ixp = simulate_ixp(1024, 6)
-    sw = QueueSwModel()
-    rows = [
-        ["MMS ops rate (Mops/s)", paper.PAPER_MMS_MOPS,
-         round(sat.achieved_mops, 2)],
-        ["MMS bandwidth (Gbps)", paper.PAPER_MMS_GBPS,
-         round(sat.achieved_gbps, 3)],
-        ["IXP 6-engine, 1K queues (Mbps)", paper.PAPER_IXP_MAX_MBPS_1K_QUEUES,
-         round(pps_to_gbps(ixp.pps, 64) * 1000, 1)],
-        ["PowerPC word-copy full duplex (Mbps)",
-         paper.PAPER_NPU_BASE_FULL_DUPLEX_MBPS,
-         round(sw.full_duplex_gbps(CopyStrategy.WORD) * 1000, 1)],
-        ["PowerPC line-copy full duplex (Mbps)",
-         paper.PAPER_NPU_LINE_FULL_DUPLEX_MBPS,
-         round(sw.full_duplex_gbps(CopyStrategy.LINE) * 1000, 1)],
-    ]
-    rendered = format_comparison(
-        ["claim", "paper", "model"], rows, paper_col=1, model_col=2,
-        title="Headline claims")
-    values = {
-        "mms_mops": sat.achieved_mops,
-        "mms_gbps": sat.achieved_gbps,
-        "ixp_1k_mbps": pps_to_gbps(ixp.pps, 64) * 1000,
-    }
-    return ExperimentReport("headline", rendered, values)
+    the PowerPC rule of thumb.
+
+    .. deprecated:: use ``Runner().run("headline")``.
+    """
+    return _delegate("headline", fast=fast)
 
 
 def run_figure1(fast: bool = False) -> ExperimentReport:
-    """Figure 1: the reference NPU architecture (structural)."""
-    return ExperimentReport("figure1", figure1_diagram())
+    """Figure 1: the reference NPU architecture (structural).
+
+    .. deprecated:: use ``Runner().run("figure1")``.
+    """
+    return _delegate("figure1", fast=fast)
 
 
 def run_figure2(fast: bool = False) -> ExperimentReport:
-    """Figure 2: the MMS architecture (structural)."""
-    return ExperimentReport("figure2", figure2_diagram())
+    """Figure 2: the MMS architecture (structural).
+
+    .. deprecated:: use ``Runner().run("figure2")``.
+    """
+    return _delegate("figure2", fast=fast)
 
 
-#: Registry used by the CLI and the benchmarks.
+#: Legacy registry (deprecated): maps the historical driver names to the
+#: shims above.  The CLI now enumerates ``repro.scenarios`` instead.
 EXPERIMENTS = {
     "table1": run_table1,
     "table2": run_table2,

@@ -37,13 +37,14 @@ def ddr_loss_vs_banks(banks: Sequence[int] = (1, 2, 4, 6, 8, 12, 16, 24, 32),
                       optimized: bool = True,
                       model_rw_turnaround: bool = False,
                       num_accesses: int = 20_000,
-                      seed: int = 2005) -> SweepSeries:
+                      seed: int = 2005,
+                      engine: str = "fast") -> SweepSeries:
     """Table 1's bank axis, continuously: loss vs number of banks."""
     points = []
     for b in banks:
         res = simulate_throughput_loss(
             b, optimized=optimized, model_rw_turnaround=model_rw_turnaround,
-            num_accesses=num_accesses, seed=seed)
+            num_accesses=num_accesses, seed=seed, engine=engine)
         points.append((float(b), res.loss))
     label = "reordering" if optimized else "serializing"
     return SweepSeries(name=f"ddr-loss-{label}", x_label="banks",
@@ -53,11 +54,12 @@ def ddr_loss_vs_banks(banks: Sequence[int] = (1, 2, 4, 6, 8, 12, 16, 24, 32),
 def ixp_rate_vs_queues(queue_counts: Sequence[int] = (8, 16, 32, 64, 128,
                                                       256, 512, 1024, 2048),
                        engines: int = 1,
-                       params: IxpParams = IxpParams()) -> SweepSeries:
+                       params: IxpParams = IxpParams(),
+                       engine: str = "fast") -> SweepSeries:
     """Table 2's queue axis, continuously: Kpps vs queue count."""
     points = []
     for q in queue_counts:
-        res = simulate_ixp(q, engines, params=params)
+        res = simulate_ixp(q, engines, params=params, engine=engine)
         points.append((float(q), res.kpps))
     return SweepSeries(name=f"ixp-rate-{engines}me", x_label="queues",
                        y_label="Kpps", points=tuple(points))
@@ -85,14 +87,17 @@ def npu_rate_vs_clock(clocks_mhz: Sequence[float] = (50, 100, 200, 300, 400),
 def mms_delay_vs_load(loads_gbps: Sequence[float] = (1.0, 2.0, 3.0, 4.0,
                                                      5.0, 5.5, 6.0),
                       config: Optional[MmsConfig] = None,
-                      num_volleys: int = 800) -> Dict[str, SweepSeries]:
+                      num_volleys: int = 800,
+                      seed: int = 2005,
+                      engine: str = "fast") -> Dict[str, SweepSeries]:
     """Table 5's load axis, continuously: each delay component vs load."""
     cfg = config or MmsConfig(num_flows=1024, num_segments=8192,
                               num_descriptors=4096)
     fifo, data, total = [], [], []
     for load in loads_gbps:
         res = run_load(load, num_volleys=num_volleys, config=cfg,
-                       warmup_volleys=max(50, num_volleys // 8))
+                       warmup_volleys=max(50, num_volleys // 8),
+                       seed=seed, engine=engine)
         fifo.append((load, res.fifo_cycles))
         data.append((load, res.data_cycles))
         total.append((load, res.total_cycles))

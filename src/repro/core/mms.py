@@ -24,6 +24,7 @@ from repro.mem import DdrTiming
 from repro.queueing import PacketQueueManager
 from repro.sim import Clock, Simulator
 from repro.sim.clock import SEC
+from repro.sim.kernel import make_simulator
 
 #: Bits moved per MMS operation (one 64-byte segment).
 BITS_PER_OP = 512
@@ -167,6 +168,9 @@ class MmsLoadResult:
     #: True mean submit-to-completion latency (see LatencyBreakdown);
     #: equals the additive total only when pointer/data work serializes.
     end_to_end_cycles: float = 0.0
+    #: Execution engine the run used ("fast" = calendar-queue kernel,
+    #: "reference" = heapq ordering spec); results are identical.
+    engine: str = "fast"
 
     @property
     def total_cycles(self) -> float:
@@ -198,7 +202,8 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
              warmup_volleys: int = 200,
              burst_len: int = 4,
              burst_prob: float = 0.25,
-             seed: int = 2005) -> MmsLoadResult:
+             seed: int = 2005,
+             engine: str = "fast") -> MmsLoadResult:
     """The Table 5 experiment at one offered load.
 
     Four ports submit synchronized volleys -- one command per port per
@@ -212,6 +217,10 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
     dequeues: the paper's 10.5-cycle average execution latency.  Queues
     are prefilled so dequeues always find data.  Burst parameters and the
     DMC pipeline constant are calibrated per EXPERIMENTS.md.
+
+    ``engine`` selects the DES kernel: ``"fast"`` (default) runs the
+    calendar-queue kernel, ``"reference"`` the heapq ordering spec; the
+    two are trace-identical, only wall-clock differs.
     """
     if offered_gbps <= 0:
         raise ValueError(f"offered_gbps must be positive, got {offered_gbps}")
@@ -223,7 +232,7 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
         raise ValueError(f"burst_len must be >= 1, got {burst_len}")
     import random as _random
 
-    mms = MMS(config)
+    mms = MMS(config, sim=make_simulator(engine))
     sim = mms.sim
     lag_volleys = 16
     # each flow is enqueued once per active_flows/2 volleys; the dequeue
@@ -293,19 +302,21 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
         execution_cycles=row["execution"],
         data_cycles=row["data"],
         end_to_end_cycles=use.end_to_end.mean,
+        engine=engine,
     )
 
 
 def run_saturation(num_commands: int = 8000,
                    config: MmsConfig = MmsConfig(),
-                   active_flows: int = 512) -> MmsLoadResult:
+                   active_flows: int = 512,
+                   engine: str = "fast") -> MmsLoadResult:
     """Headline experiment: backlogged ports, maximum command rate.
 
     Reproduces "The MMS can handle one operation per 84 ns or 12 Mops/sec
     operating at 125MHz ... the overall bandwidth the MMS supports is
     6.145 Gbps" (our model: 1/10.5 cycles = 11.9 Mops ~ 6.1 Gbps).
     """
-    mms = MMS(config)
+    mms = MMS(config, sim=make_simulator(engine))
     sim = mms.sim
     per_port = num_commands // 4
     mms.prefill(range(active_flows), packets_per_flow=per_port * 2 // active_flows + 2)
@@ -334,6 +345,7 @@ def run_saturation(num_commands: int = 8000,
         execution_cycles=row["execution"],
         data_cycles=row["data"],
         end_to_end_cycles=mms.breakdown.end_to_end.mean,
+        engine=engine,
     )
 
 

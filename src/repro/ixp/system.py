@@ -17,8 +17,9 @@ from typing import Dict, List, Optional
 from repro.ixp.memory_units import SharedMemoryUnit
 from repro.ixp.params import IxpParams
 from repro.ixp.program import PacketProgram, build_queue_program
-from repro.sim import Clock, Resource, Simulator
+from repro.sim import Clock, Resource
 from repro.sim.clock import SEC
+from repro.sim.kernel import make_simulator
 
 
 @dataclass
@@ -32,6 +33,9 @@ class IxpSimResult:
     duration_ps: int
     unit_utilization: float
     mean_controller_wait_cycles: float
+    #: DES kernel the run used ("fast" = calendar queue, "reference" =
+    #: heapq ordering spec); simulated results are identical.
+    engine: str = "fast"
 
     @property
     def pps(self) -> float:
@@ -59,7 +63,8 @@ class IxpSystem:
 
     def __init__(self, num_queues: int, num_engines: int,
                  params: IxpParams = IxpParams(),
-                 multithreading: bool = False) -> None:
+                 multithreading: bool = False,
+                 engine: str = "fast") -> None:
         if not 1 <= num_engines <= params.num_microengines:
             raise ValueError(
                 f"num_engines must be in [1, {params.num_microengines}], "
@@ -68,8 +73,9 @@ class IxpSystem:
         self.params = params
         self.num_engines = num_engines
         self.multithreading = multithreading
+        self.engine = engine
         self.clock = Clock(params.clock_mhz)
-        self.sim = Simulator()
+        self.sim = make_simulator(engine)
         self.program: PacketProgram = build_queue_program(num_queues, params)
         self.units: Dict[str, SharedMemoryUnit] = {
             name: SharedMemoryUnit(self.sim, self.clock,
@@ -156,14 +162,16 @@ class IxpSystem:
             duration_ps=self.sim.now - start,
             unit_utilization=self._unit.utilization,
             mean_controller_wait_cycles=self._unit.mean_wait_cycles,
+            engine=self.engine,
         )
 
 
 def simulate_ixp(num_queues: int, num_engines: int,
                  params: IxpParams = IxpParams(),
                  multithreading: bool = False,
-                 duration_ps: Optional[int] = None) -> IxpSimResult:
+                 duration_ps: Optional[int] = None,
+                 engine: str = "fast") -> IxpSimResult:
     """One Table 2 cell: maximum serviced rate for a configuration."""
     system = IxpSystem(num_queues, num_engines, params=params,
-                       multithreading=multithreading)
+                       multithreading=multithreading, engine=engine)
     return system.run(duration_ps=duration_ps)

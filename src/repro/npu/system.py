@@ -22,8 +22,9 @@ from repro.npu.microprograms import CopyStrategy, QueueSwModel
 from repro.npu.params import NpuParams
 from repro.queueing import OutOfBuffersError, SegmentQueueManager
 from repro.queueing.segment_queues import SegmentMeta
-from repro.sim import Clock, Fifo, Simulator
+from repro.sim import Clock, Fifo
 from repro.sim.clock import SEC
+from repro.sim.kernel import make_simulator
 
 
 @dataclass
@@ -36,6 +37,9 @@ class NpuRunResult:
     forwarded: int
     dropped: int
     duration_ps: int
+    #: DES kernel the run used ("fast" = calendar queue, "reference" =
+    #: heapq ordering spec); simulated results are identical.
+    engine: str = "fast"
 
     @property
     def forwarded_gbps(self) -> float:
@@ -74,10 +78,12 @@ class ReferenceNpu:
     def __init__(self, strategy: CopyStrategy = CopyStrategy.WORD,
                  num_queues: int = 16, num_buffer_segments: int = 1024,
                  bram_segments: int = 32,
-                 params: NpuParams = NpuParams()) -> None:
+                 params: NpuParams = NpuParams(),
+                 engine: str = "fast") -> None:
         self.params = params
         self.strategy = strategy
-        self.sim = Simulator()
+        self.engine = engine
+        self.sim = make_simulator(engine)
         self.clock = Clock(params.cpu_clock_mhz)
         self.sw = QueueSwModel(params)
         self.queues = SegmentQueueManager(num_queues=num_queues,
@@ -189,6 +195,7 @@ class ReferenceNpu:
             forwarded=self.forwarded,
             dropped=self.dropped,
             duration_ps=self._last_activity_ps,
+            engine=self.engine,
         )
 
 

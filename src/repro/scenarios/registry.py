@@ -1,0 +1,86 @@
+"""The scenario registry: every published artifact, by name.
+
+Executors register themselves against a :class:`ScenarioSpec` with the
+:func:`register_scenario` decorator; the catalog
+(:mod:`repro.scenarios.catalog`) does this for every table, figure,
+sweep and ablation of the paper.  Consumers look scenarios up by name
+(:func:`get_scenario`) or enumerate them (:func:`scenario_names`,
+:func:`scenarios_of_kind`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.scenarios.result import Outcome
+from repro.scenarios.spec import ScenarioSpec
+
+#: An executor: pure function from resolved spec to outcome.
+Executor = Callable[[ScenarioSpec], Outcome]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A spec bound to the function that can execute it."""
+
+    spec: ScenarioSpec
+    execute: Executor
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> Callable[[Executor], Executor]:
+    """Class-level decorator: bind ``spec`` to the decorated executor.
+
+    Registration is idempotent per name only in the sense that
+    re-registering an existing name is an error -- two artifacts must
+    not silently shadow each other.
+    """
+
+    def decorate(fn: Executor) -> Executor:
+        if spec.name in _REGISTRY:
+            raise ValueError(f"scenario {spec.name!r} already registered")
+        _REGISTRY[spec.name] = Scenario(spec=spec, execute=fn)
+        return fn
+
+    return decorate
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name (raises ``KeyError`` with the list of
+    known names on a miss)."""
+    _ensure_catalog()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """All registered names, sorted by (kind rank, name) so tables come
+    first in listings."""
+    _ensure_catalog()
+    rank = {"table": 0, "figure": 1, "headline": 2, "sweep": 3, "ablation": 4}
+    return sorted(_REGISTRY,
+                  key=lambda n: (rank[_REGISTRY[n].spec.kind], n))
+
+
+def scenarios_of_kind(kind: str) -> List[Scenario]:
+    _ensure_catalog()
+    return [_REGISTRY[n] for n in scenario_names()
+            if _REGISTRY[n].spec.kind == kind]
+
+
+def all_scenarios() -> Dict[str, Scenario]:
+    _ensure_catalog()
+    return dict(_REGISTRY)
+
+
+def _ensure_catalog() -> None:
+    """Import the catalog on first lookup (deferred to avoid a circular
+    import: the catalog imports this module to register itself)."""
+    from repro.scenarios import catalog  # noqa: F401  (side-effect import)

@@ -1,0 +1,228 @@
+"""Typed experiment results with JSON round-tripping.
+
+A scenario executor returns an :class:`Outcome` (metrics + presentation
+blocks + paper deltas); the :class:`~repro.scenarios.runner.Runner`
+stamps it with the resolved spec knobs and wall-clock into a
+:class:`RunResult`.  Results are plain data: rendering lives in
+:mod:`repro.scenarios.presenter`, serialization here
+(:meth:`RunResult.to_json` / :meth:`RunResult.from_json` round-trip
+exactly, floats included).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Schema version of the serialized form.
+RESULT_SCHEMA = 1
+
+_BLOCK_KINDS = ("table", "comparison", "text")
+
+
+@dataclass(frozen=True)
+class Block:
+    """One presentation unit: an aligned table, a paper-vs-model
+    comparison table (rendered with a delta column), or raw text."""
+
+    kind: str
+    title: Optional[str] = None
+    headers: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[Any, ...], ...] = ()
+    paper_col: int = -1
+    model_col: int = -1
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BLOCK_KINDS:
+            raise ValueError(
+                f"unknown block kind {self.kind!r} (choose from {_BLOCK_KINDS})")
+
+    # ------------------------------------------------------- constructors
+
+    @classmethod
+    def table(cls, headers: Sequence[str], rows: Sequence[Sequence[Any]],
+              title: Optional[str] = None) -> "Block":
+        return cls(kind="table", title=title, headers=tuple(headers),
+                   rows=tuple(tuple(r) for r in rows))
+
+    @classmethod
+    def comparison(cls, headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                   paper_col: int, model_col: int,
+                   title: Optional[str] = None) -> "Block":
+        return cls(kind="comparison", title=title, headers=tuple(headers),
+                   rows=tuple(tuple(r) for r in rows),
+                   paper_col=paper_col, model_col=model_col)
+
+    @classmethod
+    def raw_text(cls, text: str, title: Optional[str] = None) -> "Block":
+        return cls(kind="text", title=title, text=text)
+
+    # ------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"kind": self.kind, "title": self.title}
+        if self.kind == "text":
+            d["text"] = self.text
+        else:
+            d["headers"] = list(self.headers)
+            d["rows"] = [list(r) for r in self.rows]
+            if self.kind == "comparison":
+                d["paper_col"] = self.paper_col
+                d["model_col"] = self.model_col
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Block":
+        kind = d["kind"]
+        if kind == "text":
+            return cls(kind="text", title=d.get("title"), text=d["text"])
+        return cls(kind=kind, title=d.get("title"),
+                   headers=tuple(d["headers"]),
+                   rows=tuple(tuple(r) for r in d["rows"]),
+                   paper_col=d.get("paper_col", -1),
+                   model_col=d.get("model_col", -1))
+
+
+@dataclass
+class Outcome:
+    """What an executor computes: values, presentation, paper deltas."""
+
+    metrics: Dict[str, Any]
+    blocks: Tuple[Block, ...]
+    paper_deltas: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scenario run, stamped with how it was produced."""
+
+    scenario: str
+    kind: str
+    engine: str
+    seed: int
+    budget: str
+    wall_clock_s: float
+    metrics: Dict[str, Any]
+    paper_deltas: Dict[str, float]
+    blocks: Tuple[Block, ...]
+    schema: int = RESULT_SCHEMA
+
+    # ------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "engine": self.engine,
+            "seed": self.seed,
+            "budget": self.budget,
+            "wall_clock_s": self.wall_clock_s,
+            "metrics": jsonify(self.metrics),
+            "paper_deltas": jsonify(self.paper_deltas),
+            "blocks": [b.to_dict() for b in self.blocks],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "RunResult":
+        schema = d.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(f"unsupported result schema {schema!r}")
+        return cls(
+            scenario=d["scenario"],
+            kind=d["kind"],
+            engine=d["engine"],
+            seed=d["seed"],
+            budget=d["budget"],
+            wall_clock_s=d["wall_clock_s"],
+            metrics=dict(d["metrics"]),
+            paper_deltas=dict(d["paper_deltas"]),
+            blocks=tuple(Block.from_dict(b) for b in d["blocks"]),
+            schema=schema,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
+
+
+def jsonify(value: Any) -> Any:
+    """Normalize a metrics value to plain JSON types (tuples -> lists),
+    so ``RunResult`` equality survives a JSON round-trip."""
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"metrics value {value!r} is not JSON-serializable")
+
+
+def paper_delta(paper: float, model: float) -> float:
+    """Relative model-vs-paper delta (absolute when the paper value is
+    zero), mirroring the presenter's delta column."""
+    if paper == 0:
+        return model - paper
+    return (model - paper) / paper
+
+
+def validate_result_dict(d: Mapping[str, Any]) -> List[str]:
+    """Schema check of one serialized :class:`RunResult`.
+
+    Returns a list of human-readable problems (empty = valid).  Kept
+    dependency-free on purpose -- no jsonschema in the container.
+    """
+    problems: List[str] = []
+
+    def expect(key: str, types) -> None:
+        if key not in d:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(d[key], types):
+            problems.append(f"{key!r} has type {type(d[key]).__name__}")
+
+    def ok(key: str, types) -> bool:
+        return key in d and isinstance(d[key], types)
+
+    expect("schema", int)
+    expect("scenario", str)
+    expect("kind", str)
+    expect("engine", str)
+    expect("seed", int)
+    expect("budget", str)
+    expect("wall_clock_s", (int, float))
+    expect("metrics", dict)
+    expect("paper_deltas", dict)
+    expect("blocks", list)
+    if ok("schema", int) and d["schema"] != RESULT_SCHEMA:
+        problems.append(f"schema {d['schema']} != {RESULT_SCHEMA}")
+    if ok("engine", str) and d["engine"] not in ("fast", "reference", "n/a"):
+        problems.append(f"engine {d['engine']!r} invalid")
+    if ok("budget", str) and d["budget"] not in ("full", "fast"):
+        problems.append(f"budget {d['budget']!r} invalid")
+    if ok("paper_deltas", dict):
+        for k, v in d["paper_deltas"].items():
+            if not isinstance(v, (int, float)):
+                problems.append(f"paper_deltas[{k!r}] not numeric")
+    if ok("blocks", list):
+        for i, b in enumerate(d["blocks"]):
+            if not isinstance(b, dict) or b.get("kind") not in _BLOCK_KINDS:
+                problems.append(f"blocks[{i}] malformed")
+                continue
+            if b["kind"] == "text" and not isinstance(b.get("text"), str):
+                problems.append(f"blocks[{i}] text missing")
+            if b["kind"] != "text":
+                if not isinstance(b.get("headers"), list) \
+                        or not isinstance(b.get("rows"), list):
+                    problems.append(f"blocks[{i}] table malformed")
+                else:
+                    width = len(b["headers"])
+                    for j, row in enumerate(b["rows"]):
+                        if not isinstance(row, list) or len(row) != width:
+                            problems.append(
+                                f"blocks[{i}].rows[{j}] width != {width}")
+    return problems

@@ -1,0 +1,72 @@
+"""The Runner: execute a scenario spec, return a typed result.
+
+The Runner is the single execution path for every published artifact:
+the CLI, the benchmarks, the deprecated ``run_tableN`` shims and the
+examples all funnel through :meth:`Runner.run`.  Knob overrides
+(``engine``, ``seed``, ``budget``/``fast``, ``mms``) are applied through
+:meth:`ScenarioSpec.with_options`, so each scenario honors exactly the
+knobs it declares.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional
+
+from repro.core.mms import MmsConfig
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.result import RunResult, jsonify
+from repro.scenarios.spec import ScenarioSpec
+
+
+class Runner:
+    """Executes registered scenarios (or ad-hoc resolved specs)."""
+
+    def run(self, name: str, *,
+            engine: Optional[str] = None,
+            seed: Optional[int] = None,
+            budget: Optional[str] = None,
+            fast: Optional[bool] = None,
+            mms: Optional[MmsConfig] = None) -> RunResult:
+        """Run one scenario by name with optional knob overrides.
+
+        ``fast`` is sugar for ``budget="fast"`` / ``"full"`` and must
+        not be combined with an explicit ``budget``.
+        """
+        if fast is not None:
+            if budget is not None:
+                raise ValueError("pass either fast= or budget=, not both")
+            budget = "fast" if fast else "full"
+        scenario = get_scenario(name)
+        spec = scenario.spec.with_options(engine=engine, seed=seed,
+                                          budget=budget, mms=mms)
+        return self.run_spec(spec)
+
+    def run_spec(self, spec: ScenarioSpec) -> RunResult:
+        """Run an already-resolved spec (must be a registered name)."""
+        scenario = get_scenario(spec.name)
+        t0 = time.perf_counter()
+        outcome = scenario.execute(spec)
+        wall = time.perf_counter() - t0
+        return RunResult(
+            scenario=spec.name,
+            kind=spec.kind,
+            engine=spec.effective_engine,
+            seed=spec.seed,
+            budget=spec.budget,
+            wall_clock_s=wall,
+            metrics=jsonify(outcome.metrics),
+            paper_deltas=jsonify(outcome.paper_deltas),
+            blocks=outcome.blocks,
+        )
+
+    def run_many(self, names: Optional[Iterable[str]] = None, *,
+                 engine: Optional[str] = None,
+                 seed: Optional[int] = None,
+                 budget: Optional[str] = None,
+                 fast: Optional[bool] = None) -> List[RunResult]:
+        """Run several scenarios (default: every registered one)."""
+        if names is None:
+            names = scenario_names()
+        return [self.run(n, engine=engine, seed=seed, budget=budget,
+                         fast=fast) for n in names]

@@ -1,0 +1,185 @@
+"""Declarative experiment specifications.
+
+A :class:`ScenarioSpec` is a frozen, self-describing value object that
+captures everything needed to regenerate one published artifact (a
+table, figure, sweep or ablation): the traffic source, the workload, the
+memory backend and its :class:`~repro.mem.timing.DdrTiming`, the
+scheduler flags, the execution engine, the run-length budget and the
+seed.  Execution is decoupled: the spec carries no code -- the registry
+(:mod:`repro.scenarios.registry`) binds each spec to an executor, the
+:class:`~repro.scenarios.runner.Runner` runs it, and the presenter
+renders the typed result.
+
+Run-length knobs are *budgeted pairs* ``(full, fast)``: the ``full``
+element aims at repeatable 3-digit numbers, the ``fast`` element at
+CI-style wall-clock.  ``spec.pick(pair)`` resolves a pair against the
+spec's ``budget``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple, TypeVar
+
+from repro.core.mms import MmsConfig
+from repro.mem.timing import DdrTiming
+
+#: Execution engines every scenario understands.  ``fast`` selects the
+#: batched/calendar-queue implementations, ``reference`` the original
+#: per-access / heapq executable specifications.  Simulated results are
+#: identical either way (asserted by the equivalence tests).
+ENGINES: Tuple[str, ...] = ("fast", "reference")
+
+#: Run-length budgets.
+BUDGETS: Tuple[str, ...] = ("full", "fast")
+
+#: Artifact categories.
+KINDS: Tuple[str, ...] = ("table", "figure", "headline", "sweep", "ablation")
+
+_T = TypeVar("_T")
+
+#: A run-length knob: ``(full_value, fast_value)``.
+Budgeted = Tuple[_T, _T]
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The offered traffic / command stream of a scenario.
+
+    Only the fields relevant to a scenario's workload are consulted by
+    its executor; the rest keep their neutral defaults.
+    """
+
+    #: DDR access-stream length (Table 1 style), as a (full, fast) pair.
+    num_accesses: Budgeted[int] = (0, 0)
+    #: MMS load-harness volleys and warm-up, as (full, fast) pairs.
+    num_volleys: Budgeted[int] = (0, 0)
+    warmup_volleys: Budgeted[int] = (0, 0)
+    #: MMS saturation command count, as a (full, fast) pair.
+    num_commands: Budgeted[int] = (0, 0)
+    #: Offered loads in Gbps (Table 5 axis), as a (full, fast) pair of
+    #: tuples.
+    loads_gbps: Budgeted[Tuple[float, ...]] = ((), ())
+    #: IXP queue-count axis, as a (full, fast) pair of tuples.
+    queue_counts: Budgeted[Tuple[int, ...]] = ((), ())
+    #: IXP microengine counts exercised (not budgeted).
+    engine_counts: Tuple[int, ...] = ()
+    #: NPU CPU-clock axis in MHz (Section 5.4 rule of thumb).
+    clocks_mhz: Tuple[float, ...] = ()
+    #: MMS load-harness flow fan-out and burstiness.
+    active_flows: int = 512
+    burst_len: int = 4
+    burst_prob: float = 0.25
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """The memory backend under test."""
+
+    #: Backend family: "ddr" (banked DRAM data memory), "sram"/"zbt"
+    #: (pointer memory), "none" for closed-form scenarios.
+    backend: str = "ddr"
+    #: Bank counts exercised (Table 1 axis; single-element for most).
+    banks: Tuple[int, ...] = (8,)
+    #: DDR timing facts (paper footnotes 1-2).
+    timing: DdrTiming = DdrTiming()
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Scheduler/policy flags of the scenario."""
+
+    #: DDR front-end: reordering (True) vs serializing (False).
+    optimized: bool = True
+    #: Model the write-after-read data-bus turnaround.
+    model_rw_turnaround: bool = False
+    #: Reordering-scheduler issue-history depth (paper uses 3).
+    history_depth: int = 3
+    #: Ablation A4: prefer same-direction accesses.
+    prefer_same_type: bool = False
+    #: IXP hardware multithreading ablation.
+    multithreading: bool = False
+    #: MMS ablation A5: overlap data transfers with pointer work.
+    overlap_data: bool = True
+    #: Ablation axes (history depths / per-port FIFO depths to sweep).
+    history_depths: Tuple[int, ...] = ()
+    fifo_depths: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment: everything but the code.
+
+    ``supports`` names the knobs the scenario honors (subset of
+    ``{"engine", "seed", "budget", "mms"}``); :meth:`with_options`
+    applies overrides for supported knobs and ignores the rest, so a
+    uniform CLI invocation like ``run all --engine reference`` is valid
+    across closed-form and simulation scenarios alike.
+    """
+
+    name: str
+    kind: str
+    title: str
+    workload: str
+    description: str = ""
+    engine: str = "fast"
+    seed: int = 2005
+    budget: str = "full"
+    traffic: TrafficSpec = TrafficSpec()
+    memory: MemorySpec = MemorySpec()
+    sched: SchedulerSpec = SchedulerSpec()
+    #: Optional MMS build-time configuration (Table 5 style scenarios).
+    mms: Optional[MmsConfig] = None
+    supports: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r} (choose from {KINDS})")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (choose from {ENGINES})")
+        if self.budget not in BUDGETS:
+            raise ValueError(
+                f"unknown budget {self.budget!r} (choose from {BUDGETS})")
+        unknown = self.supports - {"engine", "seed", "budget", "mms"}
+        if unknown:
+            raise ValueError(f"unknown supports entries: {sorted(unknown)}")
+
+    # ------------------------------------------------------------ helpers
+
+    def pick(self, pair: Budgeted[_T]) -> _T:
+        """Resolve a ``(full, fast)`` run-length pair for this budget."""
+        return pair[0] if self.budget == "full" else pair[1]
+
+    def with_options(self, engine: Optional[str] = None,
+                     seed: Optional[int] = None,
+                     budget: Optional[str] = None,
+                     mms: Optional[MmsConfig] = None) -> "ScenarioSpec":
+        """A copy with the given knobs applied where supported.
+
+        Overrides for knobs the scenario does not declare in
+        ``supports`` are silently ignored -- the scenario has no such
+        degree of freedom (e.g. Table 4 is closed-form), and uniform
+        ``run all`` invocations must stay valid.
+        """
+        changes = {}
+        if engine is not None and "engine" in self.supports:
+            changes["engine"] = engine
+        if seed is not None and "seed" in self.supports:
+            changes["seed"] = seed
+        if budget is not None and "budget" in self.supports:
+            changes["budget"] = budget
+        if mms is not None and "mms" in self.supports:
+            changes["mms"] = mms
+        if not changes:
+            return self
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def effective_engine(self) -> str:
+        """The engine label results should carry: the selected engine
+        for simulation scenarios, ``"n/a"`` for closed-form ones."""
+        return self.engine if "engine" in self.supports else "n/a"

@@ -361,14 +361,28 @@ ENGINES: Dict[str, type] = {
     "heapq": HeapqSimulator,
 }
 
+#: Scenario-level engine names: every DES-backed experiment exposes the
+#: same ``engine="fast" | "reference"`` knob, which for kernel-driven
+#: models resolves to the calendar-queue kernel vs the heapq ordering
+#: spec (proven trace-identical by tests/sim/test_kernel_equivalence.py).
+ENGINE_ALIASES: Dict[str, str] = {
+    "fast": "calendar",
+    "reference": "heapq",
+}
+
 
 def make_simulator(engine: str = "calendar") -> Simulator:
-    """Instantiate a kernel by engine name (``calendar`` or ``heapq``)."""
+    """Instantiate a kernel by engine name.
+
+    Accepts the kernel names ``"calendar"`` / ``"heapq"`` and the
+    scenario-level aliases ``"fast"`` / ``"reference"``.
+    """
     try:
-        cls = ENGINES[engine]
+        cls = ENGINES[ENGINE_ALIASES.get(engine, engine)]
     except KeyError:
+        choices = sorted(ENGINES) + sorted(ENGINE_ALIASES)
         raise ValueError(
-            f"unknown kernel engine {engine!r} (choose from {sorted(ENGINES)})"
+            f"unknown kernel engine {engine!r} (choose from {choices})"
         ) from None
     return cls()
 

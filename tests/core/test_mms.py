@@ -205,3 +205,25 @@ def test_config_validation():
         MmsConfig(clock_mhz=0)
     with pytest.raises(ValueError):
         MmsConfig(num_flows=0)
+
+def test_run_load_engines_trace_identical():
+    """The uniform engine knob: calendar vs heapq kernel, same results."""
+    kw = dict(num_volleys=200, config=LOAD_CFG, warmup_volleys=40)
+    fast = run_load(3.2, engine="fast", **kw)
+    ref = run_load(3.2, engine="reference", **kw)
+    assert fast.engine == "fast" and ref.engine == "reference"
+    assert (fast.fifo_cycles, fast.execution_cycles, fast.data_cycles,
+            fast.end_to_end_cycles, fast.completed_ops, fast.elapsed_ps) \
+        == (ref.fifo_cycles, ref.execution_cycles, ref.data_cycles,
+            ref.end_to_end_cycles, ref.completed_ops, ref.elapsed_ps)
+
+def test_run_saturation_engines_trace_identical():
+    fast = run_saturation(num_commands=800, config=LOAD_CFG, engine="fast")
+    ref = run_saturation(num_commands=800, config=LOAD_CFG,
+                         engine="reference")
+    assert (fast.completed_ops, fast.elapsed_ps) \
+        == (ref.completed_ops, ref.elapsed_ps)
+
+def test_run_load_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        run_load(1.0, num_volleys=10, config=LOAD_CFG, engine="turbo")

@@ -14,7 +14,7 @@ from repro.mem import (
     fast_throughput_loss,
     simulate_throughput_loss,
 )
-from repro.analysis.experiments import run_table1
+from repro.scenarios import Runner
 
 BANKS = (1, 4, 8, 16)
 
@@ -74,7 +74,7 @@ def test_unknown_engine_rejected():
                                  num_accesses=100, engine="turbo")
 
 def test_run_table1_engines_agree():
-    """The full Table 1 driver returns identical values on both engines."""
-    fast = run_table1(fast=True, engine="fast")
-    ref = run_table1(fast=True, engine="reference")
-    assert fast.values == ref.values
+    """The full Table 1 scenario returns identical values on both engines."""
+    fast = Runner().run("table1", fast=True, engine="fast")
+    ref = Runner().run("table1", fast=True, engine="reference")
+    assert fast.metrics == ref.metrics

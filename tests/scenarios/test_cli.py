@@ -1,0 +1,89 @@
+"""CLI tests: list / run / sweep, JSON documents, legacy aliases."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import build_parser, main
+from repro.scenarios import scenario_names, validate_result_dict
+
+
+def test_list_shows_every_scenario(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_list_filters_by_kind(capsys):
+    assert main(["list", "--kind", "sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep-ddr-loss-banks" in out
+    assert "table1" not in out
+
+
+def test_run_single_scenario(capsys):
+    assert main(["run", "table4"]) == 0
+    assert "Table 4" in capsys.readouterr().out
+
+
+def test_run_with_engine_and_seed_flags(capsys):
+    rc = main(["run", "ablation-history-depth", "--fast",
+               "--engine", "reference", "--seed", "7"])
+    assert rc == 0
+    assert "Ablation A1" in capsys.readouterr().out
+
+
+def test_sweep_subcommand(capsys):
+    assert main(["sweep", "sweep-npu-rate-clock"]) == 0
+    assert "clock MHz" in capsys.readouterr().out
+
+
+def test_sweep_rejects_non_sweep_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "table1"])
+
+
+def test_legacy_positional_invocation_still_works(capsys):
+    """`repro-experiments table4 --fast` predates the subcommands."""
+    assert main(["table4", "--fast"]) == 0
+    assert "Table 4" in capsys.readouterr().out
+
+
+def test_legacy_option_first_invocation_still_works(capsys):
+    """argparse used to accept options before the positional, too."""
+    assert main(["--fast", "table4"]) == 0
+    assert "Table 4" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "table9"])
+
+
+def test_engine_flag_validated():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "table1", "--engine", "warp"])
+
+
+def test_json_to_stdout(capsys):
+    assert main(["run", "table4", "--quiet", "--json", "-"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    assert doc["runs"][0]["scenario"] == "table4"
+
+
+def test_run_all_fast_json_is_schema_valid_for_every_scenario(
+        tmp_path, capsys):
+    """The acceptance path: every registered scenario runs on the fast
+    budget and serializes to a schema-valid document."""
+    out = tmp_path / "runs.json"
+    rc = main(["run", "all", "--fast", "--quiet", "--json", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == 1
+    ran = [r["scenario"] for r in doc["runs"]]
+    assert ran == scenario_names()
+    for run in doc["runs"]:
+        assert validate_result_dict(run) == [], run["scenario"]
+        assert run["budget"] in ("fast", "full")  # full = no budget knob

@@ -1,0 +1,78 @@
+"""Tests for the scenario registry and the catalog's coverage."""
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenarios_of_kind,
+)
+
+#: Every published artifact the registry must cover.
+EXPECTED = {
+    # tables
+    "table1", "table2", "table3", "table4", "table5",
+    # figures + headline claims
+    "figure1", "figure2", "headline",
+    # sweeps
+    "sweep-ddr-loss-banks", "sweep-ixp-rate-queues", "sweep-npu-rate-clock",
+    "sweep-mms-delay-load", "sweep-ixp-cycles-closed-form",
+    # ablations
+    "ablation-history-depth", "ablation-rw-grouping", "ablation-fifo-depth",
+    "ablation-overlap", "ablation-multithreading",
+}
+
+
+def test_registry_covers_every_artifact():
+    assert set(scenario_names()) == EXPECTED
+
+
+def test_names_are_ordered_tables_first():
+    names = scenario_names()
+    assert names[:5] == ["table1", "table2", "table3", "table4", "table5"]
+
+
+def test_kind_partition():
+    assert {s.spec.name for s in scenarios_of_kind("table")} == {
+        "table1", "table2", "table3", "table4", "table5"}
+    assert {s.spec.name for s in scenarios_of_kind("sweep")} == {
+        n for n in EXPECTED if n.startswith("sweep-")}
+    assert {s.spec.name for s in scenarios_of_kind("ablation")} == {
+        n for n in EXPECTED if n.startswith("ablation-")}
+
+
+def test_specs_name_themselves():
+    for name, scenario in all_scenarios().items():
+        assert scenario.spec.name == name
+
+
+def test_engine_support_matches_workload():
+    """Only simulation workloads may declare an engine knob; structural
+    and closed-form scenarios never do."""
+    for name, scenario in all_scenarios().items():
+        spec = scenario.spec
+        if "engine" in spec.supports:
+            assert spec.workload in ("ddr", "mms", "ixp", "mixed"), name
+        if spec.workload in ("structural", "npu-sw") \
+                or "closed-form" in name:
+            assert "engine" not in spec.supports, name
+    # the simulation-backed artifacts all expose the knob
+    for name in ("table1", "table2", "table5", "headline",
+                 "sweep-ddr-loss-banks", "sweep-mms-delay-load",
+                 "ablation-multithreading"):
+        assert "engine" in all_scenarios()[name].spec.supports, name
+
+
+def test_get_scenario_unknown_name_lists_choices():
+    with pytest.raises(KeyError, match="table1"):
+        get_scenario("table9")
+
+
+def test_duplicate_registration_rejected():
+    spec = ScenarioSpec(name="table1", kind="table", title="dup",
+                        workload="ddr")
+    with pytest.raises(ValueError, match="already registered"):
+        register_scenario(spec)(lambda s: None)

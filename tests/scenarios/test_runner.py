@@ -1,0 +1,112 @@
+"""Runner behavior: knob threading, typed results, JSON round-trip, and
+golden byte-identity of the deprecated ``run_tableN`` shims."""
+
+import json
+
+import pytest
+
+from repro.analysis import experiments as legacy
+from repro.scenarios import (
+    Runner,
+    RunResult,
+    render,
+    validate_result_dict,
+)
+
+
+# ------------------------------------------------------------- knobs
+
+def test_engine_override_produces_identical_metrics():
+    runner = Runner()
+    fast = runner.run("table1", fast=True, engine="fast")
+    ref = runner.run("table1", fast=True, engine="reference")
+    assert fast.metrics == ref.metrics
+    assert fast.engine == "fast" and ref.engine == "reference"
+
+
+def test_seed_override_changes_simulated_values():
+    runner = Runner()
+    a = runner.run("ablation-history-depth", fast=True, seed=1)
+    b = runner.run("ablation-history-depth", fast=True, seed=2)
+    assert a.seed == 1 and b.seed == 2
+    assert a.metrics != b.metrics
+
+
+def test_budget_knob_recorded():
+    r = Runner().run("ablation-history-depth", fast=True)
+    assert r.budget == "fast"
+    assert r.wall_clock_s > 0
+
+
+def test_fast_and_budget_are_exclusive():
+    with pytest.raises(ValueError, match="not both"):
+        Runner().run("table4", fast=True, budget="full")
+
+
+def test_closed_form_reports_na_engine():
+    r = Runner().run("table4", engine="reference")
+    assert r.engine == "n/a"
+
+
+# ----------------------------------------------------- result round-trip
+
+def test_runresult_json_round_trip_exact():
+    for name in ("table3", "table4", "figure1"):
+        r = Runner().run(name)
+        again = RunResult.from_json(r.to_json())
+        assert again == r
+        assert render(again) == render(r)
+
+
+def test_runresult_dict_is_schema_valid():
+    r = Runner().run("table3")
+    assert validate_result_dict(json.loads(r.to_json())) == []
+
+
+def test_validate_result_dict_flags_problems():
+    d = json.loads(Runner().run("table4").to_json())
+    d["engine"] = "warp"
+    del d["seed"]
+    problems = validate_result_dict(d)
+    assert any("engine" in p for p in problems)
+    assert any("seed" in p for p in problems)
+
+
+# ------------------------------------------- golden shim byte-identity
+
+#: (legacy driver, scenario name, kwargs for both paths)
+_GOLDEN = [
+    (legacy.run_table1, "table1", dict(fast=True)),
+    (legacy.run_table3, "table3", {}),
+    (legacy.run_table4, "table4", {}),
+    (legacy.run_figure1, "figure1", {}),
+    (legacy.run_figure2, "figure2", {}),
+]
+
+
+@pytest.mark.parametrize("driver,name,kw", _GOLDEN,
+                         ids=[g[1] for g in _GOLDEN])
+def test_deprecated_driver_is_byte_identical(driver, name, kw):
+    with pytest.warns(DeprecationWarning, match=f"run_{name}"):
+        report = driver(**kw)
+    direct = Runner().run(name, **kw)
+    assert report.rendered == render(direct)
+    assert report.values == direct.metrics
+
+
+def test_deprecated_table5_with_config_matches_runner():
+    from repro.core import MmsConfig
+    cfg = MmsConfig(num_flows=1024, num_segments=8192, num_descriptors=4096)
+    with pytest.warns(DeprecationWarning):
+        report = legacy.run_table5(fast=True, config=cfg)
+    direct = Runner().run("table5", fast=True, mms=cfg)
+    assert report.rendered == render(direct)
+    assert report.values == direct.metrics
+
+
+def test_deprecated_drivers_thread_engine_and_seed():
+    with pytest.warns(DeprecationWarning):
+        a = legacy.run_table1(fast=True, seed=99, engine="reference")
+    b = Runner().run("table1", fast=True, seed=99, engine="reference")
+    assert a.rendered == render(b)
+    assert b.seed == 99 and b.engine == "reference"

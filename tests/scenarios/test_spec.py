@@ -1,0 +1,79 @@
+"""Tests for the declarative scenario specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.mms import MmsConfig
+from repro.scenarios import ScenarioSpec, TrafficSpec
+
+
+def _spec(**kw):
+    base = dict(name="demo", kind="table", title="Demo", workload="ddr",
+                supports=frozenset({"engine", "seed", "budget"}))
+    base.update(kw)
+    return ScenarioSpec(**base)
+
+
+def test_spec_is_frozen():
+    spec = _spec()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.engine = "reference"
+
+
+def test_spec_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="engine"):
+        _spec(engine="warp")
+
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="kind"):
+        _spec(kind="poster")
+
+
+def test_spec_rejects_unknown_budget():
+    with pytest.raises(ValueError, match="budget"):
+        _spec(budget="leisurely")
+
+
+def test_spec_rejects_unknown_supports():
+    with pytest.raises(ValueError, match="supports"):
+        _spec(supports=frozenset({"engine", "turbo"}))
+
+
+def test_spec_rejects_empty_name():
+    with pytest.raises(ValueError, match="name"):
+        _spec(name="")
+
+
+def test_pick_resolves_budget_pairs():
+    spec = _spec(traffic=TrafficSpec(num_accesses=(100, 10)))
+    assert spec.pick(spec.traffic.num_accesses) == 100
+    fast = dataclasses.replace(spec, budget="fast")
+    assert fast.pick(fast.traffic.num_accesses) == 10
+
+
+def test_with_options_applies_supported_knobs():
+    spec = _spec()
+    out = spec.with_options(engine="reference", seed=7, budget="fast")
+    assert (out.engine, out.seed, out.budget) == ("reference", 7, "fast")
+    # the original is untouched
+    assert (spec.engine, spec.seed, spec.budget) == ("fast", 2005, "full")
+
+
+def test_with_options_ignores_unsupported_knobs():
+    spec = _spec(supports=frozenset())
+    out = spec.with_options(engine="reference", seed=7, budget="fast",
+                            mms=MmsConfig(num_flows=4, num_segments=4,
+                                          num_descriptors=4))
+    assert out is spec
+
+
+def test_with_options_none_is_identity():
+    spec = _spec()
+    assert spec.with_options() is spec
+
+
+def test_effective_engine_for_closed_form():
+    assert _spec().effective_engine == "fast"
+    assert _spec(supports=frozenset()).effective_engine == "n/a"
