@@ -108,6 +108,45 @@ def bench_ablation_threads(quick: bool, repeats: int) -> dict:
     }
 
 
+def bench_overload(quick: bool, repeats: int) -> dict:
+    """Overload policy scenario on both kernel engines.
+
+    Records the policy-scenario provenance (policy family, traffic
+    shape, drop/accept counters) alongside the usual engine timings and
+    enforces that both kernels report byte-identical counters.
+    """
+    runner = Runner()
+    name = "overload-lqd-burst"
+
+    def run(engine: str):
+        return runner.run(name, fast=quick, engine=engine)
+
+    ref_s, ref_result = _best_of(lambda: run("reference"), repeats)
+    fast_s, fast_result = _best_of(lambda: run("fast"), repeats)
+    if fast_result.metrics != ref_result.metrics:
+        raise SystemExit(
+            "bench_overload: engines disagree on drop/accept counters")
+    m = fast_result.metrics
+    return {
+        "reference_s": round(ref_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup": round(ref_s / fast_s, 2),
+        "identical_results": True,
+        "reference_engine": "heapq kernel (sim.kernel.HeapqSimulator)",
+        "fast_engine": "calendar-queue kernel (sim.kernel.Simulator)",
+        "scenario": name,
+        "policy": m["policy"],
+        "shape": m["shape"],
+        "counters": {
+            "offered_segments": m["offered_segments"],
+            "accepted_segments": m["accepted_segments"],
+            "dropped_segments": m["dropped_segments"],
+            "pushed_out_segments": m["pushed_out_segments"],
+            "drop_rate": round(m["drop_rate"], 4),
+        },
+    }
+
+
 def bench_kernel_events(quick: bool, repeats: int) -> dict:
     """Raw kernel event throughput: clocked processes with shared edges."""
     procs, steps = (50, 200) if quick else (200, 500)
@@ -155,6 +194,7 @@ def main(argv=None) -> int:
     benches = {
         "bench_table1": bench_table1,
         "bench_ablation_threads": bench_ablation_threads,
+        "bench_overload": bench_overload,
         "kernel_events": bench_kernel_events,
     }
     results = {}

@@ -1,0 +1,54 @@
+"""Shared policy-aware enqueue helper for the application models.
+
+Every app feeds packets into MMS flow queues segment by segment.  With a
+buffer policy installed (``MmsConfig.policy``), any segment may come
+back as a :class:`~repro.policies.DroppedSegment`; the app must then
+discard the partially assembled packet (partial-packet discard --
+otherwise the already accepted segments of the aborted packet would leak
+buffer space forever).  This helper centralizes that protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import Command, CommandType
+from repro.policies import DroppedSegment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core import MMS
+    from repro.net.packet import Packet
+
+
+def release_pushed_out(meta: dict, pids) -> int:
+    """Release per-packet metadata for pushed-out pids.
+
+    The shared body of the apps' push-out listeners: pop each evicted
+    pid from the app's pid->metadata dict and return how many were
+    actually released (unknown pids -- e.g. prefill markers -- are
+    ignored), which the caller adds to its pushed-out counter.
+    """
+    released = 0
+    for pid in pids:
+        if meta.pop(pid, None) is not None:
+            released += 1
+    return released
+
+
+def enqueue_packet(mms: "MMS", flow: int, packet: "Packet") -> bool:
+    """Enqueue all of ``packet``'s segments into ``flow``.
+
+    Returns True when the whole packet was accepted.  On a policy drop
+    the partial packet is aborted (its accepted segments freed) and
+    False is returned -- the caller counts the loss; nothing of the
+    packet remains buffered.
+    """
+    for i, seg_len in enumerate(packet.segment_lengths()):
+        result = mms.apply(Command(
+            type=CommandType.ENQUEUE, flow=flow,
+            eop=(i == packet.num_segments - 1),
+            length=seg_len, pid=packet.pid, seg_index=i))
+        if isinstance(result, DroppedSegment):
+            mms.pqm.abort_open_packet(flow)
+            return False
+    return True

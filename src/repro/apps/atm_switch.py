@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core import MMS, Command, CommandType, MmsConfig
 from repro.net.atm import ATM_CELL_BYTES, AtmCell
+from repro.apps._admission import release_pushed_out
+from repro.policies import DroppedSegment, PolicySpec
 
 VcKey = Tuple[int, int, int]          # (in_port, vpi, vci)
 VcTarget = Tuple[int, int, int]       # (out_port, new_vpi, new_vci)
@@ -49,18 +51,23 @@ class SwitchedCell:
 class AtmSwitch:
     """Per-output-port cell queues over the MMS."""
 
-    def __init__(self, num_ports: int = 4, mms: Optional[MMS] = None) -> None:
+    def __init__(self, num_ports: int = 4, mms: Optional[MMS] = None,
+                 policy: Optional[PolicySpec] = None) -> None:
         if num_ports < 2:
             raise ValueError(f"need >= 2 ports, got {num_ports}")
         self.num_ports = num_ports
         self.vcs = VcMap()
         self.mms = mms or MMS(MmsConfig(num_flows=num_ports,
                                         num_segments=4096,
-                                        num_descriptors=4096))
+                                        num_descriptors=4096,
+                                        policy=policy))
         self._cell_meta: Dict[int, SwitchedCell] = {}
         self._next_tag = 0
         self.cells_switched = 0
         self.cells_dropped = 0
+        self.cells_dropped_policy = 0
+        self.cells_pushed_out = 0
+        self.mms.pqm.pushout_listeners.append(self._on_pushout)
 
     def switch_cell(self, in_port: int, cell: AtmCell) -> Optional[SwitchedCell]:
         """Cross-connect one cell; returns its queued form or None
@@ -74,9 +81,12 @@ class AtmSwitch:
         self._next_tag += 1
         # one 53-byte cell = one short segment; header remap is the
         # segment's data being rewritten on the way in
-        self.mms.apply(Command(
+        result = self.mms.apply(Command(
             type=CommandType.ENQUEUE, flow=out_port, eop=True,
             length=ATM_CELL_BYTES, pid=tag))
+        if isinstance(result, DroppedSegment):
+            self.cells_dropped_policy += 1
+            return None
         switched = SwitchedCell(
             out_port=out_port,
             cell=AtmCell(vpi=new_vpi, vci=new_vci, pid=cell.pid,
@@ -100,3 +110,7 @@ class AtmSwitch:
 
     def queued_cells(self, out_port: int) -> int:
         return self.mms.pqm.queued_packets(out_port)
+
+    def _on_pushout(self, flow: int, pids) -> None:
+        """A push-out evicted a queued cell: release its metadata."""
+        self.cells_pushed_out += release_pushed_out(self._cell_meta, pids)

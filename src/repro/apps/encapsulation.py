@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.apps._admission import enqueue_packet, release_pushed_out
 from repro.core import MMS, Command, CommandType, MmsConfig
 from repro.net.packet import Packet
+from repro.policies import DroppedSegment, PolicySpec
 
 #: Default flow used for the encapsulation pipeline.
 PIPELINE_FLOW = 0
@@ -29,38 +31,48 @@ class PppEncapsulator:
     """PPP-style encapsulation pipeline on one MMS flow queue."""
 
     def __init__(self, mms: Optional[MMS] = None,
-                 trailer_bytes: int = 4) -> None:
+                 trailer_bytes: int = 4,
+                 policy: Optional[PolicySpec] = None) -> None:
         if not 1 <= trailer_bytes <= 64:
             raise ValueError(
                 f"trailer_bytes must be in [1, 64], got {trailer_bytes}"
             )
         self.mms = mms or MMS(MmsConfig(num_flows=2, num_segments=2048,
-                                        num_descriptors=1024))
+                                        num_descriptors=1024, policy=policy))
         self.trailer_bytes = trailer_bytes
         self._pkt_meta: Dict[int, Packet] = {}
         self.encapsulated = 0
         self.decapsulated = 0
+        self.dropped_policy = 0
+        self.pushed_out = 0
+        self.mms.pqm.pushout_listeners.append(self._on_pushout)
 
     # ----------------------------------------------------------- pipeline
 
-    def load(self, packet: Packet) -> None:
-        """Buffer a packet into the pipeline queue."""
-        for i, seg_len in enumerate(packet.segment_lengths()):
-            self.mms.apply(Command(
-                type=CommandType.ENQUEUE, flow=PIPELINE_FLOW,
-                eop=(i == packet.num_segments - 1), length=seg_len,
-                pid=packet.pid, seg_index=i))
+    def load(self, packet: Packet) -> bool:
+        """Buffer a packet into the pipeline queue.
+
+        Returns False when the buffer policy rejected it (the partial
+        packet is discarded)."""
+        if not enqueue_packet(self.mms, PIPELINE_FLOW, packet):
+            self.dropped_policy += 1
+            return False
         self._pkt_meta[packet.pid] = packet
+        return True
 
     def encapsulate_head(self) -> int:
         """Prepend the PPP header segment to the head packet.
 
-        Returns the number of segments the packet now has."""
+        Returns the number of segments the packet now has (unchanged
+        when the buffer policy rejected the header buffer)."""
         info = self.mms.apply(Command(type=CommandType.READ,
                                       flow=PIPELINE_FLOW))
-        self.mms.apply(Command(type=CommandType.APPEND_HEAD,
-                               flow=PIPELINE_FLOW, pid=info.pid))
-        self.encapsulated += 1
+        result = self.mms.apply(Command(type=CommandType.APPEND_HEAD,
+                                        flow=PIPELINE_FLOW, pid=info.pid))
+        if isinstance(result, DroppedSegment):
+            self.dropped_policy += 1
+        else:
+            self.encapsulated += 1
         return self._packet_segments()
 
     def add_trailer(self) -> int:
@@ -81,9 +93,11 @@ class PppEncapsulator:
             # single-segment packet: head == tail, pad it to 64 bytes
             self.mms.apply(Command(type=CommandType.OVERWRITE_LENGTH,
                                    flow=PIPELINE_FLOW, length=64))
-        self.mms.apply(Command(type=CommandType.APPEND_TAIL,
-                               flow=PIPELINE_FLOW,
-                               length=self.trailer_bytes))
+        result = self.mms.apply(Command(type=CommandType.APPEND_TAIL,
+                                        flow=PIPELINE_FLOW,
+                                        length=self.trailer_bytes))
+        if isinstance(result, DroppedSegment):
+            self.dropped_policy += 1
         return self._packet_segments()
 
     def decapsulate_head(self) -> int:
@@ -114,6 +128,10 @@ class PppEncapsulator:
 
     def stats(self) -> EncapStats:
         return EncapStats(self.encapsulated, self.decapsulated)
+
+    def _on_pushout(self, flow: int, pids) -> None:
+        """A push-out evicted a buffered packet: release its metadata."""
+        self.pushed_out += release_pushed_out(self._pkt_meta, pids)
 
     # --------------------------------------------------------- internals
 

@@ -16,8 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.apps._admission import enqueue_packet
 from repro.core import MMS, Command, CommandType, MmsConfig
 from repro.net.packet import Packet
+from repro.policies import PolicySpec
 
 #: 802.1p priority classes.
 NUM_PRIORITIES = 8
@@ -29,6 +31,9 @@ class SwitchConfig:
 
     num_ports: int = 4
     segments_per_port: int = 2048
+    #: Optional buffer-management policy for the shared segment memory
+    #: (None = legacy: enqueue-on-full raises).
+    policy: Optional[PolicySpec] = None
 
     def __post_init__(self) -> None:
         if self.num_ports < 2:
@@ -49,12 +54,19 @@ class QosEthernetSwitch:
             num_flows=config.num_flows,
             num_segments=config.num_ports * config.segments_per_port,
             num_descriptors=config.num_ports * config.segments_per_port,
+            policy=config.policy,
         ))
         self._mac_table: Dict[str, int] = {}
         self._pkt_meta: Dict[int, Packet] = {}  # pid -> original packet
+        self._pkt_refs: Dict[int, int] = {}     # pid -> queued copies
         self.frames_switched = 0
         self.frames_flooded = 0
         self.frames_dropped = 0
+        #: Frames rejected by the buffer policy (per egress copy).
+        self.frames_dropped_policy = 0
+        #: Queued copies later evicted by an LQD push-out.
+        self.frames_pushed_out = 0
+        self.mms.pqm.pushout_listeners.append(self._on_pushout)
 
     # ------------------------------------------------------------ ingress
 
@@ -79,19 +91,24 @@ class QosEthernetSwitch:
         if not egress:
             self.frames_dropped += 1
             return []
+        queued: List[int] = []
         for out_port in egress:
             flow = self._flow_id(out_port, pcp)
-            for i, seg_len in enumerate(frame.segment_lengths()):
-                self.mms.apply(Command(
-                    type=CommandType.ENQUEUE, flow=flow,
-                    eop=(i == frame.num_segments - 1),
-                    length=seg_len, pid=frame.pid, seg_index=i))
+            if not enqueue_packet(self.mms, flow, frame):
+                self.frames_dropped_policy += 1
+                continue
             self._pkt_meta[frame.pid] = frame
-        if len(egress) > 1:
+            self._pkt_refs[frame.pid] = self._pkt_refs.get(frame.pid, 0) + 1
+            queued.append(out_port)
+        if not queued:
+            # every copy was policy-rejected: already counted above
+            # (frames_dropped stays 'no egress port' only)
+            return []
+        if len(queued) > 1:
             self.frames_flooded += 1
         else:
             self.frames_switched += 1
-        return egress
+        return queued
 
     # ------------------------------------------------------------- egress
 
@@ -110,7 +127,9 @@ class QosEthernetSwitch:
                 pid = info.pid
                 if info.eop:
                     break
-            return self._pkt_meta.get(pid)
+            frame = self._pkt_meta.get(pid)
+            self._release_ref(pid)
+            return frame
         return None
 
     def queued_frames(self, port: int) -> int:
@@ -125,6 +144,23 @@ class QosEthernetSwitch:
         return dict(self._mac_table)
 
     # --------------------------------------------------------- internals
+
+    def _on_pushout(self, flow: int, pids: List[int]) -> None:
+        """An LQD push-out evicted a queued copy: account the loss and
+        release its metadata reference."""
+        for pid in pids:
+            self.frames_pushed_out += 1
+            self._release_ref(pid)
+
+    def _release_ref(self, pid: int) -> None:
+        refs = self._pkt_refs.get(pid)
+        if refs is None:
+            return
+        if refs <= 1:
+            self._pkt_refs.pop(pid, None)
+            self._pkt_meta.pop(pid, None)
+        else:
+            self._pkt_refs[pid] = refs - 1
 
     def _lookup(self, dst: str, exclude: int) -> List[int]:
         port = self._mac_table.get(dst)

@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.apps._admission import enqueue_packet, release_pushed_out
 from repro.core import MMS, Command, CommandType, MmsConfig
 from repro.net.packet import Packet
+from repro.policies import PolicySpec
 
 
 def parse_ipv4(text: str) -> int:
@@ -82,6 +84,8 @@ class RouterStats:
     routed: int
     dropped_no_route: int
     dropped_ttl: int
+    dropped_policy: int = 0
+    pushed_out: int = 0
 
 
 class IpRouter:
@@ -92,35 +96,40 @@ class IpRouter:
     """
 
     def __init__(self, num_next_hops: int = 16,
-                 mms: Optional[MMS] = None) -> None:
+                 mms: Optional[MMS] = None,
+                 policy: Optional[PolicySpec] = None) -> None:
         if num_next_hops < 1:
             raise ValueError("num_next_hops must be >= 1")
         self.num_next_hops = num_next_hops
         self.table = RouteTable()
         self.mms = mms or MMS(MmsConfig(
             num_flows=num_next_hops + 1,
-            num_segments=8192, num_descriptors=4096))
+            num_segments=8192, num_descriptors=4096, policy=policy))
         self._ingress_flow = num_next_hops
         self._pkt_meta: Dict[int, Packet] = {}
         self.routed = 0
         self.dropped_no_route = 0
         self.dropped_ttl = 0
+        self.dropped_policy = 0
+        self.pushed_out = 0
+        self.mms.pqm.pushout_listeners.append(self._on_pushout)
 
     # ------------------------------------------------------------ ingress
 
-    def receive(self, packet: Packet) -> None:
+    def receive(self, packet: Packet) -> bool:
         """Buffer an arriving packet in the ingress queue.
 
         Required ``packet.fields``: ``dst_ip`` (dotted quad), ``ttl``.
+        Returns False when the buffer policy rejected the packet (the
+        partial packet is discarded; nothing remains buffered).
         """
         if "dst_ip" not in packet.fields or "ttl" not in packet.fields:
             raise ValueError("packet needs dst_ip and ttl fields")
-        for i, seg_len in enumerate(packet.segment_lengths()):
-            self.mms.apply(Command(
-                type=CommandType.ENQUEUE, flow=self._ingress_flow,
-                eop=(i == packet.num_segments - 1), length=seg_len,
-                pid=packet.pid, seg_index=i))
+        if not enqueue_packet(self.mms, self._ingress_flow, packet):
+            self.dropped_policy += 1
+            return False
         self._pkt_meta[packet.pid] = packet
+        return True
 
     # -------------------------------------------------------------- route
 
@@ -182,5 +191,11 @@ class IpRouter:
                 break
         return self._pkt_meta.pop(pid, None)
 
+    def _on_pushout(self, flow: int, pids) -> None:
+        """A push-out evicted a buffered packet: release its metadata."""
+        self.pushed_out += release_pushed_out(self._pkt_meta, pids)
+
     def stats(self) -> RouterStats:
-        return RouterStats(self.routed, self.dropped_no_route, self.dropped_ttl)
+        return RouterStats(self.routed, self.dropped_no_route,
+                           self.dropped_ttl, self.dropped_policy,
+                           self.pushed_out)

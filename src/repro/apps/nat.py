@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.apps._admission import enqueue_packet, release_pushed_out
 from repro.core import MMS, Command, CommandType, MmsConfig
 from repro.net.packet import Packet
+from repro.policies import PolicySpec
 
 #: Flow-queue layout.
 INSIDE_FLOW = 0
@@ -35,17 +37,21 @@ class NatGateway:
 
     def __init__(self, public_ip: str = "203.0.113.1",
                  first_public_port: int = 40_000,
-                 mms: Optional[MMS] = None) -> None:
+                 mms: Optional[MMS] = None,
+                 policy: Optional[PolicySpec] = None) -> None:
         self.public_ip = public_ip
         self._next_port = first_public_port
         self.mms = mms or MMS(MmsConfig(num_flows=2, num_segments=4096,
-                                        num_descriptors=2048))
+                                        num_descriptors=2048, policy=policy))
         self._out: Dict[Endpoint, NatBinding] = {}
         self._back: Dict[Endpoint, NatBinding] = {}
         self._pkt_meta: Dict[int, Packet] = {}
         self.translated_out = 0
         self.translated_in = 0
         self.dropped = 0
+        self.dropped_policy = 0
+        self.pushed_out = 0
+        self.mms.pqm.pushout_listeners.append(self._on_pushout)
 
     # ----------------------------------------------------------- bindings
 
@@ -66,15 +72,17 @@ class NatGateway:
 
     # ----------------------------------------------------------- outbound
 
-    def outbound(self, packet: Packet) -> Packet:
+    def outbound(self, packet: Packet) -> Optional[Packet]:
         """Translate and forward one outbound packet.
 
         Required fields: ``src_ip``, ``src_port``.  Returns the rewritten
-        packet (same pid -- the MMS overwrites the header in place).
+        packet (same pid -- the MMS overwrites the header in place), or
+        None when the buffer policy rejected it.
         """
         if "src_ip" not in packet.fields or "src_port" not in packet.fields:
             raise ValueError("packet needs src_ip and src_port fields")
-        self._enqueue(INSIDE_FLOW, packet)
+        if not self._enqueue(INSIDE_FLOW, packet):
+            return None
         bind = self.binding_for((packet.fields["src_ip"],
                                  int(packet.fields["src_port"])))
         self.mms.apply(Command(type=CommandType.OVERWRITE_MOVE,
@@ -94,7 +102,8 @@ class NatGateway:
         """
         if "dst_ip" not in packet.fields or "dst_port" not in packet.fields:
             raise ValueError("packet needs dst_ip and dst_port fields")
-        self._enqueue(OUTSIDE_FLOW, packet)
+        if not self._enqueue(OUTSIDE_FLOW, packet):
+            return None
         bind = self._back.get((packet.fields["dst_ip"],
                                int(packet.fields["dst_port"])))
         if bind is None:
@@ -127,10 +136,13 @@ class NatGateway:
 
     # --------------------------------------------------------- internals
 
-    def _enqueue(self, flow: int, packet: Packet) -> None:
-        for i, seg_len in enumerate(packet.segment_lengths()):
-            self.mms.apply(Command(
-                type=CommandType.ENQUEUE, flow=flow,
-                eop=(i == packet.num_segments - 1), length=seg_len,
-                pid=packet.pid, seg_index=i))
+    def _on_pushout(self, flow: int, pids) -> None:
+        """A push-out evicted a buffered packet: release its metadata."""
+        self.pushed_out += release_pushed_out(self._pkt_meta, pids)
+
+    def _enqueue(self, flow: int, packet: Packet) -> bool:
+        if not enqueue_packet(self.mms, flow, packet):
+            self.dropped_policy += 1
+            return False
         self._pkt_meta[packet.pid] = packet
+        return True

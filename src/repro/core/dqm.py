@@ -22,6 +22,7 @@ from repro.core.commands import Command, CommandType
 from repro.core.dmc import DataMemoryController
 from repro.core.latency import LatencyBreakdown
 from repro.core.microcode import SCHEDULE_COSTS
+from repro.policies.base import DroppedSegment
 from repro.queueing import PacketQueueManager
 from repro.sim import Clock, Simulator
 
@@ -93,7 +94,14 @@ class DataQueueManager:
             timing[cmd.type]
         cmd.start_exec_ps = self.sim.now
         result, trace_len, data_slot = self._dispatch(cmd)
-        if self.strict_microcode and trace_len != ptr_accesses:
+        # A policy-dropped enqueue generates no pointer traffic at all
+        # (the schedule assumes an accepted segment), so the strict
+        # cross-check only applies to commands that actually executed.
+        # Accepted enqueues -- including accept-after-push-out, whose
+        # returned trace is the enqueue's own -- are still checked.
+        dropped = isinstance(result, DroppedSegment)
+        if self.strict_microcode and not dropped \
+                and trace_len != ptr_accesses:
             raise MicrocodeMismatchError(
                 f"{cmd.type.value}: functional trace has {trace_len} pointer "
                 f"accesses, schedule has {ptr_accesses}"
@@ -103,8 +111,9 @@ class DataQueueManager:
         yield handoff_ps
 
         data_event = None
-        if cmd.touches_data_memory and self.dmc is not None:
-            data_event = self.dmc.submit(cmd.is_data_write, data_slot or 0,
+        if cmd.touches_data_memory and self.dmc is not None \
+                and data_slot is not None:
+            data_event = self.dmc.submit(cmd.is_data_write, data_slot,
                                          tag=cmd.cid)
         yield tail_ps
         cmd.end_exec_ps = self.sim.now
@@ -143,9 +152,13 @@ class DataQueueManager:
         t = cmd.type
         pqm = self.pqm
         if t is CommandType.ENQUEUE:
-            slot, trace = pqm.enqueue_segment(cmd.flow, eop=cmd.eop,
-                                              length=cmd.length, pid=cmd.pid,
-                                              index=cmd.seg_index)
+            slot, trace = pqm.admit_enqueue(cmd.flow, eop=cmd.eop,
+                                            length=cmd.length, pid=cmd.pid,
+                                            index=cmd.seg_index)
+            if isinstance(slot, DroppedSegment):
+                # policy drop: the command still executes (and is timed),
+                # but no buffer was written -- no DMC transfer
+                return slot, len(trace), None
             return slot, len(trace), slot
         if t is CommandType.DEQUEUE:
             info, trace = pqm.dequeue_segment(cmd.flow)
@@ -177,9 +190,13 @@ class DataQueueManager:
             return info, len(trace), info.slot
         if t is CommandType.APPEND_HEAD:
             slot, trace = pqm.append_head(cmd.flow, pid=cmd.pid)
+            if isinstance(slot, DroppedSegment):
+                return slot, len(trace), None
             return slot, len(trace), slot
         if t is CommandType.APPEND_TAIL:
             slot, trace = pqm.append_tail(cmd.flow, length=cmd.length,
                                           pid=cmd.pid)
+            if isinstance(slot, DroppedSegment):
+                return slot, len(trace), None
             return slot, len(trace), slot
         raise ValueError(f"unknown command type {t}")

@@ -21,6 +21,7 @@ from repro.core.reassembly import ReassemblyBlock
 from repro.core.scheduler import DEFAULT_PORTS, InternalScheduler, PortConfig
 from repro.core.segmentation import SegmentationBlock
 from repro.mem import DdrTiming
+from repro.policies import BufferPolicy, PolicySpec, make_policy
 from repro.queueing import PacketQueueManager
 from repro.sim import Clock, Simulator
 from repro.sim.clock import SEC
@@ -51,6 +52,13 @@ class MmsConfig:
     #: Ablation A5: overlap data transfers with pointer work (the MMS
     #: design point); False serializes them.
     overlap_data: bool = True
+    #: Buffer-management policy (None = legacy: enqueue-on-full raises
+    #: OutOfBuffersError).  Sized to ``num_segments`` at build time.
+    policy: Optional[PolicySpec] = None
+    #: Seed for stochastic policies (RED's private RNG).
+    policy_seed: int = 2005
+    #: Retain the full DropRecord stream, not just counters.
+    policy_records: bool = False
 
     def __post_init__(self) -> None:
         if self.clock_mhz <= 0:
@@ -63,13 +71,24 @@ class MMS:
     """The Memory Management System block."""
 
     def __init__(self, config: MmsConfig = MmsConfig(),
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[Simulator] = None,
+                 policy: Optional[BufferPolicy] = None) -> None:
         self.config = config
         self.sim = sim or Simulator()
         self.clock = Clock(config.clock_mhz)
+        #: Buffer-management policy: an explicit instance wins, else one
+        #: is built from ``config.policy`` sized to the segment buffer.
+        if policy is None and config.policy is not None:
+            policy = make_policy(config.policy, capacity=config.num_segments,
+                                 seed=config.policy_seed,
+                                 keep_records=config.policy_records)
+        self.policy = policy
+        if self.policy is not None:
+            self.policy.now_fn = lambda: self.sim.now
         self.pqm = PacketQueueManager(num_flows=config.num_flows,
                                       num_segments=config.num_segments,
-                                      num_descriptors=config.num_descriptors)
+                                      num_descriptors=config.num_descriptors,
+                                      policy=self.policy)
         self.breakdown = LatencyBreakdown(self.clock,
                                           keep_samples=config.keep_samples)
         self.dmc = DataMemoryController(self.sim, self.clock,
@@ -143,6 +162,12 @@ class MMS:
     @property
     def commands_executed(self) -> int:
         return self.dqm.commands_executed
+
+    @property
+    def drop_stats(self):
+        """The policy's accept/drop/push-out counters (None without a
+        policy)."""
+        return self.policy.stats if self.policy is not None else None
 
     def ops_per_second(self, elapsed_ps: int) -> float:
         if elapsed_ps <= 0:

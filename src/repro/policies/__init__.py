@@ -1,0 +1,83 @@
+"""Buffer-management policies for the shared segment memory.
+
+The queue managers (:mod:`repro.queueing`) and the MMS used to raise a
+bare ``OutOfBuffersError`` the moment the free list emptied, so no
+overload experiment could run to completion.  This package makes
+enqueue-on-full a *policy decision*: a :class:`BufferPolicy` tracks
+per-queue and aggregate occupancy and decides accept / drop /
+push-out per arriving segment, emitting typed :class:`DropRecord`
+streams and :class:`PolicyStats` counters.
+
+Four canonical policies are provided (see PAPERS.md for the sources):
+
+* :class:`TailDrop` -- drop on full (optionally per-queue capped),
+* :class:`RandomEarlyDetection` -- probabilistic early drop on average
+  occupancy (monotone drop curve, seeded and deterministic),
+* :class:`DynamicThreshold` -- Choudhury--Hahne adaptive thresholds
+  ``T = alpha * free``,
+* :class:`LongestQueueDrop` -- Matsakis' 1.5-competitive push-out of
+  the longest queue's tail buffer.
+
+Select one declaratively with a :class:`PolicySpec` (carried by
+``MmsConfig.policy``, app configs and the ``overload-*`` scenario
+family) and build it with :func:`make_policy`; the overload load
+harness lives in :mod:`repro.policies.harness`.
+"""
+
+from repro.policies.base import (
+    ACCEPT,
+    ACTIONS,
+    POLICIES,
+    BufferPolicy,
+    Decision,
+    DropRecord,
+    DroppedSegment,
+    PolicySpec,
+    PolicyStats,
+)
+from repro.policies.taildrop import TailDrop
+from repro.policies.red import RandomEarlyDetection
+from repro.policies.dynamic_threshold import DynamicThreshold
+from repro.policies.lqd import LongestQueueDrop
+
+__all__ = [
+    "ACCEPT",
+    "ACTIONS",
+    "POLICIES",
+    "BufferPolicy",
+    "Decision",
+    "DropRecord",
+    "DroppedSegment",
+    "PolicySpec",
+    "PolicyStats",
+    "TailDrop",
+    "RandomEarlyDetection",
+    "DynamicThreshold",
+    "LongestQueueDrop",
+    "make_policy",
+]
+
+
+def make_policy(spec: PolicySpec, capacity: int, seed: int = 2005,
+                keep_records: bool = False) -> BufferPolicy:
+    """Build the policy a :class:`PolicySpec` names, sized to a buffer
+    of ``capacity`` segments.
+
+    ``seed`` feeds RED's private RNG (the other families are
+    deterministic and ignore it); ``keep_records`` retains the full
+    :class:`DropRecord` stream instead of counters only.
+    """
+    if spec.name == "taildrop":
+        return TailDrop(capacity, per_queue_limit=spec.per_queue_limit,
+                        keep_records=keep_records)
+    if spec.name == "red":
+        return RandomEarlyDetection(
+            capacity, min_frac=spec.red_min_frac, max_frac=spec.red_max_frac,
+            max_p=spec.red_max_p, weight=spec.red_weight, seed=seed,
+            keep_records=keep_records)
+    if spec.name == "dynamic-threshold":
+        return DynamicThreshold(capacity, alpha=spec.alpha,
+                                keep_records=keep_records)
+    if spec.name == "lqd":
+        return LongestQueueDrop(capacity, keep_records=keep_records)
+    raise ValueError(f"unknown policy {spec.name!r} (choose from {POLICIES})")

@@ -1,0 +1,287 @@
+"""Buffer-management policy protocol and shared bookkeeping.
+
+The paper's DQM/MMS exists to manage thousands of per-flow queues over
+*shared* buffer memory, but says nothing about what happens when that
+memory fills: the reproduction used to raise a bare
+:class:`~repro.queueing.freelist.OutOfBuffersError` and die.  This
+package turns enqueue-on-full into a *policy decision*, reproducing the
+canonical shared-memory admission policies from the related work
+(PAPERS.md): TailDrop, RED, Dynamic Threshold (Choudhury--Hahne) and
+Longest Queue Drop (Matsakis: 1.5-competitive).
+
+Division of labor:
+
+* a :class:`BufferPolicy` owns the *decision* -- it tracks per-queue and
+  aggregate occupancy (in segments and bytes) and answers
+  :meth:`BufferPolicy.admit` with accept / drop / push-out(victim),
+* the queue manager owns the *mechanism* -- it performs the enqueue, the
+  tail push-out, and reports every occupancy change back through the
+  ``note_*`` hooks,
+* every drop or push-out is recorded as a typed :class:`DropRecord` and
+  aggregated into :class:`PolicyStats` (counters + byte totals), so
+  overload experiments report loss behavior, not stack traces.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+#: Registered policy family names (the ``PolicySpec.name`` vocabulary).
+POLICIES = ("taildrop", "red", "dynamic-threshold", "lqd")
+
+#: Decision actions a policy may return.
+ACTIONS = ("accept", "drop", "pushout")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Declarative buffer-policy selection (carried by scenario specs,
+    app configs and :class:`~repro.core.mms.MmsConfig`).
+
+    Only the parameters of the named family are consulted; the rest keep
+    their neutral defaults, mirroring :class:`TrafficSpec`.
+    """
+
+    #: Policy family: one of :data:`POLICIES`.
+    name: str = "taildrop"
+    #: TailDrop: optional static per-queue segment cap (None = shared
+    #: buffer only).
+    per_queue_limit: Optional[int] = None
+    #: Dynamic Threshold: the Choudhury--Hahne alpha (threshold =
+    #: alpha * free buffer space).
+    alpha: float = 1.0
+    #: RED thresholds as fractions of capacity, max drop probability at
+    #: max_th, and the EWMA weight of the average-occupancy filter.
+    red_min_frac: float = 0.25
+    red_max_frac: float = 0.85
+    red_max_p: float = 0.1
+    red_weight: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.name not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.name!r} (choose from {POLICIES})")
+        if self.per_queue_limit is not None and self.per_queue_limit < 1:
+            raise ValueError("per_queue_limit must be >= 1 when set")
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if not 0.0 <= self.red_min_frac < self.red_max_frac <= 1.0:
+            raise ValueError(
+                "need 0 <= red_min_frac < red_max_frac <= 1, got "
+                f"{self.red_min_frac}/{self.red_max_frac}")
+        if not 0.0 < self.red_max_p <= 1.0:
+            raise ValueError(f"red_max_p must be in (0, 1], got {self.red_max_p}")
+        if not 0.0 < self.red_weight <= 1.0:
+            raise ValueError(
+                f"red_weight must be in (0, 1], got {self.red_weight}")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict.
+
+    ``accept`` admits the arriving segment; ``drop`` rejects it;
+    ``pushout`` asks the manager to free the *tail* buffer of ``victim``
+    and consult the policy again.
+    """
+
+    action: str
+    victim: Optional[int] = None
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown action {self.action!r} (choose from {ACTIONS})")
+        if self.action == "pushout" and self.victim is None:
+            raise ValueError("pushout decisions need a victim queue")
+
+
+#: Shared accept verdict (policies return it unchanged on the fast path).
+ACCEPT = Decision("accept")
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """One dropped or pushed-out buffer, in arrival order.
+
+    ``kind`` is ``"drop"`` (the arriving segment was rejected) or
+    ``"pushout"`` (a previously accepted buffer was evicted to admit the
+    arrival).  ``seq`` is the policy-local event sequence number;
+    ``time_ps`` is simulated time when the policy is wired to a
+    simulator (-1 otherwise).
+    """
+
+    seq: int
+    queue: int
+    kind: str
+    segments: int
+    nbytes: int
+    reason: str
+    time_ps: int = -1
+
+
+@dataclass(frozen=True)
+class DroppedSegment:
+    """Functional result of a rejected enqueue: the queue managers (and
+    the DQM executing an MMS ENQUEUE) return this instead of a buffer
+    slot when the policy dropped the arriving segment."""
+
+    queue: int
+    length: int
+    reason: str
+
+
+@dataclass
+class PolicyStats:
+    """Aggregate accept/drop/push-out counters and byte totals."""
+
+    offered_segments: int = 0
+    offered_bytes: int = 0
+    accepted_segments: int = 0
+    accepted_bytes: int = 0
+    dropped_segments: int = 0
+    dropped_bytes: int = 0
+    pushed_out_segments: int = 0
+    pushed_out_bytes: int = 0
+    records: List[DropRecord] = field(default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped fraction of offered segments (push-outs excluded:
+        their buffers were accepted, then evicted)."""
+        if self.offered_segments == 0:
+            return 0.0
+        return self.dropped_segments / self.offered_segments
+
+    def as_dict(self) -> Dict[str, object]:
+        """Counters as plain JSON types (metrics payload)."""
+        return {
+            "offered_segments": self.offered_segments,
+            "offered_bytes": self.offered_bytes,
+            "accepted_segments": self.accepted_segments,
+            "accepted_bytes": self.accepted_bytes,
+            "dropped_segments": self.dropped_segments,
+            "dropped_bytes": self.dropped_bytes,
+            "pushed_out_segments": self.pushed_out_segments,
+            "pushed_out_bytes": self.pushed_out_bytes,
+            "drop_rate": self.drop_rate,
+        }
+
+
+class BufferPolicy(ABC):
+    """Admission/drop policy over a shared buffer of ``capacity``
+    segments.
+
+    Subclasses implement :meth:`decide`; the base class keeps the
+    occupancy books (per-queue and aggregate, segments and bytes) that
+    every policy consults, fed by the owning queue manager through the
+    ``note_*`` hooks.
+    """
+
+    #: Family name (mirrors :data:`POLICIES`).
+    name: str = "base"
+
+    def __init__(self, capacity: int, keep_records: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.keep_records = keep_records
+        self.stats = PolicyStats()
+        self.queue_segments: Dict[int, int] = {}
+        self.queue_bytes: Dict[int, int] = {}
+        self.total_segments = 0
+        self.total_bytes = 0
+        #: Wired by the MMS to the simulator clock; -1 = unwired.
+        self.now_fn: Callable[[], int] = lambda: -1
+        self._seq = 0
+
+    # ------------------------------------------------------------ decision
+
+    def admit(self, queue: int, nbytes: int,
+              exclude: FrozenSet[int] = frozenset(),
+              blocked: bool = False) -> Decision:
+        """Decide the fate of one arriving segment for ``queue``.
+
+        ``exclude`` names queues the manager could not push out (no
+        published packet); push-out policies must not name them again.
+        ``blocked`` signals that a required pointer resource other than
+        segment occupancy (a packet descriptor) is exhausted: policies
+        must treat the arrival as if the buffer were full, so push-out
+        families can still evict (freeing the descriptor along with the
+        buffers) while drop families reject.  The *stats* are not
+        touched here -- the manager records the outcome it actually
+        performed via :meth:`record_drop` / :meth:`record_pushout` /
+        :meth:`record_accept`.
+        """
+        return self.decide(queue, nbytes, exclude, blocked)
+
+    @abstractmethod
+    def decide(self, queue: int, nbytes: int, exclude: FrozenSet[int],
+               blocked: bool) -> Decision:
+        """Policy-specific verdict (see :meth:`admit`)."""
+
+    # ------------------------------------------------- occupancy tracking
+
+    def queue_length(self, queue: int) -> int:
+        """Occupancy of ``queue`` in segments."""
+        return self.queue_segments.get(queue, 0)
+
+    @property
+    def free_segments(self) -> int:
+        return self.capacity - self.total_segments
+
+    def note_enqueue(self, queue: int, nbytes: int, segments: int = 1) -> None:
+        """A buffer entered ``queue`` (enqueue, append, prefill)."""
+        self.queue_segments[queue] = self.queue_segments.get(queue, 0) + segments
+        self.queue_bytes[queue] = self.queue_bytes.get(queue, 0) + nbytes
+        self.total_segments += segments
+        self.total_bytes += nbytes
+
+    def note_release(self, queue: int, nbytes: int, segments: int = 1) -> None:
+        """Buffers left ``queue`` (dequeue, delete, abort)."""
+        self.queue_segments[queue] = self.queue_segments.get(queue, 0) - segments
+        self.queue_bytes[queue] = self.queue_bytes.get(queue, 0) - nbytes
+        self.total_segments -= segments
+        self.total_bytes -= nbytes
+
+    def note_move(self, src: int, dst: int, nbytes: int, segments: int) -> None:
+        """A packet moved between queues (occupancy transfer, no stats)."""
+        self.note_release(src, nbytes, segments)
+        self.note_enqueue(dst, nbytes, segments)
+
+    # --------------------------------------------------- outcome recording
+
+    def record_accept(self, queue: int, nbytes: int) -> None:
+        """The manager enqueued the arriving segment."""
+        self.stats.offered_segments += 1
+        self.stats.offered_bytes += nbytes
+        self.stats.accepted_segments += 1
+        self.stats.accepted_bytes += nbytes
+
+    def record_drop(self, queue: int, nbytes: int, reason: str) -> None:
+        """The arriving segment was rejected."""
+        self.stats.offered_segments += 1
+        self.stats.offered_bytes += nbytes
+        self.stats.dropped_segments += 1
+        self.stats.dropped_bytes += nbytes
+        self._record(queue, "drop", 1, nbytes, reason)
+
+    def record_pushout(self, victim: int, segments: int, nbytes: int,
+                       reason: str) -> None:
+        """The manager evicted ``segments`` buffers from ``victim``'s
+        tail; occupancy is released here (the buffers are gone)."""
+        self.note_release(victim, nbytes, segments)
+        self.stats.pushed_out_segments += segments
+        self.stats.pushed_out_bytes += nbytes
+        self._record(victim, "pushout", segments, nbytes, reason)
+
+    def _record(self, queue: int, kind: str, segments: int, nbytes: int,
+                reason: str) -> None:
+        self._seq += 1
+        if self.keep_records:
+            self.stats.records.append(DropRecord(
+                seq=self._seq, queue=queue, kind=kind, segments=segments,
+                nbytes=nbytes, reason=reason, time_ps=self.now_fn()))

@@ -1,0 +1,44 @@
+"""Dynamic Threshold (Choudhury--Hahne) shared-buffer admission.
+
+Every queue shares one adaptive threshold ``T = alpha * free``, where
+``free`` is the unoccupied buffer space: an arrival for queue ``q`` is
+accepted iff ``len(q) < T``.  Long queues self-limit (their own growth
+shrinks ``free`` and hence ``T``), while a lone hot queue may use up to
+``alpha / (1 + alpha)`` of the buffer -- the classic control knob
+between full sharing (large alpha) and tight isolation (small alpha).
+The alpha bound is a tested invariant: at every accept,
+``len(q) < alpha * free`` held at decision time.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.policies.base import ACCEPT, BufferPolicy, Decision
+
+
+class DynamicThreshold(BufferPolicy):
+    """Choudhury--Hahne dynamic per-queue thresholds over shared memory."""
+
+    name = "dynamic-threshold"
+
+    def __init__(self, capacity: int, alpha: float = 1.0,
+                 keep_records: bool = False) -> None:
+        super().__init__(capacity, keep_records=keep_records)
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def threshold(self) -> float:
+        """The current shared threshold ``alpha * free``."""
+        return self.alpha * self.free_segments
+
+    def decide(self, queue: int, nbytes: int, exclude: FrozenSet[int],
+               blocked: bool) -> Decision:
+        if blocked:
+            return Decision("drop", reason="descriptors exhausted")
+        if self.total_segments >= self.capacity:
+            return Decision("drop", reason="buffer full")
+        if self.queue_length(queue) >= self.threshold():
+            return Decision("drop", reason="dynamic threshold")
+        return ACCEPT

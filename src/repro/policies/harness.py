@@ -1,0 +1,206 @@
+"""The overload load harness: drive an MMS past its buffer capacity.
+
+The Table 5 harness keeps the offered load below the MMS saturation
+point and the buffer far larger than the backlog -- no loss ever occurs.
+This harness does the opposite: a deliberately small segment buffer, a
+drain that is slower than the offered traffic, and a policy deciding the
+fate of every arrival.  Three traffic shapes cover the canonical
+overload situations:
+
+* ``burst``    -- low average load with large synchronized volleys that
+  transiently overflow the buffer (drain recovers in between),
+* ``sustained``-- steady 2x oversubscription (arrival pacing at twice
+  the drain pacing): occupancy climbs and pins at capacity,
+* ``incast``   -- many flows converge simultaneously with short
+  multi-segment packets (many short queues; victim selection and
+  per-queue thresholds behave differently than under ``burst``'s few
+  long queues).
+
+Everything runs through the real MMS blocks (port FIFOs, DQM schedule
+timing, DMC transfers), so the ``engine`` knob selects the DES kernel
+exactly like Table 5 does; the kernels are trace-identical, and the
+policy decisions are a pure function of (seed, arrival order), so the
+drop/accept counters are byte-identical across engines -- asserted by
+the equivalence tests and the benchmark gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.commands import Command, CommandType
+from repro.core.mms import MMS, MmsConfig
+from repro.policies.base import PolicySpec
+from repro.sim.clock import SEC
+from repro.sim.kernel import make_simulator
+
+#: Traffic shapes of the overload scenario family.
+SHAPES = ("burst", "sustained", "incast")
+
+#: Default overload build: a deliberately tiny shared buffer.
+OVERLOAD_MMS_CFG = MmsConfig(num_flows=64, num_segments=96,
+                             num_descriptors=96)
+
+
+@dataclass
+class OverloadResult:
+    """Loss behavior of one policy under one overload shape."""
+
+    policy: str
+    shape: str
+    offered_segments: int
+    offered_bytes: int
+    accepted_segments: int
+    accepted_bytes: int
+    dropped_segments: int
+    dropped_bytes: int
+    pushed_out_segments: int
+    pushed_out_bytes: int
+    dequeued_segments: int
+    residual_segments: int
+    capacity_segments: int
+    elapsed_ps: int
+    engine: str = "fast"
+
+    @property
+    def drop_rate(self) -> float:
+        if self.offered_segments == 0:
+            return 0.0
+        return self.dropped_segments / self.offered_segments
+
+    def counters(self) -> Dict[str, int]:
+        """The drop/accept counters that must be byte-identical across
+        engines (everything except wall-clock, which is not simulated
+        state)."""
+        return {
+            "offered_segments": self.offered_segments,
+            "offered_bytes": self.offered_bytes,
+            "accepted_segments": self.accepted_segments,
+            "accepted_bytes": self.accepted_bytes,
+            "dropped_segments": self.dropped_segments,
+            "dropped_bytes": self.dropped_bytes,
+            "pushed_out_segments": self.pushed_out_segments,
+            "pushed_out_bytes": self.pushed_out_bytes,
+            "dequeued_segments": self.dequeued_segments,
+            "residual_segments": self.residual_segments,
+            "elapsed_ps": self.elapsed_ps,
+        }
+
+
+def run_overload(policy: PolicySpec, shape: str, *,
+                 num_arrivals: int = 1200,
+                 active_flows: int = 32,
+                 config: MmsConfig = OVERLOAD_MMS_CFG,
+                 seed: int = 2005,
+                 engine: str = "fast",
+                 keep_records: bool = False) -> OverloadResult:
+    """Run one (policy, traffic shape) overload experiment.
+
+    ``num_arrivals`` segments are offered across ``active_flows`` flow
+    queues by three enqueue ports while one port drains at half the
+    offered pace; the policy decides every arrival's fate.  Returns the
+    typed loss counters.
+    """
+    if shape not in SHAPES:
+        raise ValueError(f"unknown shape {shape!r} (choose from {SHAPES})")
+    if num_arrivals < 1:
+        raise ValueError(f"num_arrivals must be >= 1, got {num_arrivals}")
+    if not 1 <= active_flows <= config.num_flows:
+        raise ValueError(
+            f"active_flows must be in [1, {config.num_flows}], "
+            f"got {active_flows}")
+    cfg = dataclasses.replace(config, policy=policy, policy_seed=seed,
+                              policy_records=keep_records)
+    mms = MMS(cfg, sim=make_simulator(engine))
+    sim = mms.sim
+    pol = mms.policy
+
+    # Pacing: the DQM serves one command per ~10.5 cycles; the drain
+    # dequeues at twice that interval and the three enqueue ports
+    # together offer four segments per drain slot -- 2x oversubscription
+    # in steady state, shaped below.
+    service_ps = round(10.5 * mms.clock.period_ps)
+    drain_period = 2 * service_ps
+    enq_period = 3 * drain_period // 4     # per port; 3 ports
+
+    per_port = num_arrivals // 3
+    counters = {"dequeued": 0}
+
+    def flow_of(port: int, i: int) -> int:
+        return (3 * i + port) % active_flows
+
+    def enqueue_feeder(port: int):
+        """One ingress port's arrival process, shaped per ``shape``."""
+        for i in range(per_port):
+            if shape == "burst":
+                # volleys of 12 back-to-back arrivals, long idle gaps:
+                # the aggregate burst of 36 overflows the 96-slot buffer
+                # against the backlog, then the drain catches up
+                if i % 12 == 0 and i > 0:
+                    yield 14 * enq_period
+                cmd = Command(type=CommandType.ENQUEUE,
+                              flow=flow_of(port, i), eop=True)
+            elif shape == "sustained":
+                yield enq_period
+                cmd = Command(type=CommandType.ENQUEUE,
+                              flow=flow_of(port, i), eop=True)
+            else:  # incast: flows converge with 3-segment packets, then
+                # a short gap lets the drain work -- many short queues
+                # rather than burst's few long ones (the FIFOs would
+                # otherwise serialize this into the sustained shape)
+                seg = i % 3
+                if seg == 0 and i > 0 and (i // 3) % 4 == 0:
+                    yield 10 * enq_period
+                cmd = Command(type=CommandType.ENQUEUE,
+                              flow=flow_of(port, i // 3),
+                              eop=(seg == 2))
+            yield from mms.submit(port, cmd)
+        counters["feeders_done"] = counters.get("feeders_done", 0) + 1
+
+    def drain():
+        """The egress port: slow round-robin over backlogged flows;
+        terminates once the feeders finished and the backlog is gone."""
+        flow = 0
+        while True:
+            yield drain_period
+            for probe in range(active_flows):
+                f = (flow + probe) % active_flows
+                if mms.pqm.queued_packets(f) > 0:
+                    flow = (f + 1) % active_flows
+                    yield from mms.submit(
+                        3, Command(type=CommandType.DEQUEUE, flow=f))
+                    counters["dequeued"] += 1
+                    break
+            else:
+                if counters.get("feeders_done", 0) == 3:
+                    return
+
+    for port in range(3):
+        sim.spawn(enqueue_feeder(port), name=f"enq{port}")
+    sim.spawn(drain(), name="drain")
+
+    horizon = (num_arrivals * 16 * enq_period
+               + config.num_segments * 4 * drain_period
+               + SEC // 1000)
+    sim.run(until_ps=horizon)
+
+    stats = pol.stats
+    return OverloadResult(
+        policy=policy.name,
+        shape=shape,
+        offered_segments=stats.offered_segments,
+        offered_bytes=stats.offered_bytes,
+        accepted_segments=stats.accepted_segments,
+        accepted_bytes=stats.accepted_bytes,
+        dropped_segments=stats.dropped_segments,
+        dropped_bytes=stats.dropped_bytes,
+        pushed_out_segments=stats.pushed_out_segments,
+        pushed_out_bytes=stats.pushed_out_bytes,
+        dequeued_segments=counters["dequeued"],
+        residual_segments=pol.total_segments,
+        capacity_segments=cfg.num_segments,
+        elapsed_ps=sim.now,
+        engine=engine,
+    )

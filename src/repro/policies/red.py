@@ -1,0 +1,73 @@
+"""Random Early Detection over the aggregate buffer occupancy.
+
+Floyd/Jacobson RED adapted to the shared-segment buffer: an EWMA filter
+tracks the *average* aggregate occupancy; below ``min_th`` every arrival
+is accepted, above ``max_th`` every arrival is dropped, and in between
+the drop probability ramps linearly up to ``max_p`` -- monotone in the
+average occupancy (a tested invariant).  A full buffer always drops
+(RED shapes the queue, the free list bounds it).
+
+The coin flips come from a seeded private :class:`random.Random`, so a
+run's drop sequence is a pure function of (seed, arrival order) -- which
+is how the fast and reference DES kernels, being trace-identical,
+produce byte-identical drop counters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet
+
+from repro.policies.base import ACCEPT, BufferPolicy, Decision
+
+
+class RandomEarlyDetection(BufferPolicy):
+    """RED on average aggregate occupancy, seeded and deterministic."""
+
+    name = "red"
+
+    def __init__(self, capacity: int, min_frac: float = 0.25,
+                 max_frac: float = 0.85, max_p: float = 0.1,
+                 weight: float = 0.2, seed: int = 2005,
+                 keep_records: bool = False) -> None:
+        super().__init__(capacity, keep_records=keep_records)
+        if not 0.0 <= min_frac < max_frac <= 1.0:
+            raise ValueError(
+                f"need 0 <= min_frac < max_frac <= 1, got {min_frac}/{max_frac}")
+        if not 0.0 < max_p <= 1.0:
+            raise ValueError(f"max_p must be in (0, 1], got {max_p}")
+        if not 0.0 < weight <= 1.0:
+            raise ValueError(f"weight must be in (0, 1], got {weight}")
+        self.min_th = min_frac * capacity
+        self.max_th = max_frac * capacity
+        self.max_p = max_p
+        self.weight = weight
+        self.avg = 0.0
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------ verdict
+
+    def drop_probability(self, avg: float) -> float:
+        """The RED curve: 0 below ``min_th``, ``max_p`` ramp on
+        [min_th, max_th), 1 at/above ``max_th``.  Monotone in ``avg``
+        (tested property)."""
+        if avg < self.min_th:
+            return 0.0
+        if avg >= self.max_th:
+            return 1.0
+        return self.max_p * (avg - self.min_th) / (self.max_th - self.min_th)
+
+    def decide(self, queue: int, nbytes: int, exclude: FrozenSet[int],
+               blocked: bool) -> Decision:
+        self.avg = (1.0 - self.weight) * self.avg \
+            + self.weight * self.total_segments
+        if blocked:
+            return Decision("drop", reason="descriptors exhausted")
+        if self.total_segments >= self.capacity:
+            return Decision("drop", reason="buffer full")
+        p = self.drop_probability(self.avg)
+        if p >= 1.0:
+            return Decision("drop", reason="red: avg >= max_th")
+        if p > 0.0 and self._rng.random() < p:
+            return Decision("drop", reason="red: early drop")
+        return ACCEPT

@@ -1,0 +1,38 @@
+"""TailDrop: drop the arriving segment when the buffer (or queue) is full.
+
+The baseline shared-memory policy: arrivals are rejected exactly when
+the free list would be empty, and optionally when the arriving queue
+exceeds a static per-queue cap (complete partitioning of the buffer when
+``per_queue_limit * num_queues == capacity``).  Everything already
+queued is left untouched -- no push-out.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.policies.base import ACCEPT, BufferPolicy, Decision
+
+
+class TailDrop(BufferPolicy):
+    """Shared-buffer tail drop with an optional static per-queue cap."""
+
+    name = "taildrop"
+
+    def __init__(self, capacity: int, per_queue_limit: Optional[int] = None,
+                 keep_records: bool = False) -> None:
+        super().__init__(capacity, keep_records=keep_records)
+        if per_queue_limit is not None and per_queue_limit < 1:
+            raise ValueError("per_queue_limit must be >= 1 when set")
+        self.per_queue_limit = per_queue_limit
+
+    def decide(self, queue: int, nbytes: int, exclude: FrozenSet[int],
+               blocked: bool) -> Decision:
+        if blocked:
+            return Decision("drop", reason="descriptors exhausted")
+        if self.total_segments >= self.capacity:
+            return Decision("drop", reason="buffer full")
+        if (self.per_queue_limit is not None
+                and self.queue_length(queue) >= self.per_queue_limit):
+            return Decision("drop", reason="queue limit")
+        return ACCEPT

@@ -16,8 +16,15 @@ Both run on a :class:`~repro.queueing.pointer_memory.PointerMemory`,
 which counts and (optionally) traces every pointer-SRAM access.  Platform
 models turn those traces into cycles: the PowerPC pays a PLB transaction
 per access, the MMS pays one pipelined SRAM cycle.
+
+Both managers optionally carry a buffer-management policy
+(:mod:`repro.policies`): their ``admit_enqueue`` / ``offer`` entry
+points turn enqueue-on-full into an accept / drop / push-out decision
+(returning a :class:`~repro.policies.DroppedSegment` marker on drops)
+instead of an uncaught :class:`OutOfBuffersError`.
 """
 
+from repro.policies.base import DroppedSegment
 from repro.queueing.pointer_memory import AccessRecord, PointerMemory, Region
 from repro.queueing.freelist import FreeList, OutOfBuffersError
 from repro.queueing.segment_queues import SegmentQueueManager
@@ -27,6 +34,7 @@ __all__ = [
     "PointerMemory",
     "Region",
     "AccessRecord",
+    "DroppedSegment",
     "FreeList",
     "OutOfBuffersError",
     "SegmentQueueManager",

@@ -23,7 +23,17 @@ NIL = 0
 
 
 class OutOfBuffersError(RuntimeError):
-    """Free list exhausted -- the buffer memory is full."""
+    """Free list exhausted -- the buffer memory is full.
+
+    Carries the occupancy at the moment of exhaustion so overload
+    failures are diagnosable: ``slots_in_use`` of ``num_slots``.
+    """
+
+    def __init__(self, message: str, slots_in_use: int = -1,
+                 num_slots: int = -1) -> None:
+        super().__init__(message)
+        self.slots_in_use = slots_in_use
+        self.num_slots = num_slots
 
 
 class FreeList:
@@ -91,7 +101,11 @@ class FreeList:
         self._require_init()
         head = self._load_head()
         if head == NIL:
-            raise OutOfBuffersError("free list empty")
+            in_use = self.num_slots - self.free_count
+            raise OutOfBuffersError(
+                f"free list empty: {in_use} of {self.num_slots} slots in "
+                f"use (install a buffer policy to make overload a drop "
+                f"decision)", slots_in_use=in_use, num_slots=self.num_slots)
         slot = self._dec(head)
         nxt = self.mem.read(self.next_region, slot)
         if self.link_mask is not None:

@@ -35,8 +35,9 @@ which cross-checks its schedules against these traces).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
+from repro.policies.base import BufferPolicy, DroppedSegment
 from repro.queueing.errors import QueueEmptyError
 from repro.queueing.freelist import NIL, FreeList, OutOfBuffersError
 from repro.queueing.pointer_memory import AccessRecord, PointerMemory
@@ -64,7 +65,8 @@ class PacketQueueManager:
     """Two-level (packet / segment) per-flow queues -- the MMS structure."""
 
     def __init__(self, num_flows: int, num_segments: int,
-                 num_descriptors: Optional[int] = None) -> None:
+                 num_descriptors: Optional[int] = None,
+                 policy: Optional[BufferPolicy] = None) -> None:
         if num_flows < 1:
             raise ValueError(f"num_flows must be >= 1, got {num_flows}")
         if num_segments < 1:
@@ -90,6 +92,15 @@ class PacketQueueManager:
                                   link_mask=LINK_MASK)
         self.seg_free.initialize()
         self.desc_free.initialize()
+        #: Optional buffer-management policy; when set, arrivals go
+        #: through :meth:`admit_enqueue` and overload becomes a
+        #: drop/push-out decision instead of an OutOfBuffersError.
+        self.policy = policy
+        #: ``callable(flow, pids)`` hooks invoked after a push-out with
+        #: the evicted packet's shadow pids, so owners of per-packet
+        #: metadata (the app pipelines) can release it and account the
+        #: loss.  A list: several clients may share one MMS.
+        self.pushout_listeners = []
         # Shadow state for verification only (no SRAM accesses).
         self._seg_shadow: Dict[int, SegmentInfo] = {}
         self._open_segments: Dict[int, int] = {}   # flow -> count in open pkt
@@ -146,7 +157,67 @@ class PacketQueueManager:
             self._queued_packets[flow] += 1
         else:
             self._open_segments[flow] = self._open_segments.get(flow, 0) + 1
+        if self.policy is not None:
+            self.policy.note_enqueue(flow, length)
         return slot, trace
+
+    def admit_enqueue(self, flow: int, eop: bool, length: int = SEGMENT_BYTES,
+                      pid: int = -1, index: int = 0
+                      ) -> Tuple[Union[int, DroppedSegment], List[AccessRecord]]:
+        """Policy-governed *Enqueue one segment*.
+
+        With no policy installed this is :meth:`enqueue_segment` (which
+        raises :class:`OutOfBuffersError` on exhaustion).  With a policy,
+        the arrival is offered to it first: ``accept`` enqueues,
+        ``drop`` returns a :class:`DroppedSegment` marker (no pointer
+        traffic -- the segment never entered the structure), and
+        ``pushout`` evicts the victim queue's tail packet via
+        :meth:`drop_tail_packet` before re-consulting the policy.
+        """
+        if self.policy is None:
+            return self.enqueue_segment(flow, eop, length, pid, index)
+        self._check_flow(flow)
+        reason = self._admit(flow, length, needs_desc_check=True)
+        if reason is not None:
+            self.policy.record_drop(flow, length, reason)
+            return DroppedSegment(flow, length, reason), []
+        slot, trace = self.enqueue_segment(flow, eop, length, pid, index)
+        self.policy.record_accept(flow, length)
+        return slot, trace
+
+    def _admit(self, flow: int, length: int, needs_desc_check: bool,
+               protect: Tuple[int, ...] = ()) -> Optional[str]:
+        """Run the policy admission loop for one arriving buffer.
+
+        Performs any push-outs the policy asks for; returns None on
+        accept or the drop reason.  ``protect`` names flows that must
+        not be pushed out (an append's target packet would otherwise be
+        evicted from under the operation).
+        """
+        excluded: Set[int] = set(protect)
+        while True:
+            # a segment starting a new packet also needs a descriptor;
+            # descriptor exhaustion is a buffer-full situation the
+            # policy must resolve (push-out frees one) or reject
+            needs_desc = (needs_desc_check
+                          and self.mem.peek("queue_b", flow) == NIL)
+            desc_blocked = needs_desc and self.desc_free.free_count == 0
+            decision = self.policy.admit(flow, length,
+                                         exclude=frozenset(excluded),
+                                         blocked=desc_blocked)
+            if decision.action == "accept":
+                return None
+            if decision.action == "drop":
+                return decision.reason
+            victim = decision.victim
+            if self._queued_packets[victim] == 0:
+                # nothing published to evict (only open/in-assembly
+                # segments) -- tell the policy to look elsewhere
+                excluded.add(victim)
+                continue
+            nsegs, nbytes, _trace = self.drop_tail_packet(victim)
+            self.policy.record_pushout(victim, nsegs, nbytes,
+                                       decision.reason)
 
     def dequeue_segment(self, flow: int) -> Tuple[SegmentInfo, List[AccessRecord]]:
         """MMS *Dequeue*: remove and free the head segment of the head
@@ -212,6 +283,9 @@ class PacketQueueManager:
             trace = self.mem.end_trace()
         new_info = SegmentInfo(first, info.eop, new_length, info.pid, info.index)
         self._seg_shadow[first] = new_info
+        if self.policy is not None:
+            # in-place resize: byte occupancy delta, no segment change
+            self.policy.note_release(flow, info.length - new_length, 0)
         return new_info, trace
 
     # ==================================================== packet commands
@@ -229,18 +303,20 @@ class PacketQueueManager:
             self._append_packet(dst_flow, d)
         finally:
             trace = self.mem.end_trace()
-        nsegs = self._count_packet_segments(d)
+        nsegs, nbytes = self._packet_segments_and_bytes(d)
         self._queued_packets[src_flow] -= 1
         self._queued_packets[dst_flow] += 1
         self._queued_segments[src_flow] -= nsegs
         self._queued_segments[dst_flow] += nsegs
+        if self.policy is not None:
+            self.policy.note_move(src_flow, dst_flow, nbytes, nsegs)
         return trace
 
     def delete_packet(self, flow: int) -> List[AccessRecord]:
         """MMS *Delete a full packet*: unlink the head packet and splice
         its whole segment chain onto the free list in O(1)."""
         self._check_flow(flow)
-        nsegs = None
+        nsegs = nbytes = None
         self.mem.start_trace()
         try:
             qa = self.mem.read("queue_a", flow)
@@ -252,14 +328,91 @@ class PacketQueueManager:
             new_head = nxt
             new_tail = tail_d if nxt != NIL else NIL
             self.mem.write("queue_a", flow, self._pack_qa_raw(new_head, new_tail))
-            nsegs = self._count_packet_segments(d)
+            nsegs, nbytes = self._packet_segments_and_bytes(d)
             self.seg_free.push_chain(first, last, nsegs)
             self._free_desc(d)
         finally:
             trace = self.mem.end_trace()
         self._queued_packets[flow] -= 1
         self._queued_segments[flow] -= nsegs
+        if self.policy is not None:
+            self.policy.note_release(flow, nbytes, nsegs)
         return trace
+
+    def drop_tail_packet(self, flow: int
+                         ) -> Tuple[int, int, List[AccessRecord]]:
+        """Push out ``flow``'s *tail* packet (the LQD eviction unit).
+
+        Unlinks the most recently published packet and splices its
+        segment chain onto the free list.  The head -- the packet about
+        to be serviced -- survives whenever the victim holds more than
+        one packet; with a single published packet tail == head and
+        that packet is the only thing there is to evict.  The
+        descriptor chain is
+        forward-linked only, so finding the tail's predecessor walks the
+        queue (shadow ``peek``s; the counted traffic is the unlink
+        itself).  Returns ``(segments, bytes, trace)`` freed.
+
+        Occupancy bookkeeping is the *caller's* duty (the admit path
+        records it via :meth:`BufferPolicy.record_pushout`).
+        """
+        self._check_flow(flow)
+        self.mem.start_trace()
+        try:
+            qa = self.mem.read("queue_a", flow)
+            head_d, tail_d = self._unpack_qa(qa)
+            if head_d == NIL:
+                raise QueueEmptyError(f"flow {flow} has no queued packet")
+            t = self._dec(tail_d)
+            if head_d == tail_d:
+                self.mem.write("queue_a", flow, self._pack_qa_raw(NIL, NIL))
+            else:
+                pred = self._dec(head_d)
+                while True:
+                    pf, pl, pn = self._unpack_desc(self.mem.peek("desc", pred))
+                    if pn == tail_d:
+                        break
+                    pred = self._dec(pn)
+                self.mem.write("desc", pred, self._pack_desc(pf, pl, NIL))
+                self.mem.write("queue_a", flow,
+                               self._pack_qa_raw(head_d, self._enc(pred)))
+            first, last, _nxt = self._unpack_desc(self.mem.read("desc", t))
+            nsegs, nbytes = self._packet_segments_and_bytes(t)
+            pids = self._collect_pids(first, last)
+            self.seg_free.push_chain(first, last, nsegs)
+            self._free_desc(t)
+        finally:
+            trace = self.mem.end_trace()
+        self._drop_segment_shadows(first, last)
+        self._queued_packets[flow] -= 1
+        self._queued_segments[flow] -= nsegs
+        for listener in self.pushout_listeners:
+            listener(flow, pids)
+        return nsegs, nbytes, trace
+
+    def abort_open_packet(self, flow: int) -> Tuple[int, int]:
+        """Discard ``flow``'s partially assembled (open) packet.
+
+        Partial-packet discard: after a mid-packet drop the already
+        buffered segments of the aborted packet would leak; this frees
+        them and retires the open descriptor.  Returns ``(segments,
+        bytes)`` freed (0, 0 when no packet is open).
+        """
+        self._check_flow(flow)
+        open_word = self.mem.peek("queue_b", flow)
+        if open_word == NIL:
+            return 0, 0
+        d = self._dec(open_word)
+        first, last, _nxt = self._unpack_desc(self.mem.read("desc", d))
+        nsegs, nbytes = self._packet_segments_and_bytes(d)
+        self.seg_free.push_chain(first, last, nsegs)
+        self._free_desc(d)
+        self.mem.write("queue_b", flow, NIL)
+        self._drop_segment_shadows(first, last)
+        self._open_segments.pop(flow, None)
+        if self.policy is not None:
+            self.policy.note_release(flow, nbytes, nsegs)
+        return nsegs, nbytes
 
     # ============================================== combination commands
 
@@ -287,13 +440,19 @@ class PacketQueueManager:
             self._append_packet(dst_flow, d)
         finally:
             trace = self.mem.end_trace()
+        old_length = info.length
         self._seg_shadow[first] = SegmentInfo(first, info.eop, new_length,
                                               info.pid, info.index)
-        nsegs = self._count_packet_segments(d)
+        nsegs, nbytes = self._packet_segments_and_bytes(d)
         self._queued_packets[src_flow] -= 1
         self._queued_packets[dst_flow] += 1
         self._queued_segments[src_flow] -= nsegs
         self._queued_segments[dst_flow] += nsegs
+        if self.policy is not None:
+            # the byte total left src with the *old* head-segment length
+            self.policy.note_move(src_flow, dst_flow,
+                                  nbytes - new_length + old_length, nsegs)
+            self.policy.note_release(dst_flow, old_length - new_length, 0)
         return trace
 
     def overwrite_and_move(self, src_flow: int, dst_flow: int
@@ -312,25 +471,41 @@ class PacketQueueManager:
             self._append_packet(dst_flow, d)
         finally:
             trace = self.mem.end_trace()
-        nsegs = self._count_packet_segments(d)
+        nsegs, nbytes = self._packet_segments_and_bytes(d)
         self._queued_packets[src_flow] -= 1
         self._queued_packets[dst_flow] += 1
         self._queued_segments[src_flow] -= nsegs
         self._queued_segments[dst_flow] += nsegs
+        if self.policy is not None:
+            self.policy.note_move(src_flow, dst_flow, nbytes, nsegs)
         return self._decode_seg(first, word), trace
 
     # ======================================================= append ops
 
     def append_head(self, flow: int, pid: int = -1
-                    ) -> Tuple[int, List[AccessRecord]]:
+                    ) -> Tuple[Union[int, DroppedSegment], List[AccessRecord]]:
         """MMS *Append a segment at the head of a packet* (prepend a
         header segment to the head packet, e.g. encapsulation).
 
         The prepended segment is always a full 64 bytes: it becomes a
         non-last segment, and only the last segment of a packet may be
         short (real encapsulation headers are padded into the segment).
+        With a policy installed the new buffer goes through admission
+        like any arrival (``flow`` itself is protected from push-out --
+        the target packet must survive the operation); a rejected
+        append returns a :class:`DroppedSegment` marker.
         """
         self._check_flow(flow)
+        if self.policy is not None:
+            # preconditions first: admission has side effects (push-outs,
+            # stats) that must not happen for an operation that raises
+            if self._unpack_qa(self.mem.peek("queue_a", flow))[0] == NIL:
+                raise QueueEmptyError(f"flow {flow} has no queued packet")
+            reason = self._admit(flow, SEGMENT_BYTES, needs_desc_check=False,
+                                 protect=(flow,))
+            if reason is not None:
+                self.policy.record_drop(flow, SEGMENT_BYTES, reason)
+                return DroppedSegment(flow, SEGMENT_BYTES, reason), []
         self.mem.start_trace()
         try:
             slot = self.seg_free.pop()
@@ -343,14 +518,39 @@ class PacketQueueManager:
             trace = self.mem.end_trace()
         self._seg_shadow[slot] = SegmentInfo(slot, False, SEGMENT_BYTES, pid, -1)
         self._queued_segments[flow] += 1
+        if self.policy is not None:
+            self.policy.note_enqueue(flow, SEGMENT_BYTES)
+            self.policy.record_accept(flow, SEGMENT_BYTES)
         return slot, trace
 
-    def append_tail(self, flow: int, length: int = SEGMENT_BYTES,
-                    pid: int = -1) -> Tuple[int, List[AccessRecord]]:
-        """MMS *Append a segment at the tail of a packet* (trailer)."""
+    def append_tail(self, flow: int, length: int = SEGMENT_BYTES, pid: int = -1
+                    ) -> Tuple[Union[int, DroppedSegment], List[AccessRecord]]:
+        """MMS *Append a segment at the tail of a packet* (trailer).
+
+        Policy-governed like :meth:`append_head`."""
         self._check_flow(flow)
         if not 1 <= length <= SEGMENT_BYTES:
             raise ValueError(f"length must be in [1, {SEGMENT_BYTES}], got {length}")
+        if self.policy is not None:
+            # preconditions first (see append_head): a raising append
+            # must not have pushed out an innocent packet or touched
+            # the stats
+            head_enc = self._unpack_qa(self.mem.peek("queue_a", flow))[0]
+            if head_enc == NIL:
+                raise QueueEmptyError(f"flow {flow} has no queued packet")
+            _f, last_slot, _n = self._unpack_desc(
+                self.mem.peek("desc", self._dec(head_enc)))
+            last_len = (self.mem.peek("seg_next", last_slot) >> LEN_SHIFT) + 1
+            if last_len != SEGMENT_BYTES:
+                raise ValueError(
+                    "cannot append behind a short last segment "
+                    f"(length {last_len})"
+                )
+            reason = self._admit(flow, length, needs_desc_check=False,
+                                 protect=(flow,))
+            if reason is not None:
+                self.policy.record_drop(flow, length, reason)
+                return DroppedSegment(flow, length, reason), []
         self.mem.start_trace()
         try:
             slot = self.seg_free.pop()
@@ -376,6 +576,9 @@ class PacketQueueManager:
                                              old.pid, old.index)
         self._seg_shadow[slot] = SegmentInfo(slot, True, length, pid, -1)
         self._queued_segments[flow] += 1
+        if self.policy is not None:
+            self.policy.note_enqueue(flow, length)
+            self.policy.record_accept(flow, length)
         return slot, trace
 
     # ========================================================== queries
@@ -498,20 +701,48 @@ class PacketQueueManager:
             self.seg_free.push(first)
         self._seg_shadow.pop(first, None)
         self._queued_segments[flow] -= 1
+        if self.policy is not None:
+            self.policy.note_release(flow, info.length)
         return info, first
 
     def _free_desc(self, d: int) -> None:
         self.desc_free.push(d)
 
-    def _count_packet_segments(self, d: int) -> int:
-        """Shadow walk (uncounted) to keep occupancy bookkeeping exact."""
+    def _packet_segments_and_bytes(self, d: int) -> Tuple[int, int]:
+        """Shadow walk (uncounted): segment count and byte total of the
+        packet behind descriptor ``d``."""
         first, last, _nxt = self._unpack_desc(self.mem.peek("desc", d))
-        count = 1
+        count, nbytes = 0, 0
         cur = first
-        while cur != last:
+        while True:
             count += 1
+            shadow = self._seg_shadow.get(cur)
+            nbytes += shadow.length if shadow else SEGMENT_BYTES
+            if cur == last:
+                return count, nbytes
             cur = (self.mem.peek("seg_next", cur) & LINK_MASK) - 1
-        return count
+
+    def _drop_segment_shadows(self, first: int, last: int) -> None:
+        """Forget shadow state of a freed chain (uncounted walk)."""
+        cur = first
+        while True:
+            nxt = (self.mem.peek("seg_next", cur) & LINK_MASK) - 1
+            self._seg_shadow.pop(cur, None)
+            if cur == last:
+                return
+            cur = nxt
+
+    def _collect_pids(self, first: int, last: int) -> List[int]:
+        """Distinct shadow pids of a chain, in order (uncounted walk)."""
+        pids: List[int] = []
+        cur = first
+        while True:
+            shadow = self._seg_shadow.get(cur)
+            if shadow is not None and shadow.pid not in pids:
+                pids.append(shadow.pid)
+            if cur == last:
+                return pids
+            cur = (self.mem.peek("seg_next", cur) & LINK_MASK) - 1
 
     # encodings ---------------------------------------------------------
 

@@ -44,6 +44,9 @@ from repro.mem import simulate_throughput_loss
 from repro.net import pps_to_gbps
 from repro.npu import CopyStrategy, QueueSwModel
 from repro.npu.system import figure1_diagram
+from repro.policies import PolicySpec
+from repro.policies.harness import OVERLOAD_MMS_CFG, SHAPES, run_overload
+from repro.queueing.packet_queues import SEGMENT_BYTES
 from repro.scenarios.registry import register_scenario
 from repro.scenarios.result import Block, Outcome, paper_delta
 from repro.scenarios.spec import (
@@ -611,6 +614,77 @@ def _ablation_overlap(spec: ScenarioSpec) -> Outcome:
          "additive total", "true end-to-end (cycles)"],
         rows, title=spec.title)
     return Outcome(metrics=metrics, blocks=(block,))
+
+
+# ========================================== overload scenario family
+#
+# The first beyond-the-paper family: loss behavior of the shared
+# segment buffer under overload, per buffer-management policy
+# (repro.policies) x traffic shape (repro.policies.harness.SHAPES).
+# Every scenario runs the real MMS blocks through the DES kernel, so
+# the engine knob applies and fast/reference report byte-identical
+# drop/accept counters (tests/policies/test_harness.py).
+
+#: Policy selections of the family, keyed by the scenario-name stem.
+OVERLOAD_POLICIES: Dict[str, PolicySpec] = {
+    "taildrop": PolicySpec(name="taildrop"),
+    "red": PolicySpec(name="red"),
+    "dt": PolicySpec(name="dynamic-threshold", alpha=1.0),
+    "lqd": PolicySpec(name="lqd"),
+}
+
+_SHAPE_BLURB = {
+    "burst": "synchronized volleys transiently overflow the buffer",
+    "sustained": "steady 2x oversubscription pins occupancy at capacity",
+    "incast": "many flows converge with short multi-segment packets",
+}
+
+
+def _overload(spec: ScenarioSpec) -> Outcome:
+    res = run_overload(
+        spec.policy, spec.traffic.pattern,
+        num_arrivals=spec.pick(spec.traffic.num_commands),
+        active_flows=spec.traffic.active_flows,
+        config=spec.mms or OVERLOAD_MMS_CFG,
+        seed=spec.seed, engine=spec.engine)
+    metrics: Dict[str, object] = {"policy": res.policy, "shape": res.shape,
+                                  "capacity_segments": res.capacity_segments}
+    metrics.update(res.counters())
+    metrics["drop_rate"] = res.drop_rate
+    rows = [
+        ["offered", res.offered_segments, res.offered_bytes],
+        ["accepted", res.accepted_segments, res.accepted_bytes],
+        ["dropped", res.dropped_segments, res.dropped_bytes],
+        ["pushed out", res.pushed_out_segments, res.pushed_out_bytes],
+        ["dequeued", res.dequeued_segments,
+         res.dequeued_segments * SEGMENT_BYTES],
+        ["residual", res.residual_segments, ""],
+    ]
+    block = Block.table(["counter", "segments", "bytes"], rows,
+                        title=f"{spec.title} "
+                              f"(drop rate {res.drop_rate:.3f})")
+    return Outcome(metrics=metrics, blocks=(block,))
+
+
+def _register_overload_family() -> None:
+    for stem, policy in OVERLOAD_POLICIES.items():
+        for shape in SHAPES:
+            register_scenario(ScenarioSpec(
+                name=f"overload-{stem}-{shape}", kind="overload",
+                workload="mms",
+                title=f"Overload: {policy.name} under {shape} traffic",
+                description=f"{policy.name} loss behavior: "
+                            f"{_SHAPE_BLURB[shape]}",
+                traffic=TrafficSpec(num_commands=(1200, 360),
+                                    active_flows=32, pattern=shape),
+                memory=MemorySpec(backend="ddr", banks=(8,)),
+                mms=OVERLOAD_MMS_CFG,
+                policy=policy,
+                supports=frozenset({"engine", "seed", "budget", "mms"}),
+            ))(_overload)
+
+
+_register_overload_family()
 
 
 @register_scenario(ScenarioSpec(

@@ -64,7 +64,8 @@ def scenario_names() -> List[str]:
     """All registered names, sorted by (kind rank, name) so tables come
     first in listings."""
     _ensure_catalog()
-    rank = {"table": 0, "figure": 1, "headline": 2, "sweep": 3, "ablation": 4}
+    rank = {"table": 0, "figure": 1, "headline": 2, "sweep": 3,
+            "ablation": 4, "overload": 5}
     return sorted(_REGISTRY,
                   key=lambda n: (rank[_REGISTRY[n].spec.kind], n))
 

@@ -18,7 +18,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 #: Schema version of the serialized form.
 RESULT_SCHEMA = 1
 
+from repro.scenarios.spec import BUDGETS, ENGINES
+
 _BLOCK_KINDS = ("table", "comparison", "text")
+
+#: Engines a serialized result may carry ("n/a" = closed-form scenario).
+_RESULT_ENGINES = ENGINES + ("n/a",)
 
 
 @dataclass(frozen=True)
@@ -133,6 +138,22 @@ class RunResult:
         schema = d.get("schema", RESULT_SCHEMA)
         if schema != RESULT_SCHEMA:
             raise ValueError(f"unsupported result schema {schema!r}")
+        # Reject unknown names instead of deserializing garbage: a typo
+        # in a hand-edited document must fail loudly, not round-trip.
+        engine = d["engine"]
+        if engine not in _RESULT_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (choose from {_RESULT_ENGINES})")
+        budget = d["budget"]
+        if budget not in BUDGETS:
+            raise ValueError(
+                f"unknown budget {budget!r} (choose from {BUDGETS})")
+        from repro.scenarios.registry import scenario_names
+        known = scenario_names()
+        if d["scenario"] not in known:
+            raise ValueError(
+                f"unknown scenario {d['scenario']!r}; known: "
+                f"{', '.join(known)}")
         return cls(
             scenario=d["scenario"],
             kind=d["kind"],
@@ -200,9 +221,9 @@ def validate_result_dict(d: Mapping[str, Any]) -> List[str]:
     expect("blocks", list)
     if ok("schema", int) and d["schema"] != RESULT_SCHEMA:
         problems.append(f"schema {d['schema']} != {RESULT_SCHEMA}")
-    if ok("engine", str) and d["engine"] not in ("fast", "reference", "n/a"):
+    if ok("engine", str) and d["engine"] not in _RESULT_ENGINES:
         problems.append(f"engine {d['engine']!r} invalid")
-    if ok("budget", str) and d["budget"] not in ("full", "fast"):
+    if ok("budget", str) and d["budget"] not in BUDGETS:
         problems.append(f"budget {d['budget']!r} invalid")
     if ok("paper_deltas", dict):
         for k, v in d["paper_deltas"].items():

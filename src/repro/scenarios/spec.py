@@ -24,6 +24,7 @@ from typing import FrozenSet, Optional, Tuple, TypeVar
 
 from repro.core.mms import MmsConfig
 from repro.mem.timing import DdrTiming
+from repro.policies import PolicySpec
 
 #: Execution engines every scenario understands.  ``fast`` selects the
 #: batched/calendar-queue implementations, ``reference`` the original
@@ -34,8 +35,10 @@ ENGINES: Tuple[str, ...] = ("fast", "reference")
 #: Run-length budgets.
 BUDGETS: Tuple[str, ...] = ("full", "fast")
 
-#: Artifact categories.
-KINDS: Tuple[str, ...] = ("table", "figure", "headline", "sweep", "ablation")
+#: Artifact categories.  ``overload`` is the first beyond-the-paper
+#: family: buffer-policy loss behavior the paper's tables never measure.
+KINDS: Tuple[str, ...] = ("table", "figure", "headline", "sweep", "ablation",
+                          "overload")
 
 _T = TypeVar("_T")
 
@@ -71,6 +74,9 @@ class TrafficSpec:
     active_flows: int = 512
     burst_len: int = 4
     burst_prob: float = 0.25
+    #: Overload traffic shape ("burst", "sustained", "incast"); empty
+    #: for non-overload scenarios.
+    pattern: str = ""
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,8 @@ class ScenarioSpec:
     sched: SchedulerSpec = SchedulerSpec()
     #: Optional MMS build-time configuration (Table 5 style scenarios).
     mms: Optional[MmsConfig] = None
+    #: Buffer-management policy (the ``overload-*`` family).
+    policy: Optional[PolicySpec] = None
     supports: FrozenSet[str] = frozenset()
 
     def __post_init__(self) -> None:
@@ -160,11 +168,20 @@ class ScenarioSpec:
                      mms: Optional[MmsConfig] = None) -> "ScenarioSpec":
         """A copy with the given knobs applied where supported.
 
-        Overrides for knobs the scenario does not declare in
-        ``supports`` are silently ignored -- the scenario has no such
-        degree of freedom (e.g. Table 4 is closed-form), and uniform
-        ``run all`` invocations must stay valid.
+        Knob *values* are always validated -- an unknown engine or
+        budget is rejected even when the scenario would ignore the knob
+        (a typo must not silently succeed).  Overrides for knobs the
+        scenario does not declare in ``supports`` are then ignored --
+        the scenario has no such degree of freedom (e.g. Table 4 is
+        closed-form), and uniform ``run all`` invocations must stay
+        valid.
         """
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (choose from {ENGINES})")
+        if budget is not None and budget not in BUDGETS:
+            raise ValueError(
+                f"unknown budget {budget!r} (choose from {BUDGETS})")
         changes = {}
         if engine is not None and "engine" in self.supports:
             changes["engine"] = engine

@@ -1,0 +1,202 @@
+"""Unit tests for the buffer-management policies."""
+
+import pytest
+
+from repro.policies import (
+    DynamicThreshold,
+    LongestQueueDrop,
+    PolicySpec,
+    RandomEarlyDetection,
+    TailDrop,
+    make_policy,
+)
+
+
+# ------------------------------------------------------------- PolicySpec
+
+def test_policy_spec_rejects_unknown_name():
+    with pytest.raises(ValueError, match="policy"):
+        PolicySpec(name="coin-flip")
+
+
+def test_policy_spec_validates_parameters():
+    with pytest.raises(ValueError, match="alpha"):
+        PolicySpec(name="dynamic-threshold", alpha=0)
+    with pytest.raises(ValueError, match="per_queue_limit"):
+        PolicySpec(name="taildrop", per_queue_limit=0)
+    with pytest.raises(ValueError, match="red_min_frac"):
+        PolicySpec(name="red", red_min_frac=0.9, red_max_frac=0.5)
+    with pytest.raises(ValueError, match="red_max_p"):
+        PolicySpec(name="red", red_max_p=0.0)
+
+
+def test_make_policy_builds_every_family():
+    for name, cls in (("taildrop", TailDrop),
+                      ("red", RandomEarlyDetection),
+                      ("dynamic-threshold", DynamicThreshold),
+                      ("lqd", LongestQueueDrop)):
+        pol = make_policy(PolicySpec(name=name), capacity=16)
+        assert isinstance(pol, cls)
+        assert pol.capacity == 16
+        assert pol.name == name
+
+
+# --------------------------------------------------------------- taildrop
+
+def test_taildrop_accepts_until_full_then_drops():
+    pol = TailDrop(capacity=3)
+    for _ in range(3):
+        assert pol.admit(0, 64).action == "accept"
+        pol.note_enqueue(0, 64)
+    d = pol.admit(0, 64)
+    assert d.action == "drop" and "full" in d.reason
+
+
+def test_taildrop_per_queue_limit():
+    pol = TailDrop(capacity=10, per_queue_limit=2)
+    pol.note_enqueue(0, 64)
+    pol.note_enqueue(0, 64)
+    assert pol.admit(0, 64).action == "drop"
+    assert pol.admit(1, 64).action == "accept"
+
+
+# -------------------------------------------------------------------- red
+
+def test_red_drop_probability_monotone_in_average():
+    """Satellite invariant: the RED curve is monotone non-decreasing."""
+    pol = RandomEarlyDetection(capacity=100)
+    grid = [i * 0.5 for i in range(0, 220)]
+    probs = [pol.drop_probability(x) for x in grid]
+    assert probs == sorted(probs)
+    assert probs[0] == 0.0 and probs[-1] == 1.0
+
+
+def test_red_below_min_always_accepts():
+    pol = RandomEarlyDetection(capacity=100, min_frac=0.5)
+    for _ in range(10):
+        assert pol.admit(0, 64).action == "accept"
+        pol.note_enqueue(0, 64)
+
+
+def test_red_full_buffer_always_drops():
+    pol = RandomEarlyDetection(capacity=4)
+    for _ in range(4):
+        pol.note_enqueue(0, 64)
+    assert pol.admit(0, 64).action == "drop"
+
+
+def test_red_is_deterministic_per_seed():
+    def run(seed):
+        pol = RandomEarlyDetection(capacity=8, min_frac=0.1, max_frac=0.9,
+                                   max_p=0.5, seed=seed)
+        verdicts = []
+        for _ in range(50):
+            d = pol.admit(0, 64)
+            verdicts.append(d.action)
+            if d.action == "accept" and pol.total_segments < 8:
+                pol.note_enqueue(0, 64)
+        return verdicts
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)  # astronomically unlikely to collide
+
+
+# -------------------------------------------------------- dynamic threshold
+
+def test_dynamic_threshold_respects_alpha_bound():
+    """Satellite invariant: accept iff len(q) < alpha * free."""
+    pol = DynamicThreshold(capacity=16, alpha=0.5)
+    accepted = 0
+    while True:
+        free = pol.free_segments
+        qlen = pol.queue_length(0)
+        d = pol.admit(0, 64)
+        if d.action != "accept":
+            assert qlen >= pol.alpha * free or free == 0
+            break
+        assert qlen < pol.alpha * free
+        pol.note_enqueue(0, 64)
+        accepted += 1
+    # a lone queue converges to alpha/(1+alpha) of the buffer
+    assert accepted == pytest.approx(16 * 0.5 / 1.5, abs=1)
+
+
+def test_dynamic_threshold_isolates_queues():
+    """A hog queue must not lock out a newcomer."""
+    pol = DynamicThreshold(capacity=32, alpha=1.0)
+    while pol.admit(0, 64).action == "accept":
+        pol.note_enqueue(0, 64)
+    assert pol.admit(1, 64).action == "accept"  # newcomer still admitted
+
+
+# -------------------------------------------------------------------- lqd
+
+def test_lqd_accepts_while_space_remains():
+    pol = LongestQueueDrop(capacity=2)
+    assert pol.admit(0, 64).action == "accept"
+    pol.note_enqueue(0, 64)
+    assert pol.admit(0, 64).action == "accept"
+
+
+def test_lqd_pushes_out_longest_queue():
+    pol = LongestQueueDrop(capacity=6)
+    for _ in range(4):
+        pol.note_enqueue(0, 64)
+    for _ in range(2):
+        pol.note_enqueue(1, 64)
+    d = pol.admit(2, 64)
+    assert d.action == "pushout" and d.victim == 0
+
+
+def test_lqd_drops_arrival_on_longest_queue():
+    pol = LongestQueueDrop(capacity=4)
+    for _ in range(4):
+        pol.note_enqueue(0, 64)
+    assert pol.admit(0, 64).action == "drop"
+
+
+def test_lqd_honors_exclusions_and_tie_break():
+    pol = LongestQueueDrop(capacity=6)
+    for _ in range(3):
+        pol.note_enqueue(0, 64)
+        pol.note_enqueue(1, 64)
+    # tie between 0 and 1: lowest id wins deterministically
+    assert pol.admit(2, 64).victim == 0
+    # excluded victims are skipped
+    assert pol.admit(2, 64, exclude=frozenset({0})).victim == 1
+    d = pol.admit(2, 64, exclude=frozenset({0, 1}))
+    assert d.action == "drop" and "victim" in d.reason
+
+
+# ------------------------------------------------------- stats + records
+
+def test_stats_and_records_accounting():
+    pol = TailDrop(capacity=2, keep_records=True)
+    pol.record_accept(0, 64)
+    pol.note_enqueue(0, 64)
+    pol.record_drop(1, 40, "buffer full")
+    pol.record_pushout(0, 1, 64, "test")
+    s = pol.stats
+    assert s.offered_segments == 2 and s.offered_bytes == 104
+    assert s.accepted_segments == 1 and s.dropped_segments == 1
+    assert s.pushed_out_segments == 1 and s.pushed_out_bytes == 64
+    assert s.drop_rate == 0.5
+    assert [r.kind for r in s.records] == ["drop", "pushout"]
+    assert s.records[0].nbytes == 40 and s.records[1].queue == 0
+    # push-out released the occupancy it evicted
+    assert pol.total_segments == 0
+
+
+def test_records_not_kept_by_default():
+    pol = TailDrop(capacity=1)
+    pol.record_drop(0, 64, "x")
+    assert pol.stats.records == []
+    assert pol.stats.dropped_segments == 1
+
+
+def test_occupancy_move_transfers_between_queues():
+    pol = TailDrop(capacity=8)
+    pol.note_enqueue(0, 128, segments=2)
+    pol.note_move(0, 1, 128, 2)
+    assert pol.queue_length(0) == 0 and pol.queue_length(1) == 2
+    assert pol.total_segments == 2 and pol.total_bytes == 128

@@ -29,6 +29,57 @@ def test_pop_empty_raises():
     with pytest.raises(OutOfBuffersError):
         fl.pop()
 
+
+def test_pop_empty_error_carries_occupancy_context():
+    """Exhaustion must say how full the buffer is, not just 'empty'."""
+    _pm, fl = make(3)
+    for _ in range(3):
+        fl.pop()
+    with pytest.raises(OutOfBuffersError, match=r"3 of 3 slots in use") as ei:
+        fl.pop()
+    assert ei.value.slots_in_use == 3
+    assert ei.value.num_slots == 3
+
+
+def test_pop_empty_error_context_after_partial_release():
+    _pm, fl = make(4)
+    slots = [fl.pop() for _ in range(4)]
+    fl.push(slots[0])
+    fl.pop()
+    with pytest.raises(OutOfBuffersError) as ei:
+        fl.pop()
+    assert ei.value.slots_in_use == 4 and ei.value.num_slots == 4
+
+
+def test_push_recovers_from_exhaustion():
+    """After the exhaustion error, a push makes pop usable again."""
+    _pm, fl = make(2)
+    a = fl.pop()
+    fl.pop()
+    with pytest.raises(OutOfBuffersError):
+        fl.pop()
+    fl.push(a)
+    assert fl.pop() == a
+    assert fl.free_count == 0
+
+
+def test_push_chain_recovers_from_exhaustion():
+    """The MMS delete-packet path: splice a chain back after running
+    dry and keep allocating."""
+    pm, fl = make(4, anchors_in_memory=False)
+    slots = [fl.pop() for _ in range(4)]
+    with pytest.raises(OutOfBuffersError):
+        fl.pop()
+    # hand-link slots[0] -> slots[1] -> slots[2] and splice the chain
+    pm.write("next", slots[0], slots[1] + 1)
+    pm.write("next", slots[1], slots[2] + 1)
+    fl.push_chain(slots[0], slots[2], 3)
+    assert fl.free_count == 3
+    assert [fl.pop() for _ in range(3)] == slots[:3]
+    with pytest.raises(OutOfBuffersError) as ei:
+        fl.pop()
+    assert ei.value.slots_in_use == 4
+
 def test_push_pop_cycle_preserves_count():
     _pm, fl = make(4)
     a = fl.pop()

@@ -23,6 +23,10 @@ EXPECTED = {
     # ablations
     "ablation-history-depth", "ablation-rw-grouping", "ablation-fifo-depth",
     "ablation-overlap", "ablation-multithreading",
+    # overload family (policy x traffic shape; beyond the paper)
+    *(f"overload-{p}-{s}"
+      for p in ("taildrop", "red", "dt", "lqd")
+      for s in ("burst", "sustained", "incast")),
 }
 
 
@@ -42,6 +46,8 @@ def test_kind_partition():
         n for n in EXPECTED if n.startswith("sweep-")}
     assert {s.spec.name for s in scenarios_of_kind("ablation")} == {
         n for n in EXPECTED if n.startswith("ablation-")}
+    assert {s.spec.name for s in scenarios_of_kind("overload")} == {
+        n for n in EXPECTED if n.startswith("overload-")}
 
 
 def test_specs_name_themselves():

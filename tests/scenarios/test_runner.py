@@ -72,6 +72,34 @@ def test_validate_result_dict_flags_problems():
     assert any("seed" in p for p in problems)
 
 
+def test_from_json_rejects_unknown_engine():
+    d = json.loads(Runner().run("table4").to_json())
+    d["engine"] = "warp"
+    with pytest.raises(ValueError, match="engine"):
+        RunResult.from_dict(d)
+
+
+def test_from_json_rejects_unknown_budget():
+    d = json.loads(Runner().run("table4").to_json())
+    d["budget"] = "leisurely"
+    with pytest.raises(ValueError, match="budget"):
+        RunResult.from_dict(d)
+
+
+def test_from_json_rejects_unknown_scenario_name():
+    d = json.loads(Runner().run("table4").to_json())
+    d["scenario"] = "table9"
+    with pytest.raises(ValueError, match="table9"):
+        RunResult.from_dict(d)
+
+
+def test_from_json_rejects_unknown_schema():
+    d = json.loads(Runner().run("table4").to_json())
+    d["schema"] = 99
+    with pytest.raises(ValueError, match="schema"):
+        RunResult.from_dict(d)
+
+
 # ------------------------------------------- golden shim byte-identity
 
 #: (legacy driver, scenario name, kwargs for both paths)

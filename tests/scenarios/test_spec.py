@@ -69,6 +69,28 @@ def test_with_options_ignores_unsupported_knobs():
     assert out is spec
 
 
+def test_with_options_rejects_unknown_engine_even_when_unsupported():
+    """A typo must fail loudly, not be silently ignored."""
+    for supports in (frozenset(), frozenset({"engine"})):
+        spec = _spec(supports=supports)
+        with pytest.raises(ValueError, match="engine"):
+            spec.with_options(engine="warp")
+
+
+def test_with_options_rejects_unknown_budget_even_when_unsupported():
+    for supports in (frozenset(), frozenset({"budget"})):
+        spec = _spec(supports=supports)
+        with pytest.raises(ValueError, match="budget"):
+            spec.with_options(budget="leisurely")
+
+
+def test_spec_accepts_overload_kind_and_policy():
+    from repro.policies import PolicySpec
+    spec = _spec(kind="overload", policy=PolicySpec(name="lqd"))
+    assert spec.kind == "overload"
+    assert spec.policy.name == "lqd"
+
+
 def test_with_options_none_is_identity():
     spec = _spec()
     assert spec.with_options() is spec
