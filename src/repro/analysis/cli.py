@@ -5,9 +5,11 @@ The CLI is a thin front-end over the scenario registry
 
     repro-experiments list                         # every scenario
     repro-experiments list --kind sweep            # one category
+    repro-experiments list --kind overload --json -  # machine-readable
     repro-experiments run table1 --engine reference --seed 7
     repro-experiments run all --fast --json out.json
     repro-experiments sweep all --fast             # just the sweeps
+    repro-experiments sweep all --jobs 4           # process-pool parallel
 
 ``run``/``sweep`` accept ``--engine fast|reference`` and ``--seed N``;
 each scenario honors the knobs it declares (closed-form scenarios have
@@ -37,7 +39,6 @@ from repro.scenarios import (
     scenario_names,
     scenarios_of_kind,
 )
-
 #: Envelope schema version for --json documents.
 DOCUMENT_SCHEMA = 1
 
@@ -56,6 +57,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="enumerate registered scenarios")
     p_list.add_argument("--kind", choices=KINDS, default=None,
                         help="only scenarios of one category")
+    p_list.add_argument("--json", dest="json_path", metavar="PATH",
+                        default=None,
+                        help="write the listing as JSON ('-' for stdout) "
+                             "instead of the text table")
+
+    def add_jobs_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run scenarios on a process pool of N workers "
+                            "(results stay in scenario order and are "
+                            "seed-deterministic; default: 1, in-process)")
 
     def add_run_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--fast", action="store_true",
@@ -82,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("scenario", choices=sweep_names + ["all"],
                          help="which sweep to run")
     add_run_flags(p_sweep)
+    add_jobs_flag(p_sweep)
 
     return parser
 
@@ -102,14 +114,35 @@ def _legacy_rewrite(argv: List[str]) -> List[str]:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    rows = []
-    for name, scenario in all_scenarios().items():
-        spec = scenario.spec
-        if args.kind and spec.kind != args.kind:
-            continue
-        knobs = ",".join(sorted(spec.supports)) or "-"
-        rows.append((name, spec.kind, spec.workload, knobs, spec.description))
-    rows.sort(key=lambda r: (KINDS.index(r[1]), r[0]))
+    specs = [scenario.spec for scenario in all_scenarios().values()
+             if not args.kind or scenario.spec.kind == args.kind]
+    specs.sort(key=lambda s: (KINDS.index(s.kind), s.name))
+    if args.json_path is not None:
+        doc = {
+            "schema": DOCUMENT_SCHEMA,
+            "scenarios": [{
+                "name": spec.name,
+                "kind": spec.kind,
+                "workload": spec.workload,
+                "title": spec.title,
+                "description": spec.description,
+                "supports": sorted(spec.supports),
+                "fastpath": spec.fastpath,
+                "engine": spec.effective_engine,
+                "budget": spec.budget,
+                "seed": spec.seed,
+            } for spec in specs],
+        }
+        text = json.dumps(doc, indent=2) + "\n"
+        if args.json_path == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(text)
+        return 0
+    rows = [(spec.name, spec.kind, spec.workload,
+             ",".join(sorted(spec.supports)) or "-", spec.description)
+            for spec in specs]
     widths = [max(len(str(r[i])) for r in rows) for i in range(4)]
     for r in rows:
         print(f"{r[0]:<{widths[0]}}  {r[1]:<{widths[1]}}  "
@@ -117,16 +150,60 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _worker_init(paths: List[str]) -> None:
+    """Process-pool initializer: mirror the parent's import path (the
+    repo is usually run from a source checkout via PYTHONPATH=src)."""
+    sys.path[:] = paths
+
+
+def _run_one_serialized(payload) -> dict:
+    """Run one scenario in a worker; returns the serialized result.
+
+    Module-level (picklable) on purpose; seeds travel with the payload,
+    so a pool run is exactly as deterministic as a serial one.
+    """
+    name, engine, seed, fast = payload
+    result = Runner().run(name, engine=engine, seed=seed, fast=fast)
+    return result.to_dict()
+
+
+def _run_pool(names: List[str], args: argparse.Namespace, jobs: int):
+    """Run scenarios on a process pool, results in input order."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.scenarios import RunResult
+
+    payloads = [(name, args.engine, args.seed, args.fast or None)
+                for name in names]
+    with ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init,
+                             initargs=(list(sys.path),)) as pool:
+        # executor.map preserves input order regardless of completion
+        # order, which keeps --json documents byte-stable across runs
+        # (modulo wall_clock_s)
+        return [RunResult.from_dict(d)
+                for d in pool.map(_run_one_serialized, payloads)]
+
+
 def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
-    runner = Runner()
-    results = []
-    for name in names:
-        result = runner.run(name, engine=args.engine, seed=args.seed,
-                            fast=args.fast or None)
-        results.append(result)
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    if jobs > 1 and len(names) > 1:
+        results = _run_pool(names, args, min(jobs, len(names)))
         if not args.quiet:
-            print(render(result))
-            print()
+            for result in results:
+                print(render(result))
+                print()
+    else:
+        runner = Runner()
+        results = []
+        for name in names:
+            result = runner.run(name, engine=args.engine, seed=args.seed,
+                                fast=args.fast or None)
+            results.append(result)
+            if not args.quiet:
+                print(render(result))
+                print()
     if args.json_path is not None:
         doc = {"schema": DOCUMENT_SCHEMA,
                "runs": [r.to_dict() for r in results]}

@@ -50,6 +50,13 @@ def _timing_table(period_ps: int, overlap_data: bool) -> Dict[CommandType, _CmdT
     return table
 
 
+#: Public name of the memoized per-clock schedule expansion.  The DQM
+#: uses it per command; the batched command-stream engine
+#: (:mod:`repro.engines`) folds the same rows into its cumulative-sum
+#: accounting, so both paths price commands from one table.
+command_timing_table = _timing_table
+
+
 class MicrocodeMismatchError(AssertionError):
     """Strict mode: a functional trace disagreed with the schedule."""
 

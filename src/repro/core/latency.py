@@ -56,6 +56,15 @@ class LatencyBreakdown:
         """Record one command's decomposition without materializing a
         :class:`CommandLatency` -- the per-command fast path of the load
         experiments (``total`` is the paper's additive decomposition)."""
+        if not self.fifo.keep_samples:
+            # this runs once per executed command; skip the per-recorder
+            # sample-retention indirection when nothing retains samples
+            self.fifo.stats.add(fifo_cycles)
+            self.execution.stats.add(execution_cycles)
+            self.data.stats.add(data_cycles)
+            self.total.stats.add(fifo_cycles + execution_cycles + data_cycles)
+            self.end_to_end.stats.add(end_to_end_cycles)
+            return
         self.fifo.record(fifo_cycles)
         self.execution.record(execution_cycles)
         self.data.record(data_cycles)

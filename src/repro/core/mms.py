@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
-from repro.core.commands import Command, CommandType
+from repro.core.commands import Command
 from repro.core.dmc import DataMemoryController
 from repro.core.dqm import DataQueueManager
 from repro.core.latency import LatencyBreakdown
@@ -148,16 +148,11 @@ class MMS:
     def prefill(self, flows: Iterator[int], packets_per_flow: int,
                 segments_per_packet: int = 1) -> int:
         """Functionally preload queues (no simulated time): the steady
-        state backlog the Table 5 experiment dequeues from."""
-        count = 0
-        for flow in flows:
-            for _p in range(packets_per_flow):
-                for s in range(segments_per_packet):
-                    self.pqm.enqueue_segment(
-                        flow, eop=(s == segments_per_packet - 1),
-                        pid=-2, index=s)
-                    count += 1
-        return count
+        state backlog the Table 5 experiment dequeues from.  Delegates
+        to :meth:`PacketQueueManager.bulk_prefill`, whose closed form
+        is state-identical to the historical per-segment loop."""
+        return self.pqm.bulk_prefill(flows, packets_per_flow,
+                                     segments_per_packet)
 
     @property
     def commands_executed(self) -> int:
@@ -243,9 +238,12 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
     are prefilled so dequeues always find data.  Burst parameters and the
     DMC pipeline constant are calibrated per EXPERIMENTS.md.
 
-    ``engine`` selects the DES kernel: ``"fast"`` (default) runs the
-    calendar-queue kernel, ``"reference"`` the heapq ordering spec; the
-    two are trace-identical, only wall-clock differs.
+    ``engine`` selects the execution path: ``"fast"`` (default) runs the
+    batched command-stream engine (:mod:`repro.engines`) when it claims
+    ``config`` -- falling back to the calendar-queue kernel otherwise --
+    and ``"reference"`` the heapq ordering spec; the paths are
+    trace-identical, only wall-clock differs.  The kernel names
+    ``"calendar"``/``"heapq"`` select a DES kernel explicitly.
     """
     if offered_gbps <= 0:
         raise ValueError(f"offered_gbps must be positive, got {offered_gbps}")
@@ -255,44 +253,37 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
         raise ValueError(f"burst_prob must be in [0,1], got {burst_prob}")
     if burst_len < 1:
         raise ValueError(f"burst_len must be >= 1, got {burst_len}")
-    import random as _random
+    from repro.core.workloads import (LOAD_LAG_VOLLEYS, drive_port,
+                                      load_feed_ops)
+
+    if engine == "fast":
+        from repro.engines import stream_run_load, stream_supports
+        if stream_supports(config) is None:
+            return stream_run_load(
+                offered_gbps, num_volleys=num_volleys, config=config,
+                active_flows=active_flows, warmup_volleys=warmup_volleys,
+                burst_len=burst_len, burst_prob=burst_prob, seed=seed)
 
     mms = MMS(config, sim=make_simulator(engine))
     sim = mms.sim
-    lag_volleys = 16
     # each flow is enqueued once per active_flows/2 volleys; the dequeue
-    # stream lags by lag_volleys, so a small per-flow backlog suffices
+    # stream lags by LOAD_LAG_VOLLEYS, so a small per-flow backlog
+    # suffices
     mms.prefill(range(active_flows),
-                packets_per_flow=(2 * lag_volleys) // active_flows + 4)
+                packets_per_flow=(2 * LOAD_LAG_VOLLEYS) // active_flows + 4)
 
     volley_period_ps = round(4 * BITS_PER_OP / offered_gbps * 1000)
 
-    def make_command(kind: CommandType, i: int, phase: int) -> Command:
-        if kind is CommandType.ENQUEUE:
-            return Command(type=CommandType.ENQUEUE,
-                           flow=(2 * i + phase) % active_flows, eop=True)
-        return Command(type=CommandType.DEQUEUE,
-                       flow=(2 * (i - lag_volleys) + phase) % active_flows)
+    def feed(port: int, enqueue: bool, phase: int):
+        ops = load_feed_ops(lambda: sim.now, port, enqueue, phase,
+                            num_volleys, volley_period_ps, active_flows,
+                            burst_len, burst_prob, seed)
+        return drive_port(mms, port, ops)
 
-    def port_feed(port: int, kind: CommandType, phase: int):
-        rng = _random.Random(seed + port)
-        i = 0       # command index (determines flow and rate accounting)
-        volley = 0  # wall-clock volley slot
-        while i < num_volleys:
-            target = volley * volley_period_ps
-            if target > sim.now:
-                yield target - sim.now
-            emit = burst_len if rng.random() < burst_prob else 1
-            emit = min(emit, num_volleys - i)
-            for k in range(emit):
-                yield from mms.submit(port, make_command(kind, i + k, phase))
-            i += emit
-            volley += emit  # a burst consumes its later volley slots
-
-    sim.spawn(port_feed(0, CommandType.ENQUEUE, 0), name="in")
-    sim.spawn(port_feed(1, CommandType.DEQUEUE, 0), name="out")
-    sim.spawn(port_feed(2, CommandType.ENQUEUE, 1), name="cpu0")
-    sim.spawn(port_feed(3, CommandType.DEQUEUE, 1), name="cpu1")
+    sim.spawn(feed(0, True, 0), name="in")
+    sim.spawn(feed(1, False, 0), name="out")
+    sim.spawn(feed(2, True, 1), name="cpu0")
+    sim.spawn(feed(3, False, 1), name="cpu1")
 
     # fresh recorders after warm-up for clean steady-state means
     horizon = (num_volleys + 64) * volley_period_ps + 10 * SEC // 1000
@@ -341,25 +332,29 @@ def run_saturation(num_commands: int = 8000,
     operating at 125MHz ... the overall bandwidth the MMS supports is
     6.145 Gbps" (our model: 1/10.5 cycles = 11.9 Mops ~ 6.1 Gbps).
     """
+    from repro.core.workloads import drive_port, saturation_feed_ops
+
+    if engine == "fast":
+        from repro.engines import stream_run_saturation, stream_supports
+        if stream_supports(config) is None:
+            return stream_run_saturation(num_commands=num_commands,
+                                         config=config,
+                                         active_flows=active_flows)
+
     mms = MMS(config, sim=make_simulator(engine))
     sim = mms.sim
     per_port = num_commands // 4
     mms.prefill(range(active_flows), packets_per_flow=per_port * 2 // active_flows + 2)
 
-    def feeder(port: int, kind: CommandType, phase: int):
-        for i in range(per_port):
-            if kind is CommandType.ENQUEUE:
-                cmd = Command(type=CommandType.ENQUEUE,
-                              flow=(2 * i + phase) % active_flows, eop=True)
-            else:
-                cmd = Command(type=CommandType.DEQUEUE,
-                              flow=(2 * i + phase) % active_flows)
-            yield from mms.submit(port, cmd)
+    def feed(port: int, enqueue: bool, phase: int):
+        return drive_port(mms, port,
+                          saturation_feed_ops(enqueue, phase, per_port,
+                                              active_flows))
 
-    sim.spawn(feeder(0, CommandType.ENQUEUE, 0), name="in")
-    sim.spawn(feeder(1, CommandType.DEQUEUE, 0), name="out")
-    sim.spawn(feeder(2, CommandType.ENQUEUE, 1), name="cpu0")
-    sim.spawn(feeder(3, CommandType.DEQUEUE, 1), name="cpu1")
+    sim.spawn(feed(0, True, 0), name="in")
+    sim.spawn(feed(1, False, 0), name="out")
+    sim.spawn(feed(2, True, 1), name="cpu0")
+    sim.spawn(feed(3, False, 1), name="cpu1")
     sim.run(until_ps=60 * SEC)
     row = mms.breakdown.row()
     return MmsLoadResult(

@@ -1,0 +1,176 @@
+"""Batched replays of the published MMS workloads.
+
+Each function here is the :class:`~repro.engines.stream.StreamMms`
+counterpart of a kernel-backed harness -- :func:`repro.core.mms.run_load`
+(Table 5), :func:`repro.core.mms.run_saturation` (the headline claim)
+and :func:`repro.policies.harness.run_overload` (the overload family).
+The workload definition is shared (:mod:`repro.core.workloads`), the
+machine replays it kernel-free, and the result objects are assembled
+with the very arithmetic the kernel harnesses use -- including the
+Table 5 warm-up window's record-order semantics -- so the returned
+values are *equal*, not approximately equal (asserted by
+``tests/engines/``).
+
+These entry points are not called directly by experiment code: the
+kernel harnesses route ``engine="fast"`` here whenever
+:func:`~repro.engines.stream.stream_supports` claims the configuration.
+"""
+
+from __future__ import annotations
+
+from repro.core.latency import LatencyBreakdown
+from repro.core.mms import BITS_PER_OP, MmsConfig, MmsLoadResult
+from repro.core.workloads import (
+    LOAD_LAG_VOLLEYS,
+    load_feed_ops,
+    overload_drain_ops,
+    overload_feed_ops,
+    saturation_feed_ops,
+)
+from repro.engines.stream import StreamMms
+from repro.policies.harness import OverloadResult
+from repro.sim.clock import SEC
+
+
+def stream_run_load(offered_gbps: float, *, num_volleys: int,
+                    config: MmsConfig, active_flows: int,
+                    warmup_volleys: int, burst_len: int, burst_prob: float,
+                    seed: int) -> MmsLoadResult:
+    """Table 5 at one offered load, on the command-stream machine."""
+    eng = StreamMms(config)
+    eng.prefill(range(active_flows),
+                packets_per_flow=(2 * LOAD_LAG_VOLLEYS) // active_flows + 4)
+    volley_period_ps = round(4 * BITS_PER_OP / offered_gbps * 1000)
+
+    def now() -> int:
+        return eng.now
+
+    for port, (enqueue, phase) in enumerate(((True, 0), (False, 0),
+                                             (True, 1), (False, 1))):
+        eng.add_feeder(port, load_feed_ops(
+            now, port, enqueue, phase, num_volleys, volley_period_ps,
+            active_flows, burst_len, burst_prob, seed))
+
+    horizon = (num_volleys + 64) * volley_period_ps + 10 * SEC // 1000
+    eng.run(horizon)
+
+    # Replay the records through the exact warm-up windowing of
+    # run_load's recording hook: every record advances the full-run
+    # breakdown and the last-seen timestamp; the warm recorder starts
+    # after warmup_volleys * 4 records.
+    breakdown = LatencyBreakdown(eng.clock, keep_samples=config.keep_samples)
+    warm = LatencyBreakdown(eng.clock, keep_samples=config.keep_samples)
+    t0 = None
+    t_last = 0
+    boundary = warmup_volleys * 4
+    for time_ps, fifo_c, exec_c, data_c, e2e_c in \
+            eng.latency_records(horizon):
+        breakdown.record_parts(fifo_c, exec_c, data_c, e2e_c)
+        t_last = time_ps
+        if breakdown.count == boundary:
+            t0 = time_ps
+        if t0 is not None and breakdown.count > boundary:
+            warm.record_parts(fifo_c, exec_c, data_c, e2e_c)
+
+    elapsed = t_last - (t0 or 0)
+    use = warm if warm.count else breakdown
+    row = use.row()
+    return MmsLoadResult(
+        offered_gbps=offered_gbps,
+        completed_ops=use.count,
+        elapsed_ps=elapsed,
+        fifo_cycles=row["fifo"],
+        execution_cycles=row["execution"],
+        data_cycles=row["data"],
+        end_to_end_cycles=use.end_to_end.mean,
+        engine="fast",
+    )
+
+
+def stream_run_saturation(*, num_commands: int, config: MmsConfig,
+                          active_flows: int) -> MmsLoadResult:
+    """The headline saturation experiment, on the command-stream
+    machine."""
+    eng = StreamMms(config)
+    per_port = num_commands // 4
+    eng.prefill(range(active_flows),
+                packets_per_flow=per_port * 2 // active_flows + 2)
+    for port, (enqueue, phase) in enumerate(((True, 0), (False, 0),
+                                             (True, 1), (False, 1))):
+        eng.add_feeder(port,
+                       saturation_feed_ops(enqueue, phase, per_port,
+                                           active_flows))
+    horizon = 60 * SEC
+    eng.run(horizon)
+
+    breakdown = LatencyBreakdown(eng.clock, keep_samples=config.keep_samples)
+    for _time_ps, fifo_c, exec_c, data_c, e2e_c in \
+            eng.latency_records(horizon):
+        breakdown.record_parts(fifo_c, exec_c, data_c, e2e_c)
+    row = breakdown.row()
+    # the DQM runs back-to-back under saturation (see
+    # core.mms._last_execution_ps)
+    elapsed = round(eng.commands_executed
+                    * breakdown.execution.mean
+                    * eng.clock.period_ps)
+    return MmsLoadResult(
+        offered_gbps=float("inf"),
+        completed_ops=breakdown.count,
+        elapsed_ps=elapsed,
+        fifo_cycles=row["fifo"],
+        execution_cycles=row["execution"],
+        data_cycles=row["data"],
+        end_to_end_cycles=breakdown.end_to_end.mean,
+        engine="fast",
+    )
+
+
+def stream_run_overload(cfg: MmsConfig, shape: str, *, num_arrivals: int,
+                        active_flows: int,
+                        engine_label: str = "fast") -> OverloadResult:
+    """One overload experiment, on the command-stream machine.
+
+    ``cfg`` is the already-resolved build (policy spec, seed and record
+    retention folded in by :func:`repro.policies.harness.run_overload`,
+    which owns the argument validation and routes here).
+    """
+    eng = StreamMms(cfg)
+    pol = eng.policy
+
+    service_ps = round(10.5 * eng.clock.period_ps)
+    drain_period = 2 * service_ps
+    enq_period = 3 * drain_period // 4
+
+    per_port = num_arrivals // 3
+    counters = {"dequeued": 0}
+    for port in range(3):
+        eng.add_feeder(port, overload_feed_ops(shape, port, per_port,
+                                               active_flows, enq_period,
+                                               counters))
+    eng.add_feeder(3, overload_drain_ops(eng.pqm.queued_packets,
+                                         active_flows, drain_period,
+                                         counters))
+
+    horizon = (num_arrivals * 16 * enq_period
+               + cfg.num_segments * 4 * drain_period
+               + SEC // 1000)
+    eng.run(horizon)
+
+    stats = pol.stats
+    return OverloadResult(
+        policy=cfg.policy.name,
+        shape=shape,
+        offered_segments=stats.offered_segments,
+        offered_bytes=stats.offered_bytes,
+        accepted_segments=stats.accepted_segments,
+        accepted_bytes=stats.accepted_bytes,
+        dropped_segments=stats.dropped_segments,
+        dropped_bytes=stats.dropped_bytes,
+        pushed_out_segments=stats.pushed_out_segments,
+        pushed_out_bytes=stats.pushed_out_bytes,
+        dequeued_segments=counters["dequeued"],
+        residual_segments=pol.total_segments,
+        capacity_segments=cfg.num_segments,
+        elapsed_ps=eng.now,
+        engine=engine_label,
+    )

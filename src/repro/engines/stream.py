@@ -1,0 +1,582 @@
+"""The DES-free MMS/DQM command-stream machine.
+
+:class:`StreamMms` executes an MMS command workload -- port feeders,
+per-port command FIFOs, the serial DQM, and the DMC's bank-aware reorder
+window -- without the discrete-event kernel.  Where the kernel round-trips
+every command through generator processes, event objects and a calendar
+queue (a dozen kernel events per command), the machine advances a handful
+of scalar actor states over preallocated structures: FIFO occupancy is a
+deque per port, the DQM is a round-robin cursor plus one in-flight
+command, the DMC is the bank release array plus the write-after-read
+turnaround pair, and the memoized :func:`repro.core.dqm.command_timing_table`
+picosecond costs are folded into cumulative-sum accounting per command.
+The whole machine runs as one inlined loop over a tiny wake heap (the
+same structure-over-speed trade the kernel's run loop makes, one level
+lower).
+
+Fidelity is not statistical: the machine reproduces the kernel's
+``(time, sequence)`` ordering contract for every interaction that is
+observable through the published results -- deposit visibility at DQM pop
+instants, feeder backpressure resume order, DMC pick instants -- so the
+per-command access traces, drop/accept counters and picosecond totals are
+*identical* to the reference path, not merely close (asserted by
+``tests/engines/``).  The functional work itself (pointer-memory
+operations, buffer-policy decisions) runs through the very same
+:class:`~repro.queueing.PacketQueueManager` code as the kernel path,
+which is what makes trace identity a structural property rather than a
+re-implementation hazard.
+
+Workloads the machine cannot replay exactly (non-default port
+arrangements whose backpressure interleavings it does not model) are
+declared by :func:`stream_supports`, and the harness entry points fall
+back to the calendar-queue kernel for them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.commands import (
+    DATA_READ_COMMANDS,
+    DATA_WRITE_COMMANDS,
+    CommandType,
+)
+from repro.core.dqm import MicrocodeMismatchError, command_timing_table
+from repro.core.mms import MmsConfig
+from repro.core.scheduler import DEFAULT_PORTS
+from repro.mem.timing import DdrTiming
+from repro.policies import BufferPolicy, make_policy
+from repro.policies.base import DroppedSegment
+from repro.queueing import PacketQueueManager
+from repro.sim.clock import NS, Clock
+
+#: Micro-op a feeder generator may yield: a positive int sleep (ps) or a
+#: command tuple ``(CommandType, flow, dst_flow, eop, length)``.
+FeederOp = Union[int, Tuple[CommandType, int, Optional[int], bool, int]]
+
+#: A feeder: generator of micro-ops (see :data:`FeederOp`).
+Feeder = Iterator[FeederOp]
+
+# Wake kinds (heap entries are ``(time_ps, seq, kind, arg)``; ``seq``
+# replicates the kernel's monotonic push-order tie-break within a
+# timestamp).
+_W_FEEDER = 0        # resume a feeder generator (arg = feeder index)
+_W_SERVE_POP = 1     # the DQM was kicked out of its idle wait
+_W_SERVE_HANDOFF = 2  # first-pointer-access handoff: issue the DMC transfer
+_W_SERVE_TAIL = 3    # command execution complete; serve the next one
+_W_DMC_TOP = 4       # DMC loop top (queue check + slot alignment + issue)
+_W_DMC_ISSUE = 5     # DMC reached the earliest legal issue slot
+
+_DATA_COMMANDS = DATA_READ_COMMANDS | DATA_WRITE_COMMANDS
+
+# Command records are plain lists (allocation-cheap; one per command):
+# [op, flow, dst, eop, length, port, submit_ps, start_ps, end_ps,
+#  data_slot, req].  DMC requests likewise: [submit_ps, is_write, bank,
+#  complete_ps] with complete_ps = -1 until issued.
+C_OP, C_FLOW, C_DST, C_EOP, C_LEN, C_PORT = 0, 1, 2, 3, 4, 5
+C_SUBMIT, C_START, C_END, C_SLOT, C_REQ = 6, 7, 8, 9, 10
+R_SUBMIT, R_WRITE, R_BANK, R_COMPLETE = 0, 1, 2, 3
+
+
+def stream_supports(config: MmsConfig) -> Optional[str]:
+    """Why the machine cannot replay ``config`` (None = it can).
+
+    The machine claims the standard Figure 2 port arrangement only:
+    custom per-port FIFO depths/priorities are backpressure *timing
+    studies* whose interleavings belong to the kernel.  It also requires
+    the DMC completion grid to stay off the MMS clock grid (true for
+    every paper configuration), which is what makes the latency-record
+    ordering reproducible without a kernel.
+    """
+    if config.ports != DEFAULT_PORTS:
+        return ("non-default port arrangement (backpressure timing study; "
+                "kernel only)")
+    period_ps = Clock(config.clock_mhz).period_ps
+    timing = DdrTiming()
+    cycle_ps = timing.access_cycle_ns * NS
+    if cycle_ps % period_ps != 0:
+        return "DDR access cycle not a multiple of the MMS clock period"
+    pipeline_ps = config.dmc_pipeline_ns * NS
+    for delay_ns in (timing.read_delay_ns, timing.write_delay_ns):
+        if (delay_ns * NS + pipeline_ps) % period_ps == 0:
+            return ("DMC completion grid collides with the MMS clock grid "
+                    "(record ordering would need the kernel)")
+    return None
+
+
+class StreamMms:
+    """A batched MMS instance: same functional state, no DES kernel.
+
+    Mirrors the :class:`~repro.core.mms.MMS` construction contract
+    (policy built from ``config.policy`` sized to the segment buffer,
+    ``now_fn`` wired to simulated time) so policy decisions and
+    pointer-memory state are bit-compatible with the kernel path.
+    """
+
+    def __init__(self, config: MmsConfig = MmsConfig(),
+                 policy: Optional[BufferPolicy] = None) -> None:
+        reason = stream_supports(config)
+        if reason is not None:
+            raise ValueError(f"stream engine cannot replay this config: "
+                             f"{reason}")
+        self.config = config
+        self.clock = Clock(config.clock_mhz)
+        if policy is None and config.policy is not None:
+            policy = make_policy(config.policy, capacity=config.num_segments,
+                                 seed=config.policy_seed,
+                                 keep_records=config.policy_records)
+        self.policy = policy
+        if self.policy is not None:
+            self.policy.now_fn = lambda: self.now
+        self.pqm = PacketQueueManager(num_flows=config.num_flows,
+                                      num_segments=config.num_segments,
+                                      num_descriptors=config.num_descriptors,
+                                      policy=self.policy)
+        #: Per-op fused cost row: (handoff_ps, tail_ps, execution_cycles_f,
+        #: ptr_accesses, touches_data, is_data_write).
+        self._opinfo = {
+            op: (handoff_ps, tail_ps, execf, ptr,
+                 op in _DATA_COMMANDS, op in DATA_WRITE_COMMANDS)
+            for op, (handoff_ps, tail_ps, _lat, execf, ptr)
+            in command_timing_table(self.clock.period_ps,
+                                    config.overlap_data).items()
+        }
+        self._strict = config.strict_microcode
+        # ---- actor clock / wake heap --------------------------------
+        self.now = 0
+        self._seq = 0
+        self._wakes: List[Tuple[int, int, int, Optional[int]]] = []
+        # ---- per-port command FIFOs ---------------------------------
+        ports = config.ports
+        self._num_ports = len(ports)
+        self._prios = [p.priority for p in ports]
+        self._caps = [p.fifo_depth for p in ports]
+        self._fifos = [deque() for _ in ports]
+        self._pending: List[Optional[Tuple[int, list]]] = [None] * len(ports)
+        # ---- DQM (serve) --------------------------------------------
+        self._rr_next = 0
+        self._serve_waiting = True
+        self._cur: Optional[list] = None
+        self._cur_info: Optional[tuple] = None
+        self.commands_executed = 0
+        self._done: List[list] = []
+        # ---- DMC ----------------------------------------------------
+        timing = DdrTiming()
+        self._cycle_ps = timing.access_cycle_ns * NS
+        self._busy_cycles = timing.bank_busy_cycles
+        self._war_cycles = timing.write_after_read_penalty_cycles
+        pipeline_ps = config.dmc_pipeline_ns * NS
+        self._read_delay_ps = timing.read_delay_ns * NS + pipeline_ps
+        self._write_delay_ps = timing.write_delay_ns * NS + pipeline_ps
+        self._num_banks = config.num_banks
+        self._window = config.reorder_window
+        self._bank_free = [0] * config.num_banks
+        self._last_islot = 0
+        self._last_was_read = False
+        self._dmc_queue: List[list] = []
+        self._dmc_waiting = True
+        self._dmc_req: Optional[list] = None
+        # ---- feeders ------------------------------------------------
+        self._feeders: List[Feeder] = []
+        self._feeder_port: List[int] = []
+        #: Optional per-operation log hook (fuzz/diagnostics): called
+        #: with (cmd_record, result, trace) after every dispatch.  While
+        #: set, full access traces are materialized.
+        self.trace_hook: Optional[Callable] = None
+
+    # --------------------------------------------------------- wiring
+
+    def add_feeder(self, port: int, gen: Feeder) -> None:
+        """Attach a feeder generator to ``port`` and schedule its first
+        step now (the kernel's ``spawn`` contract: spawn order is resume
+        order at equal times)."""
+        if not 0 <= port < self._num_ports:
+            raise ValueError(f"port {port} out of range "
+                             f"[0, {self._num_ports})")
+        idx = len(self._feeders)
+        self._feeders.append(gen)
+        self._feeder_port.append(port)
+        self._seq += 1
+        heappush(self._wakes, (self.now, self._seq, _W_FEEDER, idx))
+
+    def prefill(self, flows, packets_per_flow: int,
+                segments_per_packet: int = 1) -> int:
+        """Functionally preload queues; see
+        :meth:`repro.core.mms.MMS.prefill` (identical state, identical
+        access counters)."""
+        return self.pqm.bulk_prefill(flows, packets_per_flow,
+                                     segments_per_packet)
+
+    # ------------------------------------------------------------ run
+
+    def run(self, until_ps: int) -> int:
+        """Drain the wake heap up to ``until_ps`` (kernel ``run``
+        contract: the first wake beyond the horizon ends the run).
+
+        The body is one fused loop over every actor -- feeders, the
+        DQM's pop/handoff/tail points, and the DMC's aligned pick/issue
+        points -- with machine state held in locals; the inline blocks
+        are the hand-compiled equivalents of the kernel processes they
+        replace (named in the comments).
+        """
+        mem = self.pqm.mem
+        count_restore = mem.count_only_traces
+        if self.trace_hook is None:
+            # the published scenarios consult only trace lengths and
+            # counters; skip materializing AccessRecord objects
+            mem.count_only_traces = True
+        try:
+            return self._run(until_ps)
+        finally:
+            mem.count_only_traces = count_restore
+
+    def _run(self, until_ps: int) -> int:
+        wakes = self._wakes
+        seq = self._seq
+        dispatch = self._dispatch
+        opinfo = self._opinfo
+        strict = self._strict
+        heappush_ = heappush
+        heappop_ = heappop
+        pqm = self.pqm
+        # the two dominant Table 5 / overload opcodes take an inlined
+        # dispatch branch below (identical calls, minus the indirection)
+        enq_op = CommandType.ENQUEUE
+        deq_op = CommandType.DEQUEUE
+        inline_ok = self.trace_hook is None
+        policy_none = self.policy is None
+        # scheduler / serve state
+        fifos = self._fifos
+        prios = self._prios
+        caps = self._caps
+        nports = self._num_ports
+        pending = self._pending
+        rr_next = self._rr_next
+        serve_waiting = self._serve_waiting
+        cur = self._cur
+        cur_info = self._cur_info
+        done = self._done
+        # feeder state
+        feeders = self._feeders
+        fports = self._feeder_port
+        # DMC state
+        dmc_queue = self._dmc_queue
+        dmc_waiting = self._dmc_waiting
+        dmc_req = self._dmc_req
+        bank_free = self._bank_free
+        cycle = self._cycle_ps
+        busy = self._busy_cycles
+        war = self._war_cycles
+        rdelay = self._read_delay_ps
+        wdelay = self._write_delay_ps
+        nbanks = self._num_banks
+        reorder = self._window
+        last_islot = self._last_islot
+        last_was_read = self._last_was_read
+
+        try:
+            while wakes:
+                if wakes[0][0] > until_ps:
+                    # leave the over-horizon wake scheduled (kernel run
+                    # contract: a later run() call resumes from it)
+                    self.now = until_ps
+                    return until_ps
+                t, _s, kind, arg = heappop_(wakes)
+                self.now = now = t
+                pop_now = False
+
+                if kind == _W_SERVE_TAIL:
+                    # -- DataQueueManager.execute, after the schedule
+                    # tail: finalize the command, serve the next -------
+                    cur[C_END] = now
+                    self.commands_executed += 1
+                    done.append(cur)
+                    cur = None
+                    pop_now = True
+
+                elif kind == _W_SERVE_HANDOFF:
+                    # -- the first-pointer-access handoff: the DMC gets
+                    # the transfer one cycle later ("almost in
+                    # parallel"); then the schedule tail runs ----------
+                    slot = cur[C_SLOT]
+                    if slot is not None and cur_info[4]:
+                        req = [now, cur_info[5], slot % nbanks, -1]
+                        cur[C_REQ] = req
+                        dmc_queue.append(req)
+                        if dmc_waiting:
+                            dmc_waiting = False
+                            seq += 1
+                            heappush_(wakes, (now, seq, _W_DMC_TOP, None))
+                    seq += 1
+                    heappush_(wakes, (now + cur_info[1], seq,
+                                     _W_SERVE_TAIL, None))
+
+                elif kind == _W_DMC_TOP or kind == _W_DMC_ISSUE:
+                    # -- DdrController._serve: align to the access
+                    # cycle, pick within the reorder window, wait out
+                    # the bank/turnaround constraint, issue ------------
+                    if kind == _W_DMC_ISSUE:
+                        req, dmc_req = dmc_req, None
+                    else:
+                        if not dmc_queue:
+                            dmc_waiting = True
+                            continue
+                        rem = now % cycle
+                        if rem:
+                            seq += 1
+                            heappush_(wakes, (now + cycle - rem, seq,
+                                             _W_DMC_TOP, None))
+                            continue
+                        slot_no = now // cycle
+                        window = reorder if reorder < len(dmc_queue) \
+                            else len(dmc_queue)
+                        idx = 0
+                        for i in range(window):
+                            if bank_free[dmc_queue[i][R_BANK]] <= slot_no:
+                                idx = i
+                                break
+                        req = dmc_queue.pop(idx)
+                        # DdrModel.earliest_issue_slot: bank reuse +
+                        # write-after-read turnaround overlap (max)
+                        islot = bank_free[req[R_BANK]]
+                        if islot < slot_no:
+                            islot = slot_no
+                        if req[R_WRITE] and last_was_read:
+                            turnaround_free = last_islot + 1 + war
+                            if turnaround_free > islot:
+                                islot = turnaround_free
+                        if islot > slot_no:
+                            dmc_req = req
+                            seq += 1
+                            heappush_(wakes, (islot * cycle, seq,
+                                             _W_DMC_ISSUE, None))
+                            continue
+                    # issue at the current instant
+                    islot = now // cycle
+                    bank_free[req[R_BANK]] = islot + busy
+                    last_islot = islot
+                    last_was_read = not req[R_WRITE]
+                    req[R_COMPLETE] = now + (wdelay if req[R_WRITE]
+                                             else rdelay)
+                    seq += 1
+                    heappush_(wakes, (now + cycle, seq, _W_DMC_TOP, None))
+
+                elif kind == _W_FEEDER:
+                    # -- a port process: pull micro-ops until it sleeps,
+                    # blocks on a full FIFO, or finishes ---------------
+                    gen = feeders[arg]
+                    port = fports[arg]
+                    fifo = fifos[port]
+                    cap = caps[port]
+                    while True:
+                        try:
+                            op = next(gen)
+                        except StopIteration:
+                            break
+                        if type(op) is int:
+                            if op < 0:
+                                raise ValueError(
+                                    f"feeder {arg} yielded a negative "
+                                    f"sleep {op}")
+                            seq += 1
+                            heappush_(wakes, (now + op, seq, _W_FEEDER, arg))
+                            break
+                        cmd = [op[0], op[1], op[2], op[3], op[4], port,
+                               now, -1, -1, None, None]
+                        if len(fifo) >= cap:
+                            # backpressure: the port holds the command;
+                            # the DQM's next pop from this FIFO deposits
+                            # it and resumes us
+                            pending[port] = (arg, cmd)
+                            break
+                        fifo.append(cmd)
+                        if serve_waiting:
+                            serve_waiting = False
+                            seq += 1
+                            heappush_(wakes, (now, seq, _W_SERVE_POP, None))
+
+                else:  # _W_SERVE_POP: kicked out of the idle wait
+                    pop_now = True
+
+                if pop_now:
+                    # -- InternalScheduler.pop_next + the head of
+                    # DataQueueManager.execute: strict priority between
+                    # classes, round-robin within a class; dispatch the
+                    # functional operation at the pop instant ----------
+                    best = -1
+                    best_prio = 0
+                    for off in range(nports):
+                        i = rr_next + off
+                        if i >= nports:
+                            i -= nports
+                        if not fifos[i]:
+                            continue
+                        if best < 0 or prios[i] < best_prio:
+                            best = i
+                            best_prio = prios[i]
+                    if best < 0:
+                        serve_waiting = True
+                        continue
+                    rr_next = 0 if best + 1 >= nports else best + 1
+                    fifo = fifos[best]
+                    cmd = fifo.popleft()
+                    pend = pending[best]
+                    if pend is not None:
+                        # the freed slot admits the backpressured
+                        # command at the pop instant; its feeder resumes
+                        # at this timestamp after the queued wakes
+                        # (kernel gate-trigger order)
+                        pending[best] = None
+                        fidx, pcmd = pend
+                        pcmd[C_SUBMIT] = now
+                        fifo.append(pcmd)
+                        seq += 1
+                        heappush_(wakes, (now, seq, _W_FEEDER, fidx))
+                    cmd[C_START] = now
+                    op = cmd[C_OP]
+                    if inline_ok and op is deq_op:
+                        info_seg, trace = pqm.dequeue_segment(cmd[C_FLOW])
+                        result = info_seg
+                        trace_len = len(trace)
+                        data_slot = info_seg.slot
+                    elif inline_ok and op is enq_op and policy_none:
+                        result, trace = pqm.enqueue_segment(
+                            cmd[C_FLOW], eop=cmd[C_EOP], length=cmd[C_LEN])
+                        trace_len = len(trace)
+                        data_slot = result
+                    else:
+                        result, trace_len, data_slot = dispatch(cmd)
+                    info = opinfo[op]
+                    if strict \
+                            and not isinstance(result, DroppedSegment) \
+                            and trace_len != info[3]:
+                        raise MicrocodeMismatchError(
+                            f"{cmd[C_OP].value}: functional trace has "
+                            f"{trace_len} pointer accesses, schedule has "
+                            f"{info[3]}")
+                    cmd[C_SLOT] = data_slot
+                    cur = cmd
+                    cur_info = info
+                    seq += 1
+                    heappush_(wakes, (now + info[0], seq,
+                                     _W_SERVE_HANDOFF, None))
+            if self.now < until_ps:
+                self.now = until_ps
+            return self.now
+        finally:
+            self._seq = seq
+            self._rr_next = rr_next
+            self._serve_waiting = serve_waiting
+            self._cur = cur
+            self._cur_info = cur_info
+            self._dmc_waiting = dmc_waiting
+            self._dmc_req = dmc_req
+            self._last_islot = last_islot
+            self._last_was_read = last_was_read
+
+    # ------------------------------------------------------- dispatch
+
+    def _dispatch(self, cmd: list):
+        """Functional execution (mirrors ``DataQueueManager._dispatch``);
+        returns ``(result, trace_len, data_slot)``."""
+        t = cmd[C_OP]
+        flow = cmd[C_FLOW]
+        pqm = self.pqm
+        if t is CommandType.ENQUEUE:
+            slot, trace = pqm.admit_enqueue(flow, eop=cmd[C_EOP],
+                                            length=cmd[C_LEN])
+            result = slot
+            data = None if isinstance(slot, DroppedSegment) else slot
+        elif t is CommandType.DEQUEUE:
+            info, trace = pqm.dequeue_segment(flow)
+            result, data = info, info.slot
+        elif t is CommandType.READ:
+            info, trace = pqm.read_segment(flow)
+            result, data = info, info.slot
+        elif t is CommandType.OVERWRITE:
+            info, trace = pqm.overwrite_segment(flow)
+            result, data = info, info.slot
+        elif t is CommandType.DELETE:
+            info, trace = pqm.delete_segment(flow)
+            result, data = info, None
+        elif t is CommandType.DELETE_PACKET:
+            trace = pqm.delete_packet(flow)
+            result, data = None, None
+        elif t is CommandType.MOVE:
+            trace = pqm.move_packet(flow, cmd[C_DST])
+            result, data = None, None
+        elif t is CommandType.OVERWRITE_LENGTH:
+            info, trace = pqm.overwrite_segment_length(flow, cmd[C_LEN])
+            result, data = info, None
+        elif t is CommandType.OVERWRITE_LENGTH_MOVE:
+            trace = pqm.overwrite_length_and_move(flow, cmd[C_DST],
+                                                  cmd[C_LEN])
+            result, data = None, None
+        elif t is CommandType.OVERWRITE_MOVE:
+            info, trace = pqm.overwrite_and_move(flow, cmd[C_DST])
+            result, data = info, info.slot
+        elif t is CommandType.APPEND_HEAD:
+            slot, trace = pqm.append_head(flow)
+            result = slot
+            data = None if isinstance(slot, DroppedSegment) else slot
+        elif t is CommandType.APPEND_TAIL:
+            slot, trace = pqm.append_tail(flow, length=cmd[C_LEN])
+            result = slot
+            data = None if isinstance(slot, DroppedSegment) else slot
+        else:
+            raise ValueError(f"unknown command type {t}")
+        hook = self.trace_hook
+        if hook is not None:
+            hook(cmd, result, trace)
+        return result, len(trace), data
+
+    # -------------------------------------------------------- records
+
+    def latency_records(self, horizon_ps: int
+                        ) -> List[Tuple[int, float, float, float, float]]:
+        """Per-command latency records in kernel delivery order.
+
+        Each entry is ``(record_time_ps, fifo_cycles, execution_cycles,
+        data_cycles, end_to_end_cycles)`` -- exactly what the kernel
+        path's ``_finalize`` process feeds ``record_parts``, in the
+        order those processes resume.  Records are delivered when the
+        data transfer completes (data commands) or at end of execution
+        (pointer-only and policy-dropped commands); the kernel's
+        within-timestamp FIFO contract puts a completion resume (pushed
+        at issue time) ahead of a finalize spawned in that timestamp,
+        which is the ``tie`` sort key below; ``stream_supports`` rules
+        out configurations where the two grids could otherwise collide.
+        """
+        period = self.clock.period_ps
+        opinfo = self._opinfo
+        entries = []
+        for cmd in self._done:
+            req = cmd[C_REQ]
+            end_ps = cmd[C_END]
+            if req is None:
+                record_time = end_ps
+                data_done = end_ps
+                data_cycles = 0.0
+                tie = 1
+            else:
+                complete = req[R_COMPLETE]
+                if complete < 0:
+                    continue  # never issued inside the horizon
+                record_time = complete
+                data_done = complete
+                data_cycles = (complete - req[R_SUBMIT]) / period
+                tie = 0
+            if record_time > horizon_ps:
+                continue
+            submit = cmd[C_SUBMIT]
+            fifo_cycles = (cmd[C_START] - submit) / period if submit >= 0 \
+                else 0.0
+            base = submit if submit >= 0 else cmd[C_START]
+            completion = end_ps if end_ps > data_done else data_done
+            entries.append((record_time, tie,
+                            fifo_cycles, opinfo[cmd[C_OP]][2], data_cycles,
+                            (completion - base) / period))
+        entries.sort(key=lambda e: (e[0], e[1]))
+        return [(e[0], e[2], e[3], e[4], e[5]) for e in entries]

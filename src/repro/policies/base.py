@@ -223,6 +223,19 @@ class BufferPolicy(ABC):
                blocked: bool) -> Decision:
         """Policy-specific verdict (see :meth:`admit`)."""
 
+    def admit_fast(self, queue: int, nbytes: int) -> bool:
+        """Scalar-only accept check for the common uncongested case.
+
+        Returns True only when :meth:`decide` would certainly return
+        ``accept`` for an unblocked arrival *and* deciding so has no
+        side effects -- the occupancy books alone settle it.  The queue
+        manager consults this before building the full admission context
+        (exclusion sets, descriptor probing); False means "take the
+        slow path", never "drop".  Policies with per-decision state
+        (RED's average filter and RNG draw) must keep returning False.
+        """
+        return False
+
     # ------------------------------------------------- occupancy tracking
 
     def queue_length(self, queue: int) -> int:

@@ -42,3 +42,10 @@ class DynamicThreshold(BufferPolicy):
         if self.queue_length(queue) >= self.threshold():
             return Decision("drop", reason="dynamic threshold")
         return ACCEPT
+
+    def admit_fast(self, queue: int, nbytes: int) -> bool:
+        if self.total_segments >= self.capacity:
+            return False
+        # same comparison as decide(): len(q) < alpha * free
+        return (self.queue_segments.get(queue, 0)
+                < self.alpha * (self.capacity - self.total_segments))

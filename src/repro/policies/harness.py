@@ -17,21 +17,28 @@ overload situations:
   long queues).
 
 Everything runs through the real MMS blocks (port FIFOs, DQM schedule
-timing, DMC transfers), so the ``engine`` knob selects the DES kernel
-exactly like Table 5 does; the kernels are trace-identical, and the
-policy decisions are a pure function of (seed, arrival order), so the
-drop/accept counters are byte-identical across engines -- asserted by
-the equivalence tests and the benchmark gate.
+timing, DMC transfers), and the ``engine`` knob works exactly like
+Table 5's: ``"fast"`` routes to the DES-free command-stream machine
+(:mod:`repro.engines`; kernel fallback for configurations it declines),
+``"reference"`` to the heapq kernel.  The paths are trace-identical,
+and the policy decisions are a pure function of (seed, arrival order),
+so the drop/accept counters are byte-identical across engines --
+asserted by the equivalence tests, the differential fuzz suite and the
+benchmark gate.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
-from repro.core.commands import Command, CommandType
 from repro.core.mms import MMS, MmsConfig
+from repro.core.workloads import (
+    drive_port,
+    overload_drain_ops,
+    overload_feed_ops,
+)
 from repro.policies.base import PolicySpec
 from repro.sim.clock import SEC
 from repro.sim.kernel import make_simulator
@@ -113,6 +120,15 @@ def run_overload(policy: PolicySpec, shape: str, *,
             f"got {active_flows}")
     cfg = dataclasses.replace(config, policy=policy, policy_seed=seed,
                               policy_records=keep_records)
+
+    if engine == "fast":
+        from repro.engines import stream_run_overload, stream_supports
+        if stream_supports(cfg) is None:
+            return stream_run_overload(cfg, shape,
+                                       num_arrivals=num_arrivals,
+                                       active_flows=active_flows,
+                                       engine_label=engine)
+
     mms = MMS(cfg, sim=make_simulator(engine))
     sim = mms.sim
     pol = mms.policy
@@ -120,7 +136,7 @@ def run_overload(policy: PolicySpec, shape: str, *,
     # Pacing: the DQM serves one command per ~10.5 cycles; the drain
     # dequeues at twice that interval and the three enqueue ports
     # together offer four segments per drain slot -- 2x oversubscription
-    # in steady state, shaped below.
+    # in steady state, shaped per repro.core.workloads.overload_feed_ops.
     service_ps = round(10.5 * mms.clock.period_ps)
     drain_period = 2 * service_ps
     enq_period = 3 * drain_period // 4     # per port; 3 ports
@@ -128,58 +144,17 @@ def run_overload(policy: PolicySpec, shape: str, *,
     per_port = num_arrivals // 3
     counters = {"dequeued": 0}
 
-    def flow_of(port: int, i: int) -> int:
-        return (3 * i + port) % active_flows
-
-    def enqueue_feeder(port: int):
-        """One ingress port's arrival process, shaped per ``shape``."""
-        for i in range(per_port):
-            if shape == "burst":
-                # volleys of 12 back-to-back arrivals, long idle gaps:
-                # the aggregate burst of 36 overflows the 96-slot buffer
-                # against the backlog, then the drain catches up
-                if i % 12 == 0 and i > 0:
-                    yield 14 * enq_period
-                cmd = Command(type=CommandType.ENQUEUE,
-                              flow=flow_of(port, i), eop=True)
-            elif shape == "sustained":
-                yield enq_period
-                cmd = Command(type=CommandType.ENQUEUE,
-                              flow=flow_of(port, i), eop=True)
-            else:  # incast: flows converge with 3-segment packets, then
-                # a short gap lets the drain work -- many short queues
-                # rather than burst's few long ones (the FIFOs would
-                # otherwise serialize this into the sustained shape)
-                seg = i % 3
-                if seg == 0 and i > 0 and (i // 3) % 4 == 0:
-                    yield 10 * enq_period
-                cmd = Command(type=CommandType.ENQUEUE,
-                              flow=flow_of(port, i // 3),
-                              eop=(seg == 2))
-            yield from mms.submit(port, cmd)
-        counters["feeders_done"] = counters.get("feeders_done", 0) + 1
-
-    def drain():
-        """The egress port: slow round-robin over backlogged flows;
-        terminates once the feeders finished and the backlog is gone."""
-        flow = 0
-        while True:
-            yield drain_period
-            for probe in range(active_flows):
-                f = (flow + probe) % active_flows
-                if mms.pqm.queued_packets(f) > 0:
-                    flow = (f + 1) % active_flows
-                    yield from mms.submit(
-                        3, Command(type=CommandType.DEQUEUE, flow=f))
-                    counters["dequeued"] += 1
-                    break
-            else:
-                if counters.get("feeders_done", 0) == 3:
-                    return
-
     for port in range(3):
-        sim.spawn(enqueue_feeder(port), name=f"enq{port}")
-    sim.spawn(drain(), name="drain")
+        sim.spawn(drive_port(mms, port,
+                             overload_feed_ops(shape, port, per_port,
+                                               active_flows, enq_period,
+                                               counters)),
+                  name=f"enq{port}")
+    sim.spawn(drive_port(mms, 3,
+                         overload_drain_ops(mms.pqm.queued_packets,
+                                            active_flows, drain_period,
+                                            counters)),
+              name="drain")
 
     horizon = (num_arrivals * 16 * enq_period
                + config.num_segments * 4 * drain_period

@@ -44,6 +44,11 @@ class LongestQueueDrop(BufferPolicy):
             return Decision("drop", reason="lqd: arriving queue longest")
         return Decision("pushout", victim=victim, reason="lqd: longest queue")
 
+    def admit_fast(self, queue: int, nbytes: int) -> bool:
+        # below capacity LQD accepts unconditionally; at capacity the
+        # victim scan needs the full admission context
+        return self.total_segments < self.capacity
+
     def _longest(self, exclude: FrozenSet[int]) -> Optional[int]:
         """The longest non-excluded, non-empty queue (lowest id on ties,
         for deterministic victim selection).  Single linear scan: this

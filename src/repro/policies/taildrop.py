@@ -36,3 +36,9 @@ class TailDrop(BufferPolicy):
                 and self.queue_length(queue) >= self.per_queue_limit):
             return Decision("drop", reason="queue limit")
         return ACCEPT
+
+    def admit_fast(self, queue: int, nbytes: int) -> bool:
+        if self.total_segments >= self.capacity:
+            return False
+        limit = self.per_queue_limit
+        return limit is None or self.queue_segments.get(queue, 0) < limit

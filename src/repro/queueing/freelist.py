@@ -14,7 +14,7 @@ with ``anchors_in_memory``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.queueing.pointer_memory import PointerMemory
 
@@ -77,18 +77,29 @@ class FreeList:
         self._reg_tail = NIL
         self.free_count = 0
         self._initialized = False
+        # True while the chain is exactly the boot-time sequential one
+        # (0 -> 1 -> ... -> n-1); lets reserve() skip the chain walk
+        self._virgin = False
 
     # ------------------------------------------------------------ set-up
 
     def initialize(self) -> None:
-        """Chain every slot into the free list (boot-time, not traced)."""
-        for slot in range(self.num_slots - 1):
-            self.mem.write(self.next_region, slot, self._enc(slot + 1))
-        self.mem.write(self.next_region, self.num_slots - 1, NIL)
+        """Chain every slot into the free list (boot-time, not traced).
+
+        Uses the pointer memory's bulk path: one write per word is
+        accounted exactly as the historical per-word loop did, without
+        paying a method call per slot (64 K segment buffers are built
+        once per experiment run).
+        """
+        n = self.num_slots
+        self.mem.bulk_update(self.next_region,
+                             list(zip(range(n - 1), range(2, n + 1))))
+        self.mem.bulk_update(self.next_region, [(n - 1, NIL)])
         self._store_head(self._enc(0))
-        self._store_tail(self._enc(self.num_slots - 1))
-        self.free_count = self.num_slots
+        self._store_tail(self._enc(n - 1))
+        self.free_count = n
         self._initialized = True
+        self._virgin = True
 
     # ---------------------------------------------------------- operation
 
@@ -96,27 +107,93 @@ class FreeList:
         """Allocate one slot ("Dequeue Free List").
 
         Access pattern (anchors in memory): R head, R next[head], W head.
-        With register anchors: R next[head] only.
+        With register anchors: R next[head] only.  The register-anchor
+        variant is the MMS per-command hot path and avoids the anchor
+        helper indirection.
         """
-        self._require_init()
-        head = self._load_head()
+        if not self._initialized:
+            raise RuntimeError("free list not initialized; call initialize()")
+        head = self._reg_head if not self.anchors_in_memory \
+            else self._load_head()
         if head == NIL:
             in_use = self.num_slots - self.free_count
             raise OutOfBuffersError(
                 f"free list empty: {in_use} of {self.num_slots} slots in "
                 f"use (install a buffer policy to make overload a drop "
                 f"decision)", slots_in_use=in_use, num_slots=self.num_slots)
-        slot = self._dec(head)
+        self._virgin = False
+        slot = head - 1
         nxt = self.mem.read(self.next_region, slot)
         if self.link_mask is not None:
             nxt &= self.link_mask
-        self._store_head(nxt)
-        if nxt == NIL:
-            # list drained: the tail anchor would otherwise go stale and
-            # a later push would splice onto an in-use slot
-            self._store_tail(NIL)
+        if self.anchors_in_memory:
+            self._store_head(nxt)
+            if nxt == NIL:
+                # list drained: the tail anchor would otherwise go stale
+                # and a later push would splice onto an in-use slot
+                self._store_tail(NIL)
+        else:
+            self._reg_head = nxt
+            if nxt == NIL:
+                self._reg_tail = NIL
         self.free_count -= 1
         return slot
+
+    def reserve(self, count: int) -> List[int]:
+        """Allocate ``count`` slots in one bulk walk (= ``count`` pops).
+
+        Follows the free chain once, then accounts the accesses a pop
+        loop would have made -- one ``next`` read per allocated slot,
+        plus the anchor load/store traffic when the anchors live in
+        memory -- so counters, anchor state and ``free_count`` are
+        exactly where ``count`` :meth:`pop` calls would leave them.
+        Raises :class:`OutOfBuffersError` when fewer than ``count``
+        slots are free (before touching any state).
+        """
+        self._require_init()
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if count > self.free_count:
+            in_use = self.num_slots - self.free_count
+            raise OutOfBuffersError(
+                f"cannot reserve {count} slots: {in_use} of "
+                f"{self.num_slots} in use", slots_in_use=in_use,
+                num_slots=self.num_slots)
+        mem, region, mask = self.mem, self.next_region, self.link_mask
+        if self._virgin and not self.anchors_in_memory:
+            # boot-time sequential chain: the walk's outcome is known in
+            # closed form (slot k links to k+1)
+            slots = list(range(count))
+            self._virgin = False
+            self._reg_head = head = \
+                count + 1 if count < self.num_slots else NIL
+            if head == NIL:
+                self._reg_tail = NIL
+            self.free_count -= count
+            mem.bulk_update(region, (), extra_reads=count)
+            return slots
+        self._virgin = False
+        slots: List[int] = []
+        head = self._load_head()
+        for _ in range(count):
+            slot = self._dec(head)
+            slots.append(slot)
+            head = mem.peek(region, slot)
+            if mask is not None:
+                head &= mask
+        self._store_head(head)
+        if head == NIL:
+            self._store_tail(NIL)
+        self.free_count -= count
+        mem.bulk_update(region, (), extra_reads=count)
+        if self.anchors_in_memory:
+            # each pop loads and stores the head anchor; the final
+            # stores above already counted one store (plus the drained
+            # tail store, when taken)
+            mem.bulk_update(self.globals_region, (),
+                            extra_reads=count - 1,
+                            extra_writes=count - 1)
+        return slots
 
     def push(self, slot: int) -> None:
         """Release one slot ("Enqueue Free List").
@@ -126,15 +203,28 @@ class FreeList:
         hardware practice: it avoids reusing a just-freed slot whose data
         transfer may still be in flight.
         """
-        self._require_init()
-        self._check_slot(slot)
-        tail = self._load_tail()
-        self.mem.write(self.next_region, slot, NIL)
-        if tail == NIL:
-            self._store_head(self._enc(slot))
+        if not self._initialized:
+            raise RuntimeError("free list not initialized; call initialize()")
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")
+        self._virgin = False
+        if self.anchors_in_memory:
+            tail = self._load_tail()
+            self.mem.write(self.next_region, slot, NIL)
+            if tail == NIL:
+                self._store_head(self._enc(slot))
+            else:
+                self.mem.write(self.next_region, self._dec(tail),
+                               self._enc(slot))
+            self._store_tail(self._enc(slot))
         else:
-            self.mem.write(self.next_region, self._dec(tail), self._enc(slot))
-        self._store_tail(self._enc(slot))
+            tail = self._reg_tail
+            self.mem.write(self.next_region, slot, NIL)
+            if tail == NIL:
+                self._reg_head = slot + 1
+            else:
+                self.mem.write(self.next_region, tail - 1, slot + 1)
+            self._reg_tail = slot + 1
         self.free_count += 1
 
     def push_chain(self, first_slot: int, last_slot: int, count: int) -> None:
@@ -148,6 +238,7 @@ class FreeList:
         self._check_slot(last_slot)
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
+        self._virgin = False
         tail = self._load_tail()
         self.mem.write(self.next_region, last_slot, NIL)
         if tail == NIL:

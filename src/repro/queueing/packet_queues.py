@@ -34,8 +34,7 @@ which cross-checks its schedules against these traces).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple, Union
 
 from repro.policies.base import BufferPolicy, DroppedSegment
 from repro.queueing.errors import QueueEmptyError
@@ -48,11 +47,19 @@ LINK_MASK = (1 << LINK_BITS) - 1
 EOP_BIT = 1 << LINK_BITS
 LEN_SHIFT = LINK_BITS + 1
 SEGMENT_BYTES = 64
+#: Packed length/EOP bits of a full non-EOP segment (hot-path constant).
+_FULL_MID_SEG = (SEGMENT_BYTES - 1) << LEN_SHIFT
+#: Mask of a descriptor word's (first, last) fields.
+_DESC_LOW2 = (1 << (2 * LINK_BITS)) - 1
 
 
-@dataclass(frozen=True)
-class SegmentInfo:
-    """Decoded segment word + shadow identity."""
+class SegmentInfo(NamedTuple):
+    """Decoded segment word + shadow identity.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    enqueue (shadow) and per head lookup, so construction cost is on
+    the per-command hot path of every engine.
+    """
 
     slot: int
     eop: bool
@@ -124,33 +131,42 @@ class PacketQueueManager:
             raise ValueError(f"length must be in [1, {SEGMENT_BYTES}], got {length}")
         if not eop and length != SEGMENT_BYTES:
             raise ValueError("only the EOP segment may be shorter than 64 bytes")
-        self.mem.start_trace()
+        # The pack/unpack helpers are inlined below (this is the
+        # hottest data-structure operation in the repository); the field
+        # layout is exactly _pack_seg/_pack_desc's.
+        mem = self.mem
+        mem.start_trace()
         try:
             slot = self.seg_free.pop()
-            open_word = self.mem.read("queue_b", flow)
+            seg_word = (length - 1) << LEN_SHIFT
+            if eop:
+                seg_word |= EOP_BIT
+            open_word = mem.read("queue_b", flow)
             if open_word == NIL:
                 d = self.desc_free.pop()
-                self.mem.write("desc", d, self._pack_desc(slot, slot, NIL))
-                self.mem.write("seg_next", slot, self._pack_seg(NIL, eop, length))
+                mem.write("desc", d, (slot + 1) | ((slot + 1) << LINK_BITS))
+                mem.write("seg_next", slot, seg_word)
                 if not eop:
-                    self.mem.write("queue_b", flow, self._enc(d))
+                    mem.write("queue_b", flow, d + 1)
                 else:
                     self._publish(flow, d)
             else:
-                d = self._dec(open_word)
-                first, last, nxt = self._unpack_desc(self.mem.read("desc", d))
+                d = open_word - 1
+                dword = mem.read("desc", d)
+                last = ((dword >> LINK_BITS) & LINK_MASK) - 1
                 # the old last segment is mid-packet: full 64B, non-EOP --
                 # its word is fully known, so the link is one plain write
-                self.mem.write("seg_next", last,
-                               self._pack_seg(self._enc(slot), False,
-                                              SEGMENT_BYTES))
-                self.mem.write("seg_next", slot, self._pack_seg(NIL, eop, length))
-                self.mem.write("desc", d, self._pack_desc(first, slot, nxt))
+                mem.write("seg_next", last, (slot + 1) | _FULL_MID_SEG)
+                mem.write("seg_next", slot, seg_word)
+                mem.write("desc", d,
+                          (dword & LINK_MASK)
+                          | ((slot + 1) << LINK_BITS)
+                          | (dword & ~_DESC_LOW2))
                 if eop:
                     self._publish(flow, d)
-                    self.mem.write("queue_b", flow, NIL)
+                    mem.write("queue_b", flow, NIL)
         finally:
-            trace = self.mem.end_trace()
+            trace = mem.end_trace()
         self._seg_shadow[slot] = SegmentInfo(slot, eop, length, pid, index)
         if eop:
             self._queued_segments[flow] += self._open_segments.pop(flow, 0) + 1
@@ -194,6 +210,14 @@ class PacketQueueManager:
         not be pushed out (an append's target packet would otherwise be
         evicted from under the operation).
         """
+        # Uncongested fast path: when no descriptor shortage is possible
+        # the policy may accept from its occupancy books alone, skipping
+        # the open-packet probe, the exclusion-set build and the full
+        # decide() call (RED always declines -- its filter and RNG must
+        # advance per offered segment).
+        if (not needs_desc_check or self.desc_free.free_count > 0) \
+                and self.policy.admit_fast(flow, length):
+            return None
         excluded: Set[int] = set(protect)
         while True:
             # a segment starting a new packet also needs a descriptor;
@@ -581,6 +605,76 @@ class PacketQueueManager:
             self.policy.record_accept(flow, length)
         return slot, trace
 
+    # ======================================================== bulk ops
+
+    def bulk_prefill(self, flows, packets_per_flow: int,
+                     segments_per_packet: int = 1) -> int:
+        """Bulk analog of the MMS prefill loop (state- and
+        counter-identical to repeated :meth:`enqueue_segment` calls with
+        ``pid=-2``, the steady-state backlog setup of the load
+        experiments).
+
+        The closed form covers the prefill pattern itself --
+        single-segment packets into fresh flow queues -- allocating all
+        buffers with one :meth:`FreeList.reserve` walk and writing the
+        final pointer words through the bulk memory path; anything else
+        falls back to the per-segment loop.  Identity against the loop
+        is asserted by ``tests/queueing/test_bulk_prefill.py``.
+        """
+        flow_list = list(flows)
+        ppf = packets_per_flow
+        if (segments_per_packet != 1 or ppf < 1
+                or len(set(flow_list)) != len(flow_list)
+                or any(not 0 <= f < self.num_flows for f in flow_list)
+                or any(self._queued_packets[f] or self._open_segments.get(f)
+                       for f in flow_list)):
+            count = 0
+            for flow in flow_list:
+                for _p in range(ppf if ppf > 0 else 0):
+                    for s in range(segments_per_packet):
+                        self.enqueue_segment(
+                            flow, eop=(s == segments_per_packet - 1),
+                            pid=-2, index=s)
+                        count += 1
+            return count
+        n = len(flow_list) * ppf
+        if n == 0:
+            return 0
+        slots = self.seg_free.reserve(n)
+        descs = self.desc_free.reserve(n)
+        seg_word = self._pack_seg(NIL, True, SEGMENT_BYTES)
+        desc_pairs = []
+        qa_pairs = []
+        for k, flow in enumerate(flow_list):
+            base = k * ppf
+            for j in range(ppf):
+                d = descs[base + j]
+                nxt = NIL if j == ppf - 1 else self._enc(descs[base + j + 1])
+                desc_pairs.append(
+                    (d, self._pack_desc(slots[base + j], slots[base + j],
+                                        nxt)))
+            qa_pairs.append(
+                (flow, self._pack_qa_raw(self._enc(descs[base]),
+                                         self._enc(descs[base + ppf - 1]))))
+            self._queued_packets[flow] += ppf
+            self._queued_segments[flow] += ppf
+            if self.policy is not None:
+                self.policy.note_enqueue(flow, SEGMENT_BYTES * ppf,
+                                         segments=ppf)
+        mem = self.mem
+        mem.bulk_update("seg_next", [(s, seg_word) for s in slots])
+        mem.bulk_update("queue_b", (), extra_reads=n)
+        mem.bulk_update("desc", desc_pairs,
+                        extra_reads=n - len(flow_list),
+                        extra_writes=n - len(flow_list))
+        mem.bulk_update("queue_a", qa_pairs,
+                        extra_reads=n,
+                        extra_writes=n - len(flow_list))
+        shadow = self._seg_shadow
+        for s in slots:
+            shadow[s] = SegmentInfo(s, True, SEGMENT_BYTES, -2, 0)
+        return n
+
     # ========================================================== queries
 
     def queued_packets(self, flow: int) -> int:
@@ -631,18 +725,21 @@ class PacketQueueManager:
     # ========================================================= internals
 
     def _publish(self, flow: int, d: int) -> None:
-        """Link a completed packet descriptor into the flow queue."""
-        qa = self.mem.read("queue_a", flow)
-        head_d, tail_d = self._unpack_qa(qa)
+        """Link a completed packet descriptor into the flow queue
+        (packing inlined -- per-command hot path)."""
+        mem = self.mem
+        qa = mem.read("queue_a", flow)
+        tail_d = (qa >> LINK_BITS) & LINK_MASK
+        d_enc = d + 1
         if tail_d == NIL:
-            self.mem.write("queue_a", flow,
-                           self._pack_qa_raw(self._enc(d), self._enc(d)))
+            mem.write("queue_a", flow, d_enc | (d_enc << LINK_BITS))
         else:
-            t = self._dec(tail_d)
-            tf, tl, _tn = self._unpack_desc(self.mem.read("desc", t))
-            self.mem.write("desc", t, self._pack_desc(tf, tl, self._enc(d)))
-            self.mem.write("queue_a", flow,
-                           self._pack_qa_raw(head_d, self._enc(d)))
+            t = tail_d - 1
+            tword = mem.read("desc", t)
+            mem.write("desc", t,
+                      (tword & _DESC_LOW2) | (d_enc << (2 * LINK_BITS)))
+            mem.write("queue_a", flow,
+                      (qa & LINK_MASK) | (d_enc << LINK_BITS))
 
     def _head_desc(self, flow: int) -> int:
         qa = self.mem.read("queue_a", flow)
@@ -680,22 +777,35 @@ class PacketQueueManager:
 
     def _take_head_segment(self, flow: int, free_slot: bool
                            ) -> Tuple[SegmentInfo, int]:
-        qa = self.mem.read("queue_a", flow)
-        head_d, tail_d = self._unpack_qa(qa)
+        # packing/decoding inlined -- per-command hot path (dequeue,
+        # delete); layout is exactly _pack_desc/_pack_qa_raw/_decode_seg
+        mem = self.mem
+        qa = mem.read("queue_a", flow)
+        head_d = qa & LINK_MASK
         if head_d == NIL:
             raise QueueEmptyError(f"flow {flow} has no queued packet")
-        d = self._dec(head_d)
-        first, last, nxt_d = self._unpack_desc(self.mem.read("desc", d))
-        word = self.mem.read("seg_next", first)
-        info = self._decode_seg(first, word)
+        d = head_d - 1
+        dword = mem.read("desc", d)
+        first = (dword & LINK_MASK) - 1
+        last = ((dword >> LINK_BITS) & LINK_MASK) - 1
+        nxt_d = (dword >> (2 * LINK_BITS)) & LINK_MASK
+        word = mem.read("seg_next", first)
+        shadow = self._seg_shadow.get(first)
+        info = SegmentInfo(first, (word & EOP_BIT) != 0,
+                           (word >> LEN_SHIFT) + 1,
+                           shadow.pid if shadow else -1,
+                           shadow.index if shadow else 0)
         if first != last:
             nxt_s = word & LINK_MASK
-            self.mem.write("desc", d, self._pack_desc(self._dec(nxt_s), last, nxt_d))
+            mem.write("desc", d,
+                      nxt_s | ((last + 1) << LINK_BITS)
+                      | (nxt_d << (2 * LINK_BITS)))
         else:
             # last segment of the packet: retire the descriptor
-            new_tail = tail_d if nxt_d != NIL else NIL
-            self.mem.write("queue_a", flow, self._pack_qa_raw(nxt_d, new_tail))
-            self._free_desc(d)
+            new_tail = ((qa >> LINK_BITS) & LINK_MASK) if nxt_d != NIL \
+                else NIL
+            mem.write("queue_a", flow, nxt_d | (new_tail << LINK_BITS))
+            self.desc_free.push(d)
             self._queued_packets[flow] -= 1
         if free_slot:
             self.seg_free.push(first)

@@ -52,6 +52,10 @@ class AccessRecord:
     index: int
 
 
+#: Sentinel marking a count-only trace in progress (no records kept).
+_COUNT_TRACE = object()
+
+
 class PointerMemory:
     """Region-structured SRAM with per-region counters and op tracing."""
 
@@ -61,6 +65,14 @@ class PointerMemory:
         self._sram: Optional[ZbtSram] = None
         self._timing = timing
         self._trace: Optional[List[AccessRecord]] = None
+        self._trace_n = 0
+        #: When True, :meth:`start_trace` records only the access
+        #: *count* (``end_trace`` returns a ``range`` of equal length)
+        #: instead of materializing :class:`AccessRecord` objects.  The
+        #: per-region counters advance identically either way; the
+        #: batched engine enables this on its hot path because the
+        #: published scenarios consult only trace lengths and counters.
+        self.count_only_traces = False
         self.reads_by_region: Dict[str, int] = {}
         self.writes_by_region: Dict[str, int] = {}
 
@@ -98,42 +110,130 @@ class PointerMemory:
 
     # ------------------------------------------------------------- access
 
+    # The access methods are the hottest few lines of the repository
+    # (every pointer manipulation of every command funnels through
+    # them), so the SRAM store and counters are accessed directly
+    # rather than through ZbtSram.read/write: the region bounds check
+    # subsumes the SRAM bounds check (the frozen layout spans exactly
+    # ``size_words``), and the counter arithmetic is identical.
+
     def read(self, region: str, index: int) -> int:
-        sram = self._require_frozen()
+        sram = self._sram
+        if sram is None:
+            raise RuntimeError("layout not frozen; call freeze() first")
         r = self._regions[region]
-        value = sram.read(r.addr(index))
+        if not 0 <= index < r.words:
+            raise IndexError(
+                f"region {r.name!r}: index {index} out of range "
+                f"[0, {r.words})")
+        sram.read_count += 1
+        value = sram._words.get(r.base + index, 0)
         self.reads_by_region[region] += 1
-        if self._trace is not None:
-            self._trace.append(AccessRecord("R", region, index))
+        trace = self._trace
+        if trace is not None:
+            if trace is _COUNT_TRACE:
+                self._trace_n += 1
+            else:
+                trace.append(AccessRecord("R", region, index))
         return value
 
     def write(self, region: str, index: int, value: int) -> None:
-        sram = self._require_frozen()
+        sram = self._sram
+        if sram is None:
+            raise RuntimeError("layout not frozen; call freeze() first")
         r = self._regions[region]
-        sram.write(r.addr(index), value)
+        if not 0 <= index < r.words:
+            raise IndexError(
+                f"region {r.name!r}: index {index} out of range "
+                f"[0, {r.words})")
+        sram.write_count += 1
+        sram._words[r.base + index] = value
         self.writes_by_region[region] += 1
-        if self._trace is not None:
-            self._trace.append(AccessRecord("W", region, index))
+        trace = self._trace
+        if trace is not None:
+            if trace is _COUNT_TRACE:
+                self._trace_n += 1
+            else:
+                trace.append(AccessRecord("W", region, index))
 
     def peek(self, region: str, index: int) -> int:
         """Uncounted, untraced read -- for debug walks and invariant
         checks only; never use from modelled code paths."""
         sram = self._require_frozen()
         r = self._regions[region]
-        return sram.peek(r.addr(index))
+        if not 0 <= index < r.words:
+            raise IndexError(
+                f"region {r.name!r}: index {index} out of range "
+                f"[0, {r.words})")
+        return sram._words.get(r.base + index, 0)
 
     # ------------------------------------------------------------ tracing
 
     def start_trace(self) -> None:
-        """Begin recording accesses of one operation."""
-        self._trace = []
+        """Begin recording accesses of one operation.
 
-    def end_trace(self) -> List[AccessRecord]:
-        """Stop recording and return the ordered access list."""
+        With :attr:`count_only_traces` set, only the access count is
+        kept and :meth:`end_trace` returns a ``range`` of equal length
+        (``len()``-compatible with the record list it replaces).
+        """
+        if self.count_only_traces:
+            self._trace = _COUNT_TRACE
+            self._trace_n = 0
+        else:
+            self._trace = []
+
+    def end_trace(self):
+        """Stop recording and return the ordered access list (or its
+        ``range`` stand-in under :attr:`count_only_traces`)."""
         if self._trace is None:
             raise RuntimeError("end_trace without start_trace")
         trace, self._trace = self._trace, None
+        if trace is _COUNT_TRACE:
+            return range(self._trace_n)
         return trace
+
+    # ------------------------------------------------------- bulk ops
+
+    def bulk_update(self, region: str, pairs, extra_reads: int = 0,
+                    extra_writes: int = 0) -> None:
+        """Apply ``(index, value)`` writes of one *bulk* operation.
+
+        A bulk operation replaces a per-word loop whose access totals
+        are known in closed form: each pair counts as one write, and
+        ``extra_reads`` / ``extra_writes`` account the loop's remaining
+        accesses (reads whose values the closed form already knows,
+        overwrites the final values subsume).  Counters end up exactly
+        where the per-word loop would leave them; traces must not be
+        active (bulk operations model setup work, not priced commands).
+        """
+        if self._trace is not None:
+            raise RuntimeError("bulk_update inside an access trace")
+        if extra_reads < 0 or extra_writes < 0:
+            raise ValueError("extra_reads/extra_writes must be >= 0")
+        sram = self._require_frozen()
+        r = self._regions[region]
+        base, words = r.base, r.words
+        pairs = pairs if type(pairs) is list else list(pairs)
+        n = len(pairs)
+        if pairs:
+            # one bounds scan over the region-relative indexes; the
+            # frozen layout guarantees the rebased addresses fit, so the
+            # store is a single C-level dict.update (same intra-package
+            # coupling as read/write above)
+            idxs = [p[0] for p in pairs]
+            lo, hi = min(idxs), max(idxs)
+            if lo < 0 or hi >= words:
+                bad = lo if lo < 0 else hi
+                raise IndexError(
+                    f"region {region!r}: index {bad} out of range "
+                    f"[0, {words})")
+            if base:
+                pairs = [(i + base, v) for i, v in pairs]
+            sram._words.update(pairs)
+        sram.read_count += extra_reads
+        sram.write_count += n + extra_writes
+        self.reads_by_region[region] += extra_reads
+        self.writes_by_region[region] += n + extra_writes
 
     # ----------------------------------------------------------- counters
 

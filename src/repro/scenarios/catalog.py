@@ -75,6 +75,7 @@ SWEEP_MMS_CFG = MmsConfig(num_flows=1024, num_segments=8192,
     traffic=TrafficSpec(num_accesses=(100_000, 20_000)),
     memory=MemorySpec(backend="ddr", banks=tuple(PAPER_TABLE1)),
     supports=frozenset({"engine", "seed", "budget"}),
+    fastpath="bank",
 ))
 def _table1(spec: ScenarioSpec) -> Outcome:
     accesses = spec.pick(spec.traffic.num_accesses)
@@ -115,6 +116,7 @@ def _table1(spec: ScenarioSpec) -> Outcome:
                         engine_counts=(1, 6)),
     memory=MemorySpec(backend="sram"),
     supports=frozenset({"engine"}),
+    fastpath="kernel",
 ))
 def _table2(spec: ScenarioSpec) -> Outcome:
     rows: List[List[object]] = []
@@ -233,6 +235,7 @@ def _table4(spec: ScenarioSpec) -> Outcome:
     memory=MemorySpec(backend="ddr", banks=(8,)),
     mms=TABLE5_MMS_CFG,
     supports=frozenset({"engine", "seed", "budget", "mms"}),
+    fastpath="stream",
 ))
 def _table5(spec: ScenarioSpec) -> Outcome:
     cfg = spec.mms or TABLE5_MMS_CFG
@@ -292,6 +295,7 @@ def _figure2(spec: ScenarioSpec) -> Outcome:
     traffic=TrafficSpec(num_commands=(8000, 2000)),
     mms=TABLE5_MMS_CFG,
     supports=frozenset({"engine", "budget", "mms"}),
+    fastpath="mixed",
 ))
 def _headline(spec: ScenarioSpec) -> Outcome:
     cfg = spec.mms or TABLE5_MMS_CFG
@@ -339,6 +343,7 @@ def _headline(spec: ScenarioSpec) -> Outcome:
     memory=MemorySpec(backend="ddr",
                       banks=(1, 2, 4, 6, 8, 12, 16, 24, 32)),
     supports=frozenset({"engine", "seed", "budget"}),
+    fastpath="bank",
 ))
 def _sweep_ddr_loss(spec: ScenarioSpec) -> Outcome:
     from repro.analysis.sweeps import ddr_loss_vs_banks
@@ -373,6 +378,7 @@ def _sweep_ddr_loss(spec: ScenarioSpec) -> Outcome:
         engine_counts=(1, 6)),
     memory=MemorySpec(backend="sram"),
     supports=frozenset({"engine", "budget"}),
+    fastpath="kernel",
 ))
 def _sweep_ixp_rate(spec: ScenarioSpec) -> Outcome:
     from repro.analysis.sweeps import ixp_rate_vs_queues
@@ -428,6 +434,7 @@ def _sweep_npu_clock(spec: ScenarioSpec) -> Outcome:
     memory=MemorySpec(backend="ddr", banks=(8,)),
     mms=SWEEP_MMS_CFG,
     supports=frozenset({"engine", "seed", "budget", "mms"}),
+    fastpath="stream",
 ))
 def _sweep_mms_delay(spec: ScenarioSpec) -> Outcome:
     from repro.analysis.sweeps import mms_delay_vs_load
@@ -483,6 +490,7 @@ def _sweep_ixp_cycles(spec: ScenarioSpec) -> Outcome:
     sched=SchedulerSpec(optimized=True, model_rw_turnaround=False,
                         history_depths=(0, 1, 2, 3, 4, 6, 8)),
     supports=frozenset({"engine", "seed", "budget"}),
+    fastpath="bank",
 ))
 def _ablation_history(spec: ScenarioSpec) -> Outcome:
     accesses = spec.pick(spec.traffic.num_accesses)
@@ -511,6 +519,7 @@ def _ablation_history(spec: ScenarioSpec) -> Outcome:
     memory=MemorySpec(backend="ddr", banks=(4, 8, 16)),
     sched=SchedulerSpec(optimized=True, model_rw_turnaround=True),
     supports=frozenset({"engine", "seed", "budget"}),
+    fastpath="bank",
 ))
 def _ablation_rw_grouping(spec: ScenarioSpec) -> Outcome:
     accesses = spec.pick(spec.traffic.num_accesses)
@@ -547,6 +556,10 @@ def _ablation_rw_grouping(spec: ScenarioSpec) -> Outcome:
     sched=SchedulerSpec(fifo_depths=(1, 2, 4, 8)),
     mms=SWEEP_MMS_CFG,
     supports=frozenset({"engine", "seed", "budget", "mms"}),
+    # per-port FIFO backpressure study: the stream machine declares
+    # non-default port arrangements unsupported and the engine knob
+    # falls through to the DES kernel
+    fastpath="kernel",
 ))
 def _ablation_fifo_depth(spec: ScenarioSpec) -> Outcome:
     import dataclasses as _dc
@@ -582,6 +595,7 @@ def _ablation_fifo_depth(spec: ScenarioSpec) -> Outcome:
     memory=MemorySpec(backend="ddr", banks=(8,)),
     mms=SWEEP_MMS_CFG,
     supports=frozenset({"engine", "seed", "budget", "mms"}),
+    fastpath="stream",
 ))
 def _ablation_overlap(spec: ScenarioSpec) -> Outcome:
     import dataclasses as _dc
@@ -681,10 +695,133 @@ def _register_overload_family() -> None:
                 mms=OVERLOAD_MMS_CFG,
                 policy=policy,
                 supports=frozenset({"engine", "seed", "budget", "mms"}),
+                fastpath="stream",
             ))(_overload)
 
 
 _register_overload_family()
+
+
+# ================================================ qos scenario family
+#
+# Egress scheduling over MMS flow queues (repro.core.qos): the paper
+# motivates per-flow queues with "advanced Quality of Service" but
+# leaves the egress policy to the surrounding system.  These scenarios
+# make the two standard policies registry-reachable artifacts: a seeded
+# backlog is built functionally (MMS.apply -- no DES, so there is no
+# engine degree of freedom) and drained through the scheduler under
+# test.
+
+#: MMS build of the QoS scenarios (functional path only).
+QOS_MMS_CFG = MmsConfig(num_flows=16, num_segments=8192,
+                        num_descriptors=4096)
+
+#: The QoS class queues, highest priority first, and the DRR weights.
+QOS_FLOWS = (0, 1, 2, 3)
+QOS_DRR_WEIGHTS = (4.0, 2.0, 1.0, 1.0)
+
+
+def _qos_backlog(mms, num_packets: int, seed: int):
+    """Build a seeded multi-class backlog; returns per-flow byte totals."""
+    import random as _random
+
+    from repro.core.commands import Command as _Command
+
+    rng = _random.Random(seed)
+    enq_bytes = {f: 0 for f in QOS_FLOWS}
+    for _i in range(num_packets):
+        flow = QOS_FLOWS[rng.randrange(len(QOS_FLOWS))]
+        nsegs = rng.randrange(1, 4)
+        last_len = rng.randrange(1, 65)
+        for s in range(nsegs):
+            eop = s == nsegs - 1
+            length = last_len if eop else 64
+            mms.apply(_Command(type=CommandType.ENQUEUE, flow=flow,
+                               eop=eop, length=length))
+            enq_bytes[flow] += length
+    return enq_bytes
+
+
+@register_scenario(ScenarioSpec(
+    name="qos-strict-priority", kind="qos", workload="mms",
+    title="QoS: strict-priority egress over MMS flow queues",
+    description="802.1p-style class scheduling; low classes drain last",
+    traffic=TrafficSpec(num_commands=(600, 150)),
+    memory=MemorySpec(backend="none"),
+    mms=QOS_MMS_CFG,
+    supports=frozenset({"seed", "budget", "mms"}),
+))
+def _qos_strict(spec: ScenarioSpec) -> Outcome:
+    from repro.core.mms import MMS
+    from repro.core.qos import StrictPriorityScheduler
+
+    mms = MMS(spec.mms or QOS_MMS_CFG)
+    enq_bytes = _qos_backlog(mms, spec.pick(spec.traffic.num_commands),
+                             spec.seed)
+    sched = StrictPriorityScheduler(mms, QOS_FLOWS)
+    served_bytes = {f: 0 for f in QOS_FLOWS}
+    order: List[int] = []
+    while True:
+        pkt = sched.next_packet()
+        if pkt is None:
+            break
+        served_bytes[pkt.flow] += pkt.length_bytes
+        order.append(pkt.flow)
+    # arrivals complete before the drain starts, so strict priority must
+    # serve the classes in one monotone block each
+    inversions = sum(1 for a, b in zip(order, order[1:]) if a > b)
+    rows = [[f, sched.served[f], enq_bytes[f], served_bytes[f]]
+            for f in QOS_FLOWS]
+    block = Block.table(
+        ["class (0 = highest)", "packets served", "bytes offered",
+         "bytes served"],
+        rows, title=f"{spec.title} (priority inversions: {inversions})")
+    metrics: Dict[str, object] = {
+        "packets": [sched.served[f] for f in QOS_FLOWS],
+        "bytes": [served_bytes[f] for f in QOS_FLOWS],
+        "inversions": inversions,
+        "service_order_classes": order[:32],
+    }
+    return Outcome(metrics=metrics, blocks=(block,))
+
+
+@register_scenario(ScenarioSpec(
+    name="qos-drr", kind="qos", workload="mms",
+    title="QoS: deficit round robin egress over MMS flow queues",
+    description="byte-fair weighted sharing while all classes backlog",
+    traffic=TrafficSpec(num_commands=(600, 150)),
+    memory=MemorySpec(backend="none"),
+    mms=QOS_MMS_CFG,
+    supports=frozenset({"seed", "budget", "mms"}),
+))
+def _qos_drr(spec: ScenarioSpec) -> Outcome:
+    from repro.core.mms import MMS
+    from repro.core.qos import DeficitRoundRobin
+
+    num_packets = spec.pick(spec.traffic.num_commands)
+    mms = MMS(spec.mms or QOS_MMS_CFG)
+    enq_bytes = _qos_backlog(mms, num_packets, spec.seed)
+    drr = DeficitRoundRobin(mms, QOS_FLOWS, weights=QOS_DRR_WEIGHTS,
+                            quantum_bytes=512)
+    # serve only part of the backlog so every class stays backlogged --
+    # the regime in which DRR's weighted byte-fairness is defined
+    shares = drr.drain_fair_shares(num_packets // 3)
+    per_weight = {f: shares[f] / w
+                  for f, w in zip(QOS_FLOWS, QOS_DRR_WEIGHTS)}
+    base = per_weight[QOS_FLOWS[0]] or 1.0
+    rows = [[f, w, enq_bytes[f], shares[f],
+             round(per_weight[f] / base, 3)]
+            for f, w in zip(QOS_FLOWS, QOS_DRR_WEIGHTS)]
+    block = Block.table(
+        ["class", "weight", "bytes offered", "bytes served",
+         "share per weight (norm.)"],
+        rows, title=spec.title)
+    metrics = {
+        "weights": list(QOS_DRR_WEIGHTS),
+        "bytes": [shares[f] for f in QOS_FLOWS],
+        "share_per_weight": [per_weight[f] for f in QOS_FLOWS],
+    }
+    return Outcome(metrics=metrics, blocks=(block,))
 
 
 @register_scenario(ScenarioSpec(
@@ -696,6 +833,7 @@ _register_overload_family()
     memory=MemorySpec(backend="sram"),
     sched=SchedulerSpec(multithreading=True),
     supports=frozenset({"engine", "budget"}),
+    fastpath="kernel",
 ))
 def _ablation_multithreading(spec: ScenarioSpec) -> Outcome:
     engines = spec.traffic.engine_counts[0]

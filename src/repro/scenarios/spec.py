@@ -35,10 +35,23 @@ ENGINES: Tuple[str, ...] = ("fast", "reference")
 #: Run-length budgets.
 BUDGETS: Tuple[str, ...] = ("full", "fast")
 
-#: Artifact categories.  ``overload`` is the first beyond-the-paper
-#: family: buffer-policy loss behavior the paper's tables never measure.
+#: Artifact categories.  ``overload`` and ``qos`` are beyond-the-paper
+#: families: buffer-policy loss behavior and egress-scheduling fairness
+#: the paper's tables never measure.
 KINDS: Tuple[str, ...] = ("table", "figure", "headline", "sweep", "ablation",
-                          "overload")
+                          "overload", "qos")
+
+#: What ``engine="fast"`` resolves to for a scenario -- the capability
+#: matrix of README "Execution engines":
+#:
+#: * ``"none"``   -- closed-form / functional; no engine degree of freedom,
+#: * ``"kernel"`` -- calendar-queue DES kernel (vs heapq reference),
+#: * ``"bank"``   -- batched DDR bank model (:mod:`repro.mem.fastpath`),
+#: * ``"stream"`` -- DES-free MMS command-stream machine
+#:   (:mod:`repro.engines`),
+#: * ``"mixed"``  -- several of the above behind one scenario (e.g. the
+#:   headline runs the stream machine and the DES kernel side by side).
+FASTPATHS: Tuple[str, ...] = ("none", "kernel", "bank", "stream", "mixed")
 
 _T = TypeVar("_T")
 
@@ -140,6 +153,10 @@ class ScenarioSpec:
     #: Buffer-management policy (the ``overload-*`` family).
     policy: Optional[PolicySpec] = None
     supports: FrozenSet[str] = frozenset()
+    #: Capability flag: what ``engine="fast"`` resolves to (see
+    #: :data:`FASTPATHS`).  Scenarios the stream machine cannot batch
+    #: declare ``"kernel"`` and fall through to the DES kernel.
+    fastpath: str = "none"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -155,6 +172,15 @@ class ScenarioSpec:
         unknown = self.supports - {"engine", "seed", "budget", "mms"}
         if unknown:
             raise ValueError(f"unknown supports entries: {sorted(unknown)}")
+        if self.fastpath not in FASTPATHS:
+            raise ValueError(
+                f"unknown fastpath {self.fastpath!r} (choose from "
+                f"{FASTPATHS})")
+        if ("engine" in self.supports) == (self.fastpath == "none"):
+            raise ValueError(
+                "fastpath must be 'none' exactly when the scenario has no "
+                f"engine knob (got {self.fastpath!r} with supports="
+                f"{sorted(self.supports)})")
 
     # ------------------------------------------------------------ helpers
 

@@ -1,0 +1,65 @@
+"""The scalar admit fast path must be a sound under-approximation of
+``decide``: whenever ``admit_fast`` accepts, ``decide`` would have
+accepted too (unblocked), and taking the fast path leaves the policy in
+the same state as not consulting it at all."""
+
+import random
+
+import pytest
+
+from repro.policies import (
+    DynamicThreshold,
+    LongestQueueDrop,
+    RandomEarlyDetection,
+    TailDrop,
+)
+
+POLICIES = [
+    lambda: TailDrop(64),
+    lambda: TailDrop(64, per_queue_limit=5),
+    lambda: DynamicThreshold(64, alpha=0.75),
+    lambda: DynamicThreshold(64, alpha=2.0),
+    lambda: LongestQueueDrop(64),
+]
+
+
+def random_books(policy, rng):
+    for q in range(8):
+        segs = rng.randrange(0, 12)
+        if segs:
+            policy.note_enqueue(q, segs * 64, segments=segs)
+
+
+@pytest.mark.parametrize("make", POLICIES)
+def test_admit_fast_implies_decide_accepts(make):
+    rng = random.Random(99)
+    for _trial in range(200):
+        policy = make()
+        random_books(policy, rng)
+        q = rng.randrange(0, 8)
+        if policy.admit_fast(q, 64):
+            decision = policy.decide(q, 64, frozenset(), blocked=False)
+            assert decision.action == "accept"
+
+
+@pytest.mark.parametrize("make", POLICIES)
+def test_admit_fast_declines_at_capacity(make):
+    policy = make()
+    policy.note_enqueue(0, policy.capacity * 64, segments=policy.capacity)
+    assert not policy.admit_fast(1, 64)
+
+
+def test_red_always_takes_the_slow_path():
+    """RED's average filter and RNG advance per offered segment, so the
+    scalar path must never bypass decide()."""
+    policy = RandomEarlyDetection(64, seed=5)
+    assert not policy.admit_fast(0, 64)
+    policy.note_enqueue(0, 64)
+    assert not policy.admit_fast(0, 64)
+
+
+def test_taildrop_fast_path_respects_queue_limit():
+    policy = TailDrop(64, per_queue_limit=2)
+    policy.note_enqueue(3, 128, segments=2)
+    assert not policy.admit_fast(3, 64)
+    assert policy.admit_fast(4, 64)

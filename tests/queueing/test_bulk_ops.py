@@ -1,0 +1,151 @@
+"""Bulk queueing operations: identity against their per-word loops.
+
+``FreeList.reserve`` and ``PacketQueueManager.bulk_prefill`` exist only
+for speed; these tests pin the contract that makes them safe -- state
+and access counters equal to the sequential operations they replace,
+bit for bit.
+"""
+
+import pytest
+
+from repro.policies import PolicySpec, make_policy
+from repro.queueing import PacketQueueManager
+from repro.queueing.freelist import NIL, FreeList, OutOfBuffersError
+from repro.queueing.pointer_memory import PointerMemory
+
+
+def fresh_mem(slots=64, anchors=False):
+    mem = PointerMemory()
+    mem.add_region("next", slots)
+    if anchors:
+        mem.add_region("globals", 2)
+    mem.freeze()
+    fl = FreeList(mem, slots, anchors_in_memory=anchors)
+    fl.initialize()
+    return mem, fl
+
+
+def state(mem, fl):
+    return (dict(mem._sram._words), dict(mem.reads_by_region),
+            dict(mem.writes_by_region),
+            (mem._sram.read_count, mem._sram.write_count),
+            fl.free_count, fl._reg_head, fl._reg_tail)
+
+
+@pytest.mark.parametrize("anchors", [False, True])
+@pytest.mark.parametrize("count", [1, 7, 64])
+def test_reserve_equals_pop_loop(anchors, count):
+    mem_a, fl_a = fresh_mem(anchors=anchors)
+    mem_b, fl_b = fresh_mem(anchors=anchors)
+    popped = [fl_a.pop() for _ in range(count)]
+    reserved = fl_b.reserve(count)
+    assert popped == reserved
+    assert state(mem_a, fl_a) == state(mem_b, fl_b)
+
+
+def test_reserve_equals_pop_loop_after_churn():
+    """A recycled (non-virgin) chain takes the generic walk."""
+    mem_a, fl_a = fresh_mem()
+    mem_b, fl_b = fresh_mem()
+    for fl in (fl_a, fl_b):
+        taken = [fl.pop() for _ in range(10)]
+        for s in reversed(taken):
+            fl.push(s)
+    popped = [fl_a.pop() for _ in range(20)]
+    assert popped == fl_b.reserve(20)
+    assert state(mem_a, fl_a) == state(mem_b, fl_b)
+
+
+def test_reserve_rejects_oversubscription_without_state_change():
+    mem, fl = fresh_mem(slots=8)
+    before = state(mem, fl)
+    with pytest.raises(OutOfBuffersError):
+        fl.reserve(9)
+    assert state(mem, fl) == before
+
+
+def test_reserve_drains_tail_anchor():
+    _mem, fl = fresh_mem(slots=8)
+    fl.reserve(8)
+    assert fl.free_count == 0
+    assert fl._reg_head == NIL and fl._reg_tail == NIL
+
+
+# -------------------------------------------------------- bulk_prefill
+
+def build_pqm(policy_name=None):
+    policy = None
+    if policy_name:
+        policy = make_policy(PolicySpec(name=policy_name), capacity=512)
+    return PacketQueueManager(num_flows=32, num_segments=512,
+                              num_descriptors=256, policy=policy)
+
+
+def pqm_state(pqm):
+    mem = pqm.mem
+    st = {
+        "words": dict(mem._sram._words),
+        "reads": dict(mem.reads_by_region),
+        "writes": dict(mem.writes_by_region),
+        "sram": (mem._sram.read_count, mem._sram.write_count),
+        "free": (pqm.free_segments, pqm.free_descriptors),
+        "heads": (pqm.seg_free._reg_head, pqm.seg_free._reg_tail,
+                  pqm.desc_free._reg_head, pqm.desc_free._reg_tail),
+        "qp": list(pqm._queued_packets),
+        "qs": list(pqm._queued_segments),
+        "shadow": dict(pqm._seg_shadow),
+    }
+    if pqm.policy is not None:
+        st["policy"] = (dict(pqm.policy.queue_segments),
+                        dict(pqm.policy.queue_bytes),
+                        pqm.policy.total_segments, pqm.policy.total_bytes)
+    return st
+
+
+@pytest.mark.parametrize("policy_name", [None, "taildrop", "lqd"])
+def test_bulk_prefill_equals_enqueue_loop(policy_name):
+    a = build_pqm(policy_name)
+    b = build_pqm(policy_name)
+    flows = range(8)
+    n_loop = 0
+    for f in flows:
+        for _ in range(5):
+            a.enqueue_segment(f, eop=True, pid=-2, index=0)
+            n_loop += 1
+    assert b.bulk_prefill(flows, 5) == n_loop
+    assert pqm_state(a) == pqm_state(b)
+
+
+def test_bulk_prefill_multiseg_falls_back_to_loop():
+    a = build_pqm()
+    b = build_pqm()
+    for f in range(4):
+        for _p in range(2):
+            for s in range(3):
+                a.enqueue_segment(f, eop=(s == 2), pid=-2, index=s)
+    assert b.bulk_prefill(range(4), 2, segments_per_packet=3) == 24
+    assert pqm_state(a) == pqm_state(b)
+
+
+def test_bulk_prefill_nonfresh_flow_falls_back():
+    a = build_pqm()
+    b = build_pqm()
+    for pqm in (a, b):
+        pqm.enqueue_segment(3, eop=True)
+    for f in (3, 4):
+        for _ in range(2):
+            a.enqueue_segment(f, eop=True, pid=-2, index=0)
+    assert b.bulk_prefill((3, 4), 2) == 4
+    assert pqm_state(a) == pqm_state(b)
+
+
+def test_bulk_prefill_then_operations_work():
+    pqm = build_pqm()
+    pqm.bulk_prefill(range(4), 3)
+    info, _ = pqm.dequeue_segment(0)
+    assert info.eop and info.length == 64 and info.pid == -2
+    assert pqm.queued_packets(0) == 2
+    pqm.move_packet(1, 2)
+    assert pqm.queued_packets(2) == 4
+    trace = pqm.delete_packet(2)
+    assert trace

@@ -87,3 +87,67 @@ def test_run_all_fast_json_is_schema_valid_for_every_scenario(
     for run in doc["runs"]:
         assert validate_result_dict(run) == [], run["scenario"]
         assert run["budget"] in ("fast", "full")  # full = no budget knob
+
+
+def test_list_json_machine_readable(capsys):
+    assert main(["list", "--kind", "qos", "--json", "-"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    names = [s["name"] for s in doc["scenarios"]]
+    assert names == ["qos-drr", "qos-strict-priority"]
+    for entry in doc["scenarios"]:
+        assert set(entry) == {"name", "kind", "workload", "title",
+                              "description", "supports", "fastpath",
+                              "engine", "budget", "seed"}
+
+
+def test_list_json_reports_fastpath_capabilities(capsys):
+    assert main(["list", "--json", "-"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    by_name = {s["name"]: s for s in doc["scenarios"]}
+    assert len(by_name) == len(scenario_names())
+    assert by_name["table5"]["fastpath"] == "stream"
+    assert by_name["table1"]["fastpath"] == "bank"
+    assert by_name["ablation-fifo-depth"]["fastpath"] == "kernel"
+    assert by_name["table4"]["fastpath"] == "none"
+
+
+def test_list_json_to_file(tmp_path):
+    out = tmp_path / "listing.json"
+    assert main(["list", "--kind", "table", "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert [s["name"] for s in doc["scenarios"]] == [
+        "table1", "table2", "table3", "table4", "table5"]
+
+
+def test_sweep_jobs_matches_serial(tmp_path):
+    serial = tmp_path / "serial.json"
+    parallel = tmp_path / "parallel.json"
+    args = ["sweep", "sweep-npu-rate-clock", "--fast", "--quiet"]
+    assert main(args + ["--json", str(serial)]) == 0
+    assert main(args + ["--jobs", "2", "--json", str(parallel)]) == 0
+    a = json.loads(serial.read_text())
+    b = json.loads(parallel.read_text())
+
+    def strip(doc):
+        return [{k: v for k, v in run.items() if k != "wall_clock_s"}
+                for run in doc["runs"]]
+
+    assert strip(a) == strip(b)
+
+
+def test_sweep_jobs_pool_keeps_scenario_order(tmp_path):
+    out = tmp_path / "pool.json"
+    assert main(["sweep", "all", "--fast", "--quiet", "--jobs", "3",
+                 "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    names = [run["scenario"] for run in doc["runs"]]
+    assert names == sorted(names) == [
+        s for s in scenario_names() if s.startswith("sweep-")]
+    for run in doc["runs"]:
+        assert validate_result_dict(run) == []
+
+
+def test_sweep_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["sweep", "sweep-npu-rate-clock", "--jobs", "0"])

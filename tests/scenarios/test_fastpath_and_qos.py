@@ -1,0 +1,86 @@
+"""Capability flags (``ScenarioSpec.fastpath``) and the qos family."""
+
+import dataclasses
+
+import pytest
+
+from repro.engines import stream_supports
+from repro.scenarios import Runner, all_scenarios
+from repro.scenarios.spec import FASTPATHS, ScenarioSpec
+
+
+def test_fastpath_values_are_valid():
+    for name, scenario in all_scenarios().items():
+        assert scenario.spec.fastpath in FASTPATHS, name
+
+
+def test_fastpath_none_iff_no_engine_knob():
+    for name, scenario in all_scenarios().items():
+        spec = scenario.spec
+        assert (spec.fastpath == "none") == ("engine" not in spec.supports), \
+            name
+
+
+def test_stream_flagged_scenarios_are_claimed_by_the_machine():
+    """A 'stream' flag is a promise: the scenario's MMS build must be
+    accepted by stream_supports (no silent kernel fallback)."""
+    for name, scenario in all_scenarios().items():
+        spec = scenario.spec
+        if spec.fastpath == "stream" or (spec.fastpath == "mixed"
+                                         and spec.mms is not None):
+            cfg = spec.mms
+            if spec.policy is not None:
+                cfg = dataclasses.replace(cfg, policy=spec.policy)
+            assert stream_supports(cfg) is None, name
+
+
+def test_kernel_flagged_mms_scenarios_are_rejected_by_the_machine():
+    """ablation-fifo-depth is the declared fall-through example: its
+    swept port arrangements are exactly what the machine refuses."""
+    from repro.core.scheduler import PortConfig
+    spec = all_scenarios()["ablation-fifo-depth"].spec
+    assert spec.fastpath == "kernel"
+    for depth in spec.sched.fifo_depths:
+        ports = tuple(PortConfig(n, priority=0, fifo_depth=depth)
+                      for n in ("in", "out", "cpu0", "cpu1"))
+        cfg = dataclasses.replace(spec.mms, ports=ports)
+        assert stream_supports(cfg) is not None
+
+
+def test_spec_rejects_bad_fastpath_values():
+    with pytest.raises(ValueError, match="fastpath"):
+        ScenarioSpec(name="x", kind="table", title="t", workload="mms",
+                     fastpath="warp")
+    # engine knob without a fastpath declaration is inconsistent
+    with pytest.raises(ValueError, match="fastpath"):
+        ScenarioSpec(name="x", kind="table", title="t", workload="mms",
+                     supports=frozenset({"engine"}))
+
+
+# ---------------------------------------------------------- qos family
+
+def test_qos_strict_priority_serves_classes_in_order():
+    result = Runner().run("qos-strict-priority", fast=True)
+    assert result.metrics["inversions"] == 0
+    assert sum(result.metrics["packets"]) > 0
+    assert result.engine == "n/a"
+
+
+def test_qos_drr_shares_follow_weights():
+    result = Runner().run("qos-drr", fast=True)
+    served = result.metrics["bytes"]
+    weights = result.metrics["weights"]
+    assert all(b > 0 for b in served)
+    # the weight-4 class must out-serve the weight-1 classes clearly
+    assert served[0] > 2 * served[2]
+    assert served[0] > 2 * served[3]
+    assert weights == [4.0, 2.0, 1.0, 1.0]
+
+
+def test_qos_scenarios_honor_the_seed_knob():
+    runner = Runner()
+    a = runner.run("qos-drr", fast=True, seed=1)
+    b = runner.run("qos-drr", fast=True, seed=2)
+    c = runner.run("qos-drr", fast=True, seed=1)
+    assert a.metrics == c.metrics
+    assert a.metrics != b.metrics

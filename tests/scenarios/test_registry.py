@@ -27,6 +27,8 @@ EXPECTED = {
     *(f"overload-{p}-{s}"
       for p in ("taildrop", "red", "dt", "lqd")
       for s in ("burst", "sustained", "incast")),
+    # qos egress-scheduling family (beyond the paper)
+    "qos-strict-priority", "qos-drr",
 }
 
 

@@ -12,6 +12,10 @@ def _spec(**kw):
     base = dict(name="demo", kind="table", title="Demo", workload="ddr",
                 supports=frozenset({"engine", "seed", "budget"}))
     base.update(kw)
+    if "fastpath" not in kw:
+        # keep the helper consistent with the engine-knob invariant
+        base["fastpath"] = "kernel" if "engine" in base["supports"] \
+            else "none"
     return ScenarioSpec(**base)
 
 
