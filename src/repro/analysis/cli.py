@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", dest="json_path", metavar="PATH",
                        default=None,
                        help="write typed results as JSON ('-' for stdout)")
+        p.add_argument("--telemetry", action="store_true",
+                       help="enable streaming telemetry (latency "
+                            "histograms, occupancy series) for scenarios "
+                            "that support it; the snapshot lands in "
+                            "metrics.telemetry of the --json document")
         p.add_argument("--quiet", action="store_true",
                        help="suppress the rendered tables")
 
@@ -128,6 +133,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "description": spec.description,
                 "supports": sorted(spec.supports),
                 "fastpath": spec.fastpath,
+                "telemetry": spec.telemetry is not None,
                 "engine": spec.effective_engine,
                 "budget": spec.budget,
                 "seed": spec.seed,
@@ -162,8 +168,9 @@ def _run_one_serialized(payload) -> dict:
     Module-level (picklable) on purpose; seeds travel with the payload,
     so a pool run is exactly as deterministic as a serial one.
     """
-    name, engine, seed, fast = payload
-    result = Runner().run(name, engine=engine, seed=seed, fast=fast)
+    name, engine, seed, fast, telemetry = payload
+    result = Runner().run(name, engine=engine, seed=seed, fast=fast,
+                          telemetry=telemetry)
     return result.to_dict()
 
 
@@ -173,7 +180,8 @@ def _run_pool(names: List[str], args: argparse.Namespace, jobs: int):
 
     from repro.scenarios import RunResult
 
-    payloads = [(name, args.engine, args.seed, args.fast or None)
+    payloads = [(name, args.engine, args.seed, args.fast or None,
+                 args.telemetry or None)
                 for name in names]
     with ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init,
                              initargs=(list(sys.path),)) as pool:
@@ -199,7 +207,8 @@ def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
         results = []
         for name in names:
             result = runner.run(name, engine=args.engine, seed=args.seed,
-                                fast=args.fast or None)
+                                fast=args.fast or None,
+                                telemetry=args.telemetry or None)
             results.append(result)
             if not args.quiet:
                 print(render(result))

@@ -68,7 +68,8 @@ class DataQueueManager:
                  pqm: PacketQueueManager, dmc: Optional[DataMemoryController],
                  breakdown: LatencyBreakdown,
                  strict_microcode: bool = False,
-                 overlap_data: bool = True) -> None:
+                 overlap_data: bool = True,
+                 probe: Optional[Any] = None) -> None:
         self.sim = sim
         self.clock = clock
         self.pqm = pqm
@@ -84,6 +85,15 @@ class DataQueueManager:
         # variants are kept so flipping the ablation flag stays valid.
         self._timing_overlap = _timing_table(clock.period_ps, True)
         self._timing_serial = _timing_table(clock.period_ps, False)
+        #: Optional telemetry probe (:mod:`repro.telemetry`).  The
+        #: probed dispatch/finalize variants are swapped in as instance
+        #: attributes *only* when a probe exists, so the probes-off hot
+        #: path carries no telemetry call sites at all (structural
+        #: absence, not an inert per-command branch).
+        self.probe = probe
+        if probe is not None:
+            self._dispatch = self._dispatch_probed  # type: ignore[assignment]
+            self._finalize = self._finalize_probed  # type: ignore[assignment]
 
     # ----------------------------------------------------------- execute
 
@@ -144,12 +154,25 @@ class DataQueueManager:
             if cmd.submit_ps >= 0 else 0.0
         submit = cmd.submit_ps if cmd.submit_ps >= 0 else cmd.start_exec_ps
         completion = max(cmd.end_exec_ps, cmd.data_done_ps)
+        end_to_end_cycles = (completion - submit) / period
         self.breakdown.record_parts(
             fifo_cycles=fifo_cycles,
             execution_cycles=exec_cycles_f,
             data_cycles=data_cycles,
-            end_to_end_cycles=(completion - submit) / period,
+            end_to_end_cycles=end_to_end_cycles,
         )
+        return fifo_cycles, data_cycles, end_to_end_cycles
+
+    def _finalize_probed(self, cmd: Command, exec_cycles_f: float,
+                         data_event):
+        """Telemetry variant of :meth:`_finalize`: the same record (by
+        delegation), then the probe's ``on_record`` at the delivery
+        instant."""
+        fifo_cycles, data_cycles, end_to_end_cycles = \
+            yield from DataQueueManager._finalize(self, cmd, exec_cycles_f,
+                                                  data_event)
+        self.probe.on_record(self.sim.now, cmd.type, fifo_cycles,
+                             exec_cycles_f, data_cycles, end_to_end_cycles)
 
     # ---------------------------------------------------------- dispatch
 
@@ -207,3 +230,15 @@ class DataQueueManager:
                 return slot, len(trace), None
             return slot, len(trace), slot
         raise ValueError(f"unknown command type {t}")
+
+    def _dispatch_probed(self, cmd: Command):
+        """Telemetry variant of :meth:`_dispatch`: the functional
+        operation, then the probe's ``on_command`` with the
+        post-dispatch occupancy (the stream engine emits the identical
+        call at the identical pop instant)."""
+        out = DataQueueManager._dispatch(self, cmd)
+        pqm = self.pqm
+        self.probe.on_command(self.sim.now, cmd.type, cmd.flow, out[0],
+                              pqm.queued_segments(cmd.flow),
+                              pqm.num_segments - pqm.free_segments)
+        return out

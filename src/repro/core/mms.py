@@ -72,7 +72,8 @@ class MMS:
 
     def __init__(self, config: MmsConfig = MmsConfig(),
                  sim: Optional[Simulator] = None,
-                 policy: Optional[BufferPolicy] = None) -> None:
+                 policy: Optional[BufferPolicy] = None,
+                 probe=None) -> None:
         self.config = config
         self.sim = sim or Simulator()
         self.clock = Clock(config.clock_mhz)
@@ -95,10 +96,15 @@ class MMS:
                                         num_banks=config.num_banks,
                                         reorder_window=config.reorder_window,
                                         pipeline_overhead_ns=config.dmc_pipeline_ns)
+        #: Optional telemetry probe (:mod:`repro.telemetry`); forwarded
+        #: to the DQM, which swaps in its probed dispatch/finalize
+        #: variants only when one is present.
+        self.probe = probe
         self.dqm = DataQueueManager(self.sim, self.clock, self.pqm, self.dmc,
                                     self.breakdown,
                                     strict_microcode=config.strict_microcode,
-                                    overlap_data=config.overlap_data)
+                                    overlap_data=config.overlap_data,
+                                    probe=probe)
         self.scheduler = InternalScheduler(self.sim, config.ports)
         self.segmentation = SegmentationBlock(config.num_flows)
         self.reassembly = ReassemblyBlock()
@@ -223,7 +229,8 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
              burst_len: int = 4,
              burst_prob: float = 0.25,
              seed: int = 2005,
-             engine: str = "fast") -> MmsLoadResult:
+             engine: str = "fast",
+             probe=None) -> MmsLoadResult:
     """The Table 5 experiment at one offered load.
 
     Four ports submit synchronized volleys -- one command per port per
@@ -262,9 +269,10 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
             return stream_run_load(
                 offered_gbps, num_volleys=num_volleys, config=config,
                 active_flows=active_flows, warmup_volleys=warmup_volleys,
-                burst_len=burst_len, burst_prob=burst_prob, seed=seed)
+                burst_len=burst_len, burst_prob=burst_prob, seed=seed,
+                probe=probe)
 
-    mms = MMS(config, sim=make_simulator(engine))
+    mms = MMS(config, sim=make_simulator(engine), probe=probe)
     sim = mms.sim
     # each flow is enqueued once per active_flows/2 volleys; the dequeue
     # stream lags by LOAD_LAG_VOLLEYS, so a small per-flow backlog
@@ -325,7 +333,8 @@ def run_load(offered_gbps: float, num_volleys: int = 2500,
 def run_saturation(num_commands: int = 8000,
                    config: MmsConfig = MmsConfig(),
                    active_flows: int = 512,
-                   engine: str = "fast") -> MmsLoadResult:
+                   engine: str = "fast",
+                   probe=None) -> MmsLoadResult:
     """Headline experiment: backlogged ports, maximum command rate.
 
     Reproduces "The MMS can handle one operation per 84 ns or 12 Mops/sec
@@ -339,9 +348,10 @@ def run_saturation(num_commands: int = 8000,
         if stream_supports(config) is None:
             return stream_run_saturation(num_commands=num_commands,
                                          config=config,
-                                         active_flows=active_flows)
+                                         active_flows=active_flows,
+                                         probe=probe)
 
-    mms = MMS(config, sim=make_simulator(engine))
+    mms = MMS(config, sim=make_simulator(engine), probe=probe)
     sim = mms.sim
     per_port = num_commands // 4
     mms.prefill(range(active_flows), packets_per_flow=per_port * 2 // active_flows + 2)

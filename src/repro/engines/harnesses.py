@@ -32,12 +32,35 @@ from repro.policies.harness import OverloadResult
 from repro.sim.clock import SEC
 
 
+def _feed_probe(records: list, probe) -> None:
+    """Feed the probe's ``on_record`` channel from a ``with_ops``
+    record list, in kernel delivery order.
+
+    The kernel path emits ``on_record`` live from its probed finalize
+    processes; the stream machine replays the identical record stream
+    (same values, same delivery order -- the fuzz suite's contract)
+    after the run, so the folded telemetry is byte-identical.
+    """
+    on_record = probe.on_record
+    for time_ps, fifo_c, exec_c, data_c, e2e_c, op in records:
+        on_record(time_ps, op, fifo_c, exec_c, data_c, e2e_c)
+
+
+def _records(eng: StreamMms, probe, horizon: int) -> list:
+    """The run's ``with_ops`` latency records for the breakdown
+    replay (built once; fed to the probe when one is set)."""
+    records = eng.latency_records(horizon, with_ops=True)
+    if probe is not None:
+        _feed_probe(records, probe)
+    return records
+
+
 def stream_run_load(offered_gbps: float, *, num_volleys: int,
                     config: MmsConfig, active_flows: int,
                     warmup_volleys: int, burst_len: int, burst_prob: float,
-                    seed: int) -> MmsLoadResult:
+                    seed: int, probe=None) -> MmsLoadResult:
     """Table 5 at one offered load, on the command-stream machine."""
-    eng = StreamMms(config)
+    eng = StreamMms(config, probe=probe)
     eng.prefill(range(active_flows),
                 packets_per_flow=(2 * LOAD_LAG_VOLLEYS) // active_flows + 4)
     volley_period_ps = round(4 * BITS_PER_OP / offered_gbps * 1000)
@@ -63,8 +86,8 @@ def stream_run_load(offered_gbps: float, *, num_volleys: int,
     t0 = None
     t_last = 0
     boundary = warmup_volleys * 4
-    for time_ps, fifo_c, exec_c, data_c, e2e_c in \
-            eng.latency_records(horizon):
+    for time_ps, fifo_c, exec_c, data_c, e2e_c, _op in \
+            _records(eng, probe, horizon):
         breakdown.record_parts(fifo_c, exec_c, data_c, e2e_c)
         t_last = time_ps
         if breakdown.count == boundary:
@@ -88,10 +111,10 @@ def stream_run_load(offered_gbps: float, *, num_volleys: int,
 
 
 def stream_run_saturation(*, num_commands: int, config: MmsConfig,
-                          active_flows: int) -> MmsLoadResult:
+                          active_flows: int, probe=None) -> MmsLoadResult:
     """The headline saturation experiment, on the command-stream
     machine."""
-    eng = StreamMms(config)
+    eng = StreamMms(config, probe=probe)
     per_port = num_commands // 4
     eng.prefill(range(active_flows),
                 packets_per_flow=per_port * 2 // active_flows + 2)
@@ -104,8 +127,8 @@ def stream_run_saturation(*, num_commands: int, config: MmsConfig,
     eng.run(horizon)
 
     breakdown = LatencyBreakdown(eng.clock, keep_samples=config.keep_samples)
-    for _time_ps, fifo_c, exec_c, data_c, e2e_c in \
-            eng.latency_records(horizon):
+    for _time_ps, fifo_c, exec_c, data_c, e2e_c, _op in \
+            _records(eng, probe, horizon):
         breakdown.record_parts(fifo_c, exec_c, data_c, e2e_c)
     row = breakdown.row()
     # the DQM runs back-to-back under saturation (see
@@ -127,14 +150,15 @@ def stream_run_saturation(*, num_commands: int, config: MmsConfig,
 
 def stream_run_overload(cfg: MmsConfig, shape: str, *, num_arrivals: int,
                         active_flows: int,
-                        engine_label: str = "fast") -> OverloadResult:
+                        engine_label: str = "fast",
+                        probe=None) -> OverloadResult:
     """One overload experiment, on the command-stream machine.
 
     ``cfg`` is the already-resolved build (policy spec, seed and record
     retention folded in by :func:`repro.policies.harness.run_overload`,
     which owns the argument validation and routes here).
     """
-    eng = StreamMms(cfg)
+    eng = StreamMms(cfg, probe=probe)
     pol = eng.policy
 
     service_ps = round(10.5 * eng.clock.period_ps)
@@ -155,6 +179,9 @@ def stream_run_overload(cfg: MmsConfig, shape: str, *, num_arrivals: int,
                + cfg.num_segments * 4 * drain_period
                + SEC // 1000)
     eng.run(horizon)
+    if probe is not None:
+        # replay only: the overload result wants counters, not records
+        _feed_probe(eng.latency_records(horizon, with_ops=True), probe)
 
     stats = pol.stats
     return OverloadResult(

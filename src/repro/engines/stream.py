@@ -116,7 +116,8 @@ class StreamMms:
     """
 
     def __init__(self, config: MmsConfig = MmsConfig(),
-                 policy: Optional[BufferPolicy] = None) -> None:
+                 policy: Optional[BufferPolicy] = None,
+                 probe=None) -> None:
         reason = stream_supports(config)
         if reason is not None:
             raise ValueError(f"stream engine cannot replay this config: "
@@ -185,6 +186,14 @@ class StreamMms:
         #: with (cmd_record, result, trace) after every dispatch.  While
         #: set, full access traces are materialized.
         self.trace_hook: Optional[Callable] = None
+        #: Optional telemetry probe (:mod:`repro.telemetry`).  Mirrors
+        #: the kernel DQM's contract: when set, the run loop selects the
+        #: probed dispatch (emitting ``on_command`` at the pop instant)
+        #: and disables the inlined opcode branches; when None, the hot
+        #: loop carries no telemetry call sites (structural absence).
+        #: ``on_record`` is replayed from :meth:`latency_records` by the
+        #: harnesses after the run.
+        self.probe = probe
 
     # --------------------------------------------------------- wiring
 
@@ -235,7 +244,8 @@ class StreamMms:
     def _run(self, until_ps: int) -> int:
         wakes = self._wakes
         seq = self._seq
-        dispatch = self._dispatch
+        dispatch = self._dispatch if self.probe is None \
+            else self._dispatch_probed
         opinfo = self._opinfo
         strict = self._strict
         heappush_ = heappush
@@ -245,7 +255,7 @@ class StreamMms:
         # dispatch branch below (identical calls, minus the indirection)
         enq_op = CommandType.ENQUEUE
         deq_op = CommandType.DEQUEUE
-        inline_ok = self.trace_hook is None
+        inline_ok = self.trace_hook is None and self.probe is None
         policy_none = self.policy is None
         # scheduler / serve state
         fifos = self._fifos
@@ -532,22 +542,37 @@ class StreamMms:
             hook(cmd, result, trace)
         return result, len(trace), data
 
+    def _dispatch_probed(self, cmd: list):
+        """Telemetry variant of :meth:`_dispatch`: the functional
+        operation, then the probe's ``on_command`` with the
+        post-dispatch occupancy -- the identical call the kernel DQM's
+        probed dispatch emits at the identical pop instant."""
+        out = self._dispatch(cmd)
+        pqm = self.pqm
+        self.probe.on_command(self.now, cmd[C_OP], cmd[C_FLOW], out[0],
+                              pqm.queued_segments(cmd[C_FLOW]),
+                              pqm.num_segments - pqm.free_segments)
+        return out
+
     # -------------------------------------------------------- records
 
-    def latency_records(self, horizon_ps: int
-                        ) -> List[Tuple[int, float, float, float, float]]:
+    def latency_records(self, horizon_ps: int, with_ops: bool = False
+                        ) -> List[tuple]:
         """Per-command latency records in kernel delivery order.
 
         Each entry is ``(record_time_ps, fifo_cycles, execution_cycles,
         data_cycles, end_to_end_cycles)`` -- exactly what the kernel
         path's ``_finalize`` process feeds ``record_parts``, in the
-        order those processes resume.  Records are delivered when the
-        data transfer completes (data commands) or at end of execution
-        (pointer-only and policy-dropped commands); the kernel's
-        within-timestamp FIFO contract puts a completion resume (pushed
-        at issue time) ahead of a finalize spawned in that timestamp,
-        which is the ``tie`` sort key below; ``stream_supports`` rules
-        out configurations where the two grids could otherwise collide.
+        order those processes resume.  With ``with_ops`` each entry
+        additionally carries the :class:`CommandType` as a sixth field
+        (the telemetry replay keys histograms by it).  Records are
+        delivered when the data transfer completes (data commands) or
+        at end of execution (pointer-only and policy-dropped commands);
+        the kernel's within-timestamp FIFO contract puts a completion
+        resume (pushed at issue time) ahead of a finalize spawned in
+        that timestamp, which is the ``tie`` sort key below;
+        ``stream_supports`` rules out configurations where the two
+        grids could otherwise collide.
         """
         period = self.clock.period_ps
         opinfo = self._opinfo
@@ -577,6 +602,8 @@ class StreamMms:
             completion = end_ps if end_ps > data_done else data_done
             entries.append((record_time, tie,
                             fifo_cycles, opinfo[cmd[C_OP]][2], data_cycles,
-                            (completion - base) / period))
+                            (completion - base) / period, cmd[C_OP]))
         entries.sort(key=lambda e: (e[0], e[1]))
+        if with_ops:
+            return [(e[0], e[2], e[3], e[4], e[5], e[6]) for e in entries]
         return [(e[0], e[2], e[3], e[4], e[5]) for e in entries]

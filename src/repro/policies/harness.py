@@ -102,7 +102,8 @@ def run_overload(policy: PolicySpec, shape: str, *,
                  config: MmsConfig = OVERLOAD_MMS_CFG,
                  seed: int = 2005,
                  engine: str = "fast",
-                 keep_records: bool = False) -> OverloadResult:
+                 keep_records: bool = False,
+                 probe=None) -> OverloadResult:
     """Run one (policy, traffic shape) overload experiment.
 
     ``num_arrivals`` segments are offered across ``active_flows`` flow
@@ -127,9 +128,10 @@ def run_overload(policy: PolicySpec, shape: str, *,
             return stream_run_overload(cfg, shape,
                                        num_arrivals=num_arrivals,
                                        active_flows=active_flows,
-                                       engine_label=engine)
+                                       engine_label=engine,
+                                       probe=probe)
 
-    mms = MMS(cfg, sim=make_simulator(engine))
+    mms = MMS(cfg, sim=make_simulator(engine), probe=probe)
     sim = mms.sim
     pol = mms.policy
 

@@ -49,6 +49,7 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.runner import Runner
 from repro.scenarios.presenter import render, render_block
+from repro.telemetry import TelemetrySpec
 
 __all__ = [
     "ENGINES",
@@ -73,4 +74,5 @@ __all__ = [
     "Runner",
     "render",
     "render_block",
+    "TelemetrySpec",
 ]

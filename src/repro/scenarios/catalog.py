@@ -55,6 +55,7 @@ from repro.scenarios.spec import (
     SchedulerSpec,
     TrafficSpec,
 )
+from repro.telemetry import MmsTelemetry, TelemetrySnapshot, TelemetrySpec
 
 #: Moderate MMS configuration: full results, minutes-not-hours runtime.
 TABLE5_MMS_CFG = MmsConfig(num_flows=2048, num_segments=16384,
@@ -64,6 +65,38 @@ TABLE5_MMS_CFG = MmsConfig(num_flows=2048, num_segments=16384,
 #: historical benchmark configuration).
 SWEEP_MMS_CFG = MmsConfig(num_flows=1024, num_segments=8192,
                           num_descriptors=4096)
+
+
+def _telemetry_blocks(snap: TelemetrySnapshot, title: str) -> List[Block]:
+    """Presentation blocks over one telemetry snapshot: the latency
+    percentile table and the occupancy/drop counters."""
+    # summary() emits keys in the spec's percentile order with "max"
+    # last, and insertion order survives (de)serialization -- the first
+    # histogram's keys are the column order
+    percentile_headers: List[str] = []
+    hist_rows = []
+    for name in sorted(snap.histograms):
+        h = snap.histograms[name]
+        p = h.get("percentiles", {})
+        if not percentile_headers:
+            percentile_headers = list(p)
+        hist_rows.append([name, h["count"]]
+                         + [round(p[k], 2) for k in percentile_headers])
+    latency_block = Block.table(
+        ["histogram", "count"] + percentile_headers, hist_rows,
+        title=f"{title}: latency distribution (cycles)")
+    occ = snap.occupancy
+    occ_rows = [
+        ["commands dispatched", snap.counters["commands"]],
+        ["policy drops", snap.counters["dropped_commands"]],
+        ["occupancy peak (segments)", occ["peak_total"]],
+        ["occupancy peak time (ps)", occ["peak_time_ps"]],
+        ["occupancy final (segments)", occ["final_total"]],
+        ["occupancy samples kept", len(occ["series"])],
+    ]
+    occ_block = Block.table(["telemetry counter", "value"], occ_rows,
+                            title=f"{title}: occupancy and throughput")
+    return [latency_block, occ_block]
 
 
 # ====================================================== tables 1 through 5
@@ -234,7 +267,7 @@ def _table4(spec: ScenarioSpec) -> Outcome:
         num_volleys=(2500, 800), warmup_volleys=(300, 100)),
     memory=MemorySpec(backend="ddr", banks=(8,)),
     mms=TABLE5_MMS_CFG,
-    supports=frozenset({"engine", "seed", "budget", "mms"}),
+    supports=frozenset({"engine", "seed", "budget", "mms", "telemetry"}),
     fastpath="stream",
 ))
 def _table5(spec: ScenarioSpec) -> Outcome:
@@ -244,19 +277,25 @@ def _table5(spec: ScenarioSpec) -> Outcome:
     rows: List[List[object]] = []
     metrics: Dict[str, object] = {}
     deltas: Dict[str, float] = {}
+    telemetry: Dict[str, object] = {}
     for load in spec.pick(spec.traffic.loads_gbps):
         p_fifo, p_exec, p_data, p_total = PAPER_TABLE5[load]
+        probe = MmsTelemetry(spec.telemetry) if spec.telemetry else None
         res = run_load(load, num_volleys=volleys, config=cfg,
                        warmup_volleys=warmup, seed=spec.seed,
-                       engine=spec.engine)
+                       engine=spec.engine, probe=probe)
         metrics[f"load{load}"] = (res.fifo_cycles, res.execution_cycles,
                                   res.data_cycles, res.total_cycles)
         deltas[f"load{load}.total"] = paper_delta(p_total, res.total_cycles)
+        if probe is not None:
+            telemetry[f"load{load}"] = probe.snapshot().to_dict()
         rows.append([load,
                      p_fifo, round(res.fifo_cycles, 1),
                      p_exec, round(res.execution_cycles, 1),
                      p_data, round(res.data_cycles, 1),
                      p_total, round(res.total_cycles, 1)])
+    if telemetry:
+        metrics["telemetry"] = telemetry
     block = Block.table(
         ["Gbps", "fifo (paper)", "fifo (ours)", "exec (paper)", "exec (ours)",
          "data (paper)", "data (ours)", "total (paper)", "total (ours)"],
@@ -655,12 +694,13 @@ _SHAPE_BLURB = {
 
 
 def _overload(spec: ScenarioSpec) -> Outcome:
+    probe = MmsTelemetry(spec.telemetry) if spec.telemetry else None
     res = run_overload(
         spec.policy, spec.traffic.pattern,
         num_arrivals=spec.pick(spec.traffic.num_commands),
         active_flows=spec.traffic.active_flows,
         config=spec.mms or OVERLOAD_MMS_CFG,
-        seed=spec.seed, engine=spec.engine)
+        seed=spec.seed, engine=spec.engine, probe=probe)
     metrics: Dict[str, object] = {"policy": res.policy, "shape": res.shape,
                                   "capacity_segments": res.capacity_segments}
     metrics.update(res.counters())
@@ -677,7 +717,12 @@ def _overload(spec: ScenarioSpec) -> Outcome:
     block = Block.table(["counter", "segments", "bytes"], rows,
                         title=f"{spec.title} "
                               f"(drop rate {res.drop_rate:.3f})")
-    return Outcome(metrics=metrics, blocks=(block,))
+    blocks = [block]
+    if probe is not None:
+        snap = probe.snapshot()
+        metrics["telemetry"] = snap.to_dict()
+        blocks += _telemetry_blocks(snap, spec.title)
+    return Outcome(metrics=metrics, blocks=tuple(blocks))
 
 
 def _register_overload_family() -> None:
@@ -694,12 +739,75 @@ def _register_overload_family() -> None:
                 memory=MemorySpec(backend="ddr", banks=(8,)),
                 mms=OVERLOAD_MMS_CFG,
                 policy=policy,
-                supports=frozenset({"engine", "seed", "budget", "mms"}),
+                supports=frozenset({"engine", "seed", "budget", "mms",
+                                    "telemetry"}),
                 fastpath="stream",
             ))(_overload)
 
 
 _register_overload_family()
+
+
+# ============================================ latency scenario family
+#
+# The telemetry flagship: the overload workloads re-examined through
+# *distributions* instead of aggregate loss counters.  Each scenario
+# runs one (policy x traffic shape) overload experiment with the
+# standard probe always on and reports per-class enqueue/dequeue
+# latency percentiles (p50/p90/p99/p99.9/max over the true
+# submit-to-completion cycles) and the occupancy dynamics (peak,
+# time-series) of the shared segment buffer.  Both engines produce
+# byte-identical telemetry JSON -- the engine-identity acceptance
+# criterion of ``repro.telemetry``.
+
+def _latency(spec: ScenarioSpec) -> Outcome:
+    probe = MmsTelemetry(spec.telemetry or TelemetrySpec())
+    res = run_overload(
+        spec.policy, spec.traffic.pattern,
+        num_arrivals=spec.pick(spec.traffic.num_commands),
+        active_flows=spec.traffic.active_flows,
+        config=spec.mms or OVERLOAD_MMS_CFG,
+        seed=spec.seed, engine=spec.engine, probe=probe)
+    snap = probe.snapshot()
+    metrics: Dict[str, object] = {
+        "policy": res.policy,
+        "shape": res.shape,
+        "capacity_segments": res.capacity_segments,
+        "occupancy_peak": snap.occupancy["peak_total"],
+        "drop_rate": res.drop_rate,
+        "telemetry": snap.to_dict(),
+    }
+    for cls in ("enqueue", "dequeue"):
+        hist = snap.histograms.get(f"{cls}.e2e")
+        if hist is not None:
+            for label, value in hist["percentiles"].items():
+                metrics[f"{cls}_e2e_{label}"] = value
+    return Outcome(metrics=metrics,
+                   blocks=tuple(_telemetry_blocks(snap, spec.title)))
+
+
+def _register_latency_family() -> None:
+    for stem, policy in OVERLOAD_POLICIES.items():
+        for shape in SHAPES:
+            register_scenario(ScenarioSpec(
+                name=f"latency-{stem}-{shape}", kind="latency",
+                workload="mms",
+                title=f"Latency: {policy.name} under {shape} overload",
+                description=f"{policy.name} latency/occupancy "
+                            f"distributions: {_SHAPE_BLURB[shape]}",
+                traffic=TrafficSpec(num_commands=(1200, 360),
+                                    active_flows=32, pattern=shape),
+                memory=MemorySpec(backend="ddr", banks=(8,)),
+                mms=OVERLOAD_MMS_CFG,
+                policy=policy,
+                telemetry=TelemetrySpec(),
+                supports=frozenset({"engine", "seed", "budget", "mms",
+                                    "telemetry"}),
+                fastpath="stream",
+            ))(_latency)
+
+
+_register_latency_family()
 
 
 # ================================================ qos scenario family

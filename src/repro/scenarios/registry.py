@@ -65,7 +65,7 @@ def scenario_names() -> List[str]:
     first in listings."""
     _ensure_catalog()
     rank = {"table": 0, "figure": 1, "headline": 2, "sweep": 3,
-            "ablation": 4, "overload": 5, "qos": 6}
+            "ablation": 4, "overload": 5, "qos": 6, "latency": 7}
     return sorted(_REGISTRY,
                   key=lambda n: (rank[_REGISTRY[n].spec.kind], n))
 

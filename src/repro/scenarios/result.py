@@ -219,6 +219,24 @@ def validate_result_dict(d: Mapping[str, Any]) -> List[str]:
     expect("metrics", dict)
     expect("paper_deltas", dict)
     expect("blocks", list)
+    if ok("metrics", dict) and "telemetry" in d["metrics"]:
+        # Telemetry payloads are schema'd too (one snapshot, or one per
+        # load for multi-load scenarios like table5).
+        from repro.telemetry import validate_telemetry_dict
+        payload = d["metrics"]["telemetry"]
+        if not isinstance(payload, dict):
+            problems.append("metrics.telemetry not an object")
+        elif "schema" in payload:
+            problems.extend(f"metrics.telemetry: {p}"
+                            for p in validate_telemetry_dict(payload))
+        else:
+            for key, snap in payload.items():
+                if not isinstance(snap, dict):
+                    problems.append(
+                        f"metrics.telemetry[{key!r}] not an object")
+                    continue
+                problems.extend(f"metrics.telemetry[{key!r}]: {p}"
+                                for p in validate_telemetry_dict(snap))
     if ok("schema", int) and d["schema"] != RESULT_SCHEMA:
         problems.append(f"schema {d['schema']} != {RESULT_SCHEMA}")
     if ok("engine", str) and d["engine"] not in _RESULT_ENGINES:

@@ -17,6 +17,7 @@ from repro.core.mms import MmsConfig
 from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.result import RunResult, jsonify
 from repro.scenarios.spec import ScenarioSpec
+from repro.telemetry import TelemetrySpec
 
 
 class Runner:
@@ -27,19 +28,29 @@ class Runner:
             seed: Optional[int] = None,
             budget: Optional[str] = None,
             fast: Optional[bool] = None,
-            mms: Optional[MmsConfig] = None) -> RunResult:
+            mms: Optional[MmsConfig] = None,
+            telemetry=None) -> RunResult:
         """Run one scenario by name with optional knob overrides.
 
         ``fast`` is sugar for ``budget="fast"`` / ``"full"`` and must
-        not be combined with an explicit ``budget``.
+        not be combined with an explicit ``budget``.  ``telemetry``
+        enables the streaming probe for scenarios that support it:
+        ``True`` for the default :class:`TelemetrySpec`, or an explicit
+        spec; the snapshot lands in ``result.metrics["telemetry"]``.
+        There is no off-switch (the ``latency-*`` family is always
+        probed); passing ``False`` is rejected rather than silently
+        ignored.
         """
         if fast is not None:
             if budget is not None:
                 raise ValueError("pass either fast= or budget=, not both")
             budget = "fast" if fast else "full"
+        if telemetry is True:
+            telemetry = TelemetrySpec()
         scenario = get_scenario(name)
         spec = scenario.spec.with_options(engine=engine, seed=seed,
-                                          budget=budget, mms=mms)
+                                          budget=budget, mms=mms,
+                                          telemetry=telemetry)
         return self.run_spec(spec)
 
     def run_spec(self, spec: ScenarioSpec) -> RunResult:
@@ -64,9 +75,10 @@ class Runner:
                  engine: Optional[str] = None,
                  seed: Optional[int] = None,
                  budget: Optional[str] = None,
-                 fast: Optional[bool] = None) -> List[RunResult]:
+                 fast: Optional[bool] = None,
+                 telemetry=None) -> List[RunResult]:
         """Run several scenarios (default: every registered one)."""
         if names is None:
             names = scenario_names()
         return [self.run(n, engine=engine, seed=seed, budget=budget,
-                         fast=fast) for n in names]
+                         fast=fast, telemetry=telemetry) for n in names]

@@ -25,6 +25,8 @@ from typing import FrozenSet, Optional, Tuple, TypeVar
 from repro.core.mms import MmsConfig
 from repro.mem.timing import DdrTiming
 from repro.policies import PolicySpec
+from repro.policies.harness import SHAPES
+from repro.telemetry import TelemetrySpec
 
 #: Execution engines every scenario understands.  ``fast`` selects the
 #: batched/calendar-queue implementations, ``reference`` the original
@@ -35,11 +37,12 @@ ENGINES: Tuple[str, ...] = ("fast", "reference")
 #: Run-length budgets.
 BUDGETS: Tuple[str, ...] = ("full", "fast")
 
-#: Artifact categories.  ``overload`` and ``qos`` are beyond-the-paper
-#: families: buffer-policy loss behavior and egress-scheduling fairness
-#: the paper's tables never measure.
+#: Artifact categories.  ``overload``, ``qos`` and ``latency`` are
+#: beyond-the-paper families: buffer-policy loss behavior,
+#: egress-scheduling fairness and latency/occupancy *distributions*
+#: (telemetry) the paper's tables never measure.
 KINDS: Tuple[str, ...] = ("table", "figure", "headline", "sweep", "ablation",
-                          "overload", "qos")
+                          "overload", "qos", "latency")
 
 #: What ``engine="fast"`` resolves to for a scenario -- the capability
 #: matrix of README "Execution engines":
@@ -87,9 +90,19 @@ class TrafficSpec:
     active_flows: int = 512
     burst_len: int = 4
     burst_prob: float = 0.25
-    #: Overload traffic shape ("burst", "sustained", "incast"); empty
-    #: for non-overload scenarios.
+    #: Overload traffic shape (one of
+    #: :data:`repro.policies.harness.SHAPES`); empty for scenarios
+    #: without shaped overload traffic.
     pattern: str = ""
+
+    def __post_init__(self) -> None:
+        # A typo'd shape must fail at spec construction, like unknown
+        # engines/budgets/scenarios do -- not at run time (or worse,
+        # silently, in a hand-built spec that never reaches a harness).
+        if self.pattern and self.pattern not in SHAPES:
+            raise ValueError(
+                f"unknown traffic pattern {self.pattern!r} "
+                f"(choose from {SHAPES}, or \"\" for unshaped traffic)")
 
 
 @dataclass(frozen=True)
@@ -150,8 +163,16 @@ class ScenarioSpec:
     sched: SchedulerSpec = SchedulerSpec()
     #: Optional MMS build-time configuration (Table 5 style scenarios).
     mms: Optional[MmsConfig] = None
-    #: Buffer-management policy (the ``overload-*`` family).
+    #: Buffer-management policy (the ``overload-*`` and ``latency-*``
+    #: families).
     policy: Optional[PolicySpec] = None
+    #: Streaming telemetry (:mod:`repro.telemetry`): None = probes
+    #: structurally absent; a :class:`TelemetrySpec` enables the
+    #: standard probe and lands its snapshot in
+    #: ``RunResult.metrics["telemetry"]``.  The ``latency-*`` family
+    #: has it on by default; scenarios declaring ``"telemetry"`` in
+    #: ``supports`` accept it as a knob (CLI ``--telemetry``).
+    telemetry: Optional[TelemetrySpec] = None
     supports: FrozenSet[str] = frozenset()
     #: Capability flag: what ``engine="fast"`` resolves to (see
     #: :data:`FASTPATHS`).  Scenarios the stream machine cannot batch
@@ -169,9 +190,14 @@ class ScenarioSpec:
         if self.budget not in BUDGETS:
             raise ValueError(
                 f"unknown budget {self.budget!r} (choose from {BUDGETS})")
-        unknown = self.supports - {"engine", "seed", "budget", "mms"}
+        unknown = self.supports - {"engine", "seed", "budget", "mms",
+                                   "telemetry"}
         if unknown:
             raise ValueError(f"unknown supports entries: {sorted(unknown)}")
+        if self.telemetry is not None and "telemetry" not in self.supports:
+            raise ValueError(
+                "a scenario carrying a TelemetrySpec must declare "
+                "'telemetry' in supports")
         if self.fastpath not in FASTPATHS:
             raise ValueError(
                 f"unknown fastpath {self.fastpath!r} (choose from "
@@ -191,7 +217,9 @@ class ScenarioSpec:
     def with_options(self, engine: Optional[str] = None,
                      seed: Optional[int] = None,
                      budget: Optional[str] = None,
-                     mms: Optional[MmsConfig] = None) -> "ScenarioSpec":
+                     mms: Optional[MmsConfig] = None,
+                     telemetry: Optional[TelemetrySpec] = None
+                     ) -> "ScenarioSpec":
         """A copy with the given knobs applied where supported.
 
         Knob *values* are always validated -- an unknown engine or
@@ -200,7 +228,11 @@ class ScenarioSpec:
         scenario does not declare in ``supports`` are then ignored --
         the scenario has no such degree of freedom (e.g. Table 4 is
         closed-form), and uniform ``run all`` invocations must stay
-        valid.
+        valid.  ``telemetry`` turns probing *on* -- or re-tunes a
+        scenario whose telemetry is already on (an explicit spec
+        overrides, like every other supported knob).  There is
+        deliberately no off-switch: omit the knob to keep the
+        scenario's own setting.
         """
         if engine is not None and engine not in ENGINES:
             raise ValueError(
@@ -208,6 +240,9 @@ class ScenarioSpec:
         if budget is not None and budget not in BUDGETS:
             raise ValueError(
                 f"unknown budget {budget!r} (choose from {BUDGETS})")
+        if telemetry is not None and not isinstance(telemetry, TelemetrySpec):
+            raise ValueError(
+                f"telemetry must be a TelemetrySpec, got {telemetry!r}")
         changes = {}
         if engine is not None and "engine" in self.supports:
             changes["engine"] = engine
@@ -217,6 +252,8 @@ class ScenarioSpec:
             changes["budget"] = budget
         if mms is not None and "mms" in self.supports:
             changes["mms"] = mms
+        if telemetry is not None and "telemetry" in self.supports:
+            changes["telemetry"] = telemetry
         if not changes:
             return self
         return dataclasses.replace(self, **changes)

@@ -1,0 +1,87 @@
+"""The probe protocol and the declarative telemetry knob.
+
+A :class:`Probe` observes the two event streams every MMS execution
+path emits at its command boundaries:
+
+* ``on_command`` -- one call per DQM dispatch, at the pop instant, with
+  the functional result and the post-dispatch occupancy.  The kernel
+  path emits it from the probed ``DataQueueManager`` dispatch; the
+  stream engine from the probed dispatch of its inlined loop.
+* ``on_record`` -- one call per latency-record delivery (the instant
+  the data transfer completes, or end of execution for pointer-only
+  commands), with the full cycle decomposition.  The kernel path emits
+  it from the probed finalize process; the stream engine replays its
+  record stream in delivery order after the run.
+
+The two channels carry no ordering contract *between* each other (the
+stream engine delivers all ``on_command`` calls before replaying the
+records), so probes must keep their per-channel state independent.
+Within a channel, call order and every argument are byte-identical
+across engines -- that is the identity contract ``tests/engines``
+asserts, and what makes telemetry an engine-agnostic layer.
+
+Probes are *structurally absent* when disabled: the execution paths
+swap in their probed dispatch/finalize variants only when a probe is
+installed at construction time, so the probes-off hot path contains no
+telemetry call sites (and no per-command branches) at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.commands import CommandType
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """Declarative telemetry configuration (scenario-spec payload).
+
+    Carried by :class:`~repro.scenarios.ScenarioSpec.telemetry`; its
+    presence enables telemetry for a run, its fields tune the standard
+    :class:`~repro.telemetry.MmsTelemetry` probe.
+    """
+
+    #: Occupancy time-series stride: one sample every N dispatched
+    #: commands (peaks are still tracked at every command).
+    sample_every: int = 32
+    #: Percentile summaries reported per histogram.
+    percentiles: Tuple[float, ...] = (50.0, 90.0, 99.0, 99.9)
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {self.sample_every}")
+        if not self.percentiles:
+            raise ValueError("percentiles must be non-empty")
+        for p in self.percentiles:
+            if not 0.0 < p <= 100.0:
+                raise ValueError(
+                    f"percentiles must be in (0, 100], got {p}")
+
+
+class Probe:
+    """Observation protocol (no-op base class).
+
+    Subclass and override the hooks you need;
+    :class:`~repro.telemetry.MmsTelemetry` is the standard
+    implementation.  Probes are passive: they must not mutate any
+    simulation state (the engines share functional state with the
+    probe's arguments).
+    """
+
+    def on_command(self, time_ps: int, op: CommandType, flow: int,
+                   result: object, queue_depth: int,
+                   total_segments: int) -> None:
+        """One DQM dispatch: ``op`` on ``flow`` at ``time_ps`` returned
+        ``result``; ``queue_depth`` is the flow's post-dispatch segment
+        occupancy and ``total_segments`` the aggregate buffer
+        occupancy."""
+
+    def on_record(self, time_ps: int, op: CommandType, fifo_cycles: float,
+                  execution_cycles: float, data_cycles: float,
+                  end_to_end_cycles: float) -> None:
+        """One latency-record delivery at ``time_ps`` (the Table 5
+        decomposition plus the true submit-to-completion latency), in
+        record-delivery order."""

@@ -12,6 +12,9 @@ machine -- and everything observable must be byte-identical:
 * the latency-record stream (delivery order *and* the picosecond
   delivery times),
 * the buffer-policy counters and the full typed ``DropRecord`` stream,
+* the telemetry fold (``repro.telemetry``): histogram buckets and
+  percentile summaries, occupancy series and peaks, throughput/drop
+  counters -- the serialized snapshot must be byte-identical,
 * the final functional state: pointer-memory words, per-region access
   counters, free-list occupancy, per-flow queue depths.
 
@@ -23,6 +26,7 @@ of the overload harness (push-outs, drops and descriptor exhaustion all
 exercised).
 """
 
+import json
 import random
 
 import pytest
@@ -34,10 +38,15 @@ from repro.engines import StreamMms
 from repro.policies import PolicySpec
 from repro.sim.clock import SEC
 from repro.sim.kernel import make_simulator
+from repro.telemetry import MmsTelemetry, TelemetrySpec
 
 HORIZON = SEC  # far beyond any script's span
 
 OPS = CommandType
+
+#: Telemetry config of the fuzz replays: a small stride so the
+#: occupancy series is dense enough to catch divergence.
+TELE_SPEC = TelemetrySpec(sample_every=4)
 
 
 class Capture:
@@ -47,6 +56,7 @@ class Capture:
         self.traces = []    # ordered end_trace() payloads
         self.cmds = []      # (op, flow, result-repr, trace_len, time)
         self.records = []   # (time, fifo, exec, data, e2e)
+        self.telemetry = ""  # serialized MmsTelemetry snapshot
         self.final = {}
 
     def snapshot_final(self, pqm, policy, now, commands_executed):
@@ -89,7 +99,8 @@ def _capture_mem(cap, mem):
 def run_reference(config, scripts, drain_counters=None,
                   drain_period=None, active_flows=0):
     cap = Capture()
-    mms = MMS(config, sim=make_simulator("reference"))
+    tel = MmsTelemetry(TELE_SPEC)
+    mms = MMS(config, sim=make_simulator("reference"), probe=tel)
     sim = mms.sim
     _capture_mem(cap, mms.pqm.mem)
 
@@ -121,6 +132,7 @@ def run_reference(config, scripts, drain_counters=None,
             mms.pqm.queued_packets, active_flows, drain_period,
             drain_counters)), name="drain")
     sim.run(until_ps=HORIZON)
+    cap.telemetry = json.dumps(tel.snapshot().to_dict())
     cap.snapshot_final(mms.pqm, mms.policy, sim.now,
                        mms.dqm.commands_executed)
     if drain_counters is not None:
@@ -131,7 +143,8 @@ def run_reference(config, scripts, drain_counters=None,
 def run_stream(config, scripts, drain_counters=None,
                drain_period=None, active_flows=0):
     cap = Capture()
-    eng = StreamMms(config)
+    tel = MmsTelemetry(TELE_SPEC)
+    eng = StreamMms(config, probe=tel)
     _capture_mem(cap, eng.pqm.mem)
     eng.trace_hook = lambda cmd, result, trace: cap.cmds.append(
         (cmd[0].value, cmd[1], repr(result), len(trace), eng.now))
@@ -142,8 +155,11 @@ def run_stream(config, scripts, drain_counters=None,
             eng.pqm.queued_packets, active_flows, drain_period,
             drain_counters))
     eng.run(HORIZON)
-    cap.records = [(t, f, e, d, ee)
-                   for t, f, e, d, ee in eng.latency_records(HORIZON)]
+    records = eng.latency_records(HORIZON, with_ops=True)
+    for t, f, e, d, ee, op in records:
+        tel.on_record(t, op, f, e, d, ee)
+    cap.telemetry = json.dumps(tel.snapshot().to_dict())
+    cap.records = [(t, f, e, d, ee) for t, f, e, d, ee, _op in records]
     cap.snapshot_final(eng.pqm, eng.policy, eng.now,
                        eng.commands_executed)
     if drain_counters is not None:
@@ -155,6 +171,7 @@ def assert_identical(ref, fast):
     assert ref.cmds == fast.cmds
     assert ref.traces == fast.traces
     assert ref.records == fast.records
+    assert ref.telemetry == fast.telemetry
     assert ref.final == fast.final
 
 

@@ -1,0 +1,44 @@
+"""Smoke-run every script in ``examples/``.
+
+The examples are the repo's front door, but until this suite they were
+exercised by no test or CI job -- an API change could silently break
+every one of them.  Each script already runs at a small (seconds-scale)
+budget, so the smoke simply executes them all in a subprocess with the
+repo's ``src`` on the path and asserts a clean exit and non-empty
+output.  Collected by tier-1 pytest, hence by the CI tests job.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+#: Per-script wall-clock ceiling -- far above the seconds each needs,
+#: low enough that a hang fails fast.
+TIMEOUT_S = 180
+
+
+def test_examples_directory_is_covered():
+    """Every example is parameterized below (a new script is picked up
+    automatically; an emptied directory must fail, not skip)."""
+    assert EXAMPLES, "examples/ has no scripts"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(REPO_ROOT), env=env, timeout=TIMEOUT_S,
+        capture_output=True, text=True)
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}:\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+    assert "Traceback" not in proc.stderr, proc.stderr[-2000:]

@@ -73,6 +73,25 @@ def test_json_to_stdout(capsys):
     assert doc["runs"][0]["scenario"] == "table4"
 
 
+def test_telemetry_flag_lands_snapshot_in_json(capsys):
+    rc = main(["run", "overload-taildrop-burst", "--fast", "--quiet",
+               "--telemetry", "--json", "-"])
+    assert rc == 0
+    run = json.loads(capsys.readouterr().out)["runs"][0]
+    assert validate_result_dict(run) == []
+    tele = run["metrics"]["telemetry"]
+    assert tele["schema"] == 1
+    assert tele["counters"]["commands"] > 0
+    assert "enqueue.e2e" in tele["histograms"]
+
+
+def test_telemetry_flag_ignored_by_closed_form_scenarios(capsys):
+    rc = main(["run", "table4", "--quiet", "--telemetry", "--json", "-"])
+    assert rc == 0
+    run = json.loads(capsys.readouterr().out)["runs"][0]
+    assert "telemetry" not in run["metrics"]
+
+
 def test_run_all_fast_json_is_schema_valid_for_every_scenario(
         tmp_path, capsys):
     """The acceptance path: every registered scenario runs on the fast
@@ -98,7 +117,7 @@ def test_list_json_machine_readable(capsys):
     for entry in doc["scenarios"]:
         assert set(entry) == {"name", "kind", "workload", "title",
                               "description", "supports", "fastpath",
-                              "engine", "budget", "seed"}
+                              "telemetry", "engine", "budget", "seed"}
 
 
 def test_list_json_reports_fastpath_capabilities(capsys):

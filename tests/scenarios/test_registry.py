@@ -29,6 +29,10 @@ EXPECTED = {
       for s in ("burst", "sustained", "incast")),
     # qos egress-scheduling family (beyond the paper)
     "qos-strict-priority", "qos-drr",
+    # latency/telemetry family (policy x traffic shape; beyond the paper)
+    *(f"latency-{p}-{s}"
+      for p in ("taildrop", "red", "dt", "lqd")
+      for s in ("burst", "sustained", "incast")),
 }
 
 
@@ -50,6 +54,8 @@ def test_kind_partition():
         n for n in EXPECTED if n.startswith("ablation-")}
     assert {s.spec.name for s in scenarios_of_kind("overload")} == {
         n for n in EXPECTED if n.startswith("overload-")}
+    assert {s.spec.name for s in scenarios_of_kind("latency")} == {
+        n for n in EXPECTED if n.startswith("latency-")}
 
 
 def test_specs_name_themselves():

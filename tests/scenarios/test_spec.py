@@ -103,3 +103,54 @@ def test_with_options_none_is_identity():
 def test_effective_engine_for_closed_form():
     assert _spec().effective_engine == "fast"
     assert _spec(supports=frozenset()).effective_engine == "n/a"
+
+
+# ------------------------------------------------- traffic pattern registry
+
+def test_traffic_pattern_accepts_known_shapes_and_empty():
+    from repro.policies.harness import SHAPES
+    assert TrafficSpec().pattern == ""
+    for shape in SHAPES:
+        assert TrafficSpec(pattern=shape).pattern == shape
+
+
+def test_traffic_pattern_rejects_typos_at_construction():
+    with pytest.raises(ValueError, match="unknown traffic pattern"):
+        TrafficSpec(pattern="bursty")
+    # the error is helpful: it lists the registry of known shapes
+    with pytest.raises(ValueError, match="burst.*sustained.*incast"):
+        TrafficSpec(pattern="sustaned")
+
+
+# ------------------------------------------------------- telemetry knob
+
+def test_telemetry_requires_supports_declaration():
+    from repro.telemetry import TelemetrySpec
+    with pytest.raises(ValueError, match="telemetry"):
+        _spec(telemetry=TelemetrySpec())
+    spec = _spec(telemetry=TelemetrySpec(),
+                 supports=frozenset({"engine", "telemetry"}))
+    assert spec.telemetry is not None
+
+
+def test_with_options_telemetry_turns_on_where_supported():
+    from repro.telemetry import TelemetrySpec
+    tele = TelemetrySpec(sample_every=8)
+    on = _spec(supports=frozenset({"engine", "telemetry"})) \
+        .with_options(telemetry=tele)
+    assert on.telemetry is tele
+    # unsupported scenarios ignore the knob (uniform `run all --telemetry`)
+    off = _spec(supports=frozenset({"engine"})).with_options(telemetry=tele)
+    assert off.telemetry is None
+    # an explicit spec re-tunes always-on scenarios (overrides, like
+    # every other supported knob); omitting the knob keeps their own
+    own = _spec(telemetry=TelemetrySpec(),
+                supports=frozenset({"engine", "telemetry"}))
+    assert own.with_options(telemetry=tele).telemetry is tele
+    assert own.with_options().telemetry == TelemetrySpec()
+
+
+def test_with_options_rejects_non_spec_telemetry():
+    spec = _spec(supports=frozenset({"engine", "telemetry"}))
+    with pytest.raises(ValueError, match="TelemetrySpec"):
+        spec.with_options(telemetry="yes")
