@@ -373,7 +373,8 @@ def main(argv=None) -> int:
         except json.JSONDecodeError:
             print(f"warning: {out} was unreadable, starting fresh")
     trajectory.setdefault("runs", []).append(entry)
-    out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    from repro.checkpoint.atomic import write_text_atomic
+    write_text_atomic(str(out), json.dumps(trajectory, indent=2) + "\n")
     print(f"appended run #{len(trajectory['runs'])} to {out}")
 
     headline = results["bench_table1"]["speedup"]

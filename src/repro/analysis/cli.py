@@ -9,14 +9,29 @@ The CLI is a thin front-end over the scenario registry
     repro-experiments run table1 --engine reference --seed 7
     repro-experiments run all --fast --json out.json
     repro-experiments sweep all --fast             # just the sweeps
-    repro-experiments sweep all --jobs 4           # process-pool parallel
+    repro-experiments sweep all --jobs 4 --timeout 300 --retries 2
+    repro-experiments run all --journal .journal   # crash-safe resume
+    repro-experiments checkpoint-run latency-lqd-burst \\
+        --checkpoint-every 2000000000 --checkpoint-dir ckpts
+    repro-experiments checkpoint-run --resume-from ckpts/latency-....json
 
 ``run``/``sweep`` accept ``--engine fast|reference`` and ``--seed N``;
 each scenario honors the knobs it declares (closed-form scenarios have
 no engine, for example) and silently keeps its defaults for the rest.
 ``--json PATH`` additionally writes the typed results (schema-valid
 :class:`repro.scenarios.RunResult` dicts) to a file, or to stdout with
-``--json -``.
+``--json -``; file writes are atomic (temp + rename), so a crash never
+leaves a torn document.
+
+Robustness (:mod:`repro.checkpoint`): ``--jobs N`` runs scenarios on a
+fault-tolerant process pool with per-scenario ``--timeout``, bounded
+``--retries`` with ``--backoff``, and worker-crash recovery;
+``--journal DIR`` persists each finished scenario atomically so an
+interrupted ``run all``/``sweep`` resumes by skipping completed work.
+``SIGINT``/``SIGTERM`` drain gracefully (finished results are kept) and
+exit ``128 + signum``; partial failures print a per-scenario table on
+stderr and exit 3.  ``checkpoint-run`` drives a single simulation with
+periodic state checkpoints and can resume one from its JSON file.
 
 The pre-scenario invocation style (``repro-experiments table1 --fast``)
 still works as an alias for ``run table1 --fast``.
@@ -26,8 +41,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal as _signal
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.scenarios import (
     BUDGETS,
@@ -41,6 +58,76 @@ from repro.scenarios import (
 )
 #: Envelope schema version for --json documents.
 DOCUMENT_SCHEMA = 1
+
+#: Exit code for a run/sweep that finished with per-scenario failures.
+EXIT_PARTIAL_FAILURE = 3
+
+
+# ---------------------------------------------------- flag validators
+#
+# Parse-time validation (mirroring TrafficSpec.pattern's style): reject
+# nonsense with a message naming the constraint, before any scenario
+# runs.
+
+def _jobs_value(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (a pool needs at least one worker), got {value}")
+    return value
+
+
+def _timeout_value(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a number of seconds, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be positive (a zero/negative timeout would kill every "
+            f"task at start), got {value}")
+    return value
+
+
+def _retries_value(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 disables retry), got {value}")
+    return value
+
+
+def _backoff_value(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a number of seconds, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, got {value}")
+    return value
+
+
+def _period_ps_value(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer picosecond count, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 ps, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,11 +149,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the listing as JSON ('-' for stdout) "
                              "instead of the text table")
 
-    def add_jobs_flag(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="run scenarios on a process pool of N workers "
-                            "(results stay in scenario order and are "
-                            "seed-deterministic; default: 1, in-process)")
+    def add_jobs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=_jobs_value, default=1, metavar="N",
+                       help="run scenarios on a fault-tolerant process "
+                            "pool of N workers (results stay in scenario "
+                            "order and are seed-deterministic; crashed "
+                            "workers are re-queued; default: 1, "
+                            "in-process)")
+        p.add_argument("--timeout", type=_timeout_value, default=None,
+                       metavar="SECONDS",
+                       help="per-scenario wall-clock budget on the pool; "
+                            "a scenario exceeding it is terminated and "
+                            "retried (default: none)")
+        p.add_argument("--retries", type=_retries_value, default=1,
+                       metavar="N",
+                       help="re-queue a crashed/timed-out/failed scenario "
+                            "up to N more times (default: 1)")
+        p.add_argument("--backoff", type=_backoff_value, default=0.1,
+                       metavar="SECONDS",
+                       help="delay before a retry, scaled by the attempt "
+                            "number (default: 0.1)")
+        p.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="inject deterministic worker faults from a "
+                            "JSON plan (CI recovery smoke; see "
+                            "repro.checkpoint.faults)")
 
     def add_run_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--fast", action="store_true",
@@ -83,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "histograms, occupancy series) for scenarios "
                             "that support it; the snapshot lands in "
                             "metrics.telemetry of the --json document")
+        p.add_argument("--journal", dest="journal_dir", metavar="DIR",
+                       default=None,
+                       help="persist each finished scenario atomically to "
+                            "DIR and skip already-journaled scenarios "
+                            "(crash-safe resume of run all / sweep)")
         p.add_argument("--quiet", action="store_true",
                        help="suppress the rendered tables")
 
@@ -91,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=scenario_names() + ["all"],
                        help="which scenario to run")
     add_run_flags(p_run)
+    add_jobs_flags(p_run)
 
     sweep_names = [s.spec.name for s in scenarios_of_kind("sweep")]
     p_sweep = sub.add_parser("sweep",
@@ -98,7 +210,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("scenario", choices=sweep_names + ["all"],
                          help="which sweep to run")
     add_run_flags(p_sweep)
-    add_jobs_flag(p_sweep)
+    add_jobs_flags(p_sweep)
+
+    ckpt_names = [s.spec.name for s in all_scenarios().values()
+                  if s.spec.kind in ("overload", "latency")]
+    p_ckpt = sub.add_parser(
+        "checkpoint-run",
+        help="run one simulation with periodic state checkpoints, or "
+             "resume one from a checkpoint file")
+    p_ckpt.add_argument("scenario", nargs="?", choices=ckpt_names,
+                        help="which scenario to run (omit with "
+                             "--resume-from)")
+    p_ckpt.add_argument("--resume-from", metavar="PATH", default=None,
+                        help="continue from a checkpoint file instead of "
+                             "starting fresh")
+    p_ckpt.add_argument("--engine", choices=ENGINES, default=None,
+                        help="execution engine (fast = exact stream "
+                             "snapshots, reference = replay-anchored "
+                             "kernel checkpoints)")
+    p_ckpt.add_argument("--seed", type=int, default=None,
+                        help="policy RNG seed")
+    p_ckpt.add_argument("--fast", action="store_true",
+                        help="fast run-length budget")
+    p_ckpt.add_argument("--checkpoint-every", type=_period_ps_value,
+                        metavar="PS", default=None,
+                        help="checkpoint the simulation every PS "
+                             "picoseconds of simulated time")
+    p_ckpt.add_argument("--checkpoint-dir", metavar="DIR", default=".",
+                        help="where checkpoint files land (default: .)")
+    p_ckpt.add_argument("--json", dest="json_path", metavar="PATH",
+                        default=None,
+                        help="write the run summary as JSON ('-' for "
+                             "stdout)")
+    p_ckpt.add_argument("--quiet", action="store_true",
+                        help="suppress the result summary")
 
     return parser
 
@@ -110,12 +255,23 @@ def _legacy_rewrite(argv: List[str]) -> List[str]:
     argparse used to accept, ``--fast table1``) predate the
     subcommands; keep both working as aliases for ``run``.
     """
-    if not argv or argv[0] in ("list", "run", "sweep"):
+    if not argv or argv[0] in ("list", "run", "sweep", "checkpoint-run"):
         return argv
     legacy = set(scenario_names()) | {"all"}
     if any(token in legacy for token in argv):
         return ["run"] + argv
     return argv
+
+
+def _write_document(json_path: str, doc: Dict[str, Any]) -> None:
+    """Emit a --json document ('-' = stdout, else an atomic file
+    write: a crash mid-write never leaves a torn document)."""
+    text = json.dumps(doc, indent=2) + "\n"
+    if json_path == "-":
+        sys.stdout.write(text)
+    else:
+        from repro.checkpoint.atomic import write_text_atomic
+        write_text_atomic(json_path, text)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -139,12 +295,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "seed": spec.seed,
             } for spec in specs],
         }
-        text = json.dumps(doc, indent=2) + "\n"
-        if args.json_path == "-":
-            sys.stdout.write(text)
-        else:
-            with open(args.json_path, "w") as fh:
-                fh.write(text)
+        _write_document(args.json_path, doc)
         return 0
     rows = [(spec.name, spec.kind, spec.workload,
              ",".join(sorted(spec.supports)) or "-", spec.description)
@@ -156,72 +307,198 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _worker_init(paths: List[str]) -> None:
-    """Process-pool initializer: mirror the parent's import path (the
-    repo is usually run from a source checkout via PYTHONPATH=src)."""
-    sys.path[:] = paths
-
-
 def _run_one_serialized(payload) -> dict:
-    """Run one scenario in a worker; returns the serialized result.
+    """Run one scenario in a pool worker; returns the serialized result.
 
-    Module-level (picklable) on purpose; seeds travel with the payload,
-    so a pool run is exactly as deterministic as a serial one.
+    Module-level (picklable) on purpose; seeds and the parent's import
+    path travel with the payload, so a pool run is exactly as
+    deterministic as a serial one.
     """
-    name, engine, seed, fast, telemetry = payload
+    paths, name, engine, seed, fast, telemetry = payload
+    sys.path[:] = paths
     result = Runner().run(name, engine=engine, seed=seed, fast=fast,
                           telemetry=telemetry)
     return result.to_dict()
 
 
-def _run_pool(names: List[str], args: argparse.Namespace, jobs: int):
-    """Run scenarios on a process pool, results in input order."""
-    from concurrent.futures import ProcessPoolExecutor
-
-    from repro.scenarios import RunResult
-
-    payloads = [(name, args.engine, args.seed, args.fast or None,
-                 args.telemetry or None)
-                for name in names]
-    with ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init,
-                             initargs=(list(sys.path),)) as pool:
-        # executor.map preserves input order regardless of completion
-        # order, which keeps --json documents byte-stable across runs
-        # (modulo wall_clock_s)
-        return [RunResult.from_dict(d)
-                for d in pool.map(_run_one_serialized, payloads)]
+def _print_failures(failures) -> None:
+    """The per-scenario failure table, on stderr."""
+    print("\nFAILED SCENARIOS", file=sys.stderr)
+    width = max(len(f.name) for f in failures)
+    for f in failures:
+        print(f"  {f.name:<{width}}  attempts={f.attempts}  {f.reason}",
+              file=sys.stderr)
 
 
 def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
+    from repro.checkpoint.pool import TaskFailure, run_tasks
+    from repro.scenarios import RunResult
+
     jobs = getattr(args, "jobs", 1)
-    if jobs < 1:
-        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    payloads = [(list(sys.path), name, args.engine, args.seed,
+                 args.fast or None, args.telemetry or None)
+                for name in names]
+
     if jobs > 1 and len(names) > 1:
-        results = _run_pool(names, args, min(jobs, len(names)))
-        if not args.quiet:
-            for result in results:
-                print(render(result))
-                print()
+        outcome = run_tasks(
+            _run_one_serialized, list(zip(names, payloads)),
+            jobs=min(jobs, len(names)),
+            timeout_s=getattr(args, "timeout", None),
+            retries=getattr(args, "retries", 1),
+            backoff_s=getattr(args, "backoff", 0.1),
+            journal_dir=args.journal_dir,
+            fault_plan=getattr(args, "fault_plan", None))
+        results = [None if d is None else RunResult.from_dict(d)
+                   for d in outcome.results]
+        failures = outcome.failures
+        interrupted = outcome.interrupted
     else:
+        # serial path: same journal semantics, in-process execution
+        results = [None] * len(names)
+        failures = []
+        interrupted = None
+        journal = args.journal_dir
+        if journal is not None:
+            os.makedirs(journal, exist_ok=True)
         runner = Runner()
-        results = []
-        for name in names:
-            result = runner.run(name, engine=args.engine, seed=args.seed,
-                                fast=args.fast or None,
-                                telemetry=args.telemetry or None)
-            results.append(result)
-            if not args.quiet:
+        for idx, (name, payload) in enumerate(zip(names, payloads)):
+            doc = _journal_lookup(journal, name)
+            if doc is not None:
+                results[idx] = RunResult.from_dict(doc)
+                continue
+            try:
+                result = runner.run(name, engine=args.engine,
+                                    seed=args.seed,
+                                    fast=args.fast or None,
+                                    telemetry=args.telemetry or None)
+            except KeyboardInterrupt:
+                interrupted = _signal.SIGINT
+                failures.extend(
+                    TaskFailure(name=n, attempts=0,
+                                reason="interrupted before completion")
+                    for n in names[idx:])
+                break
+            except Exception as exc:  # noqa: BLE001 -- keep sweeping
+                failures.append(TaskFailure(
+                    name=name, attempts=1,
+                    reason=f"{type(exc).__name__}: {exc}"))
+                continue
+            results[idx] = result
+            if journal is not None:
+                from repro.checkpoint.atomic import write_json_atomic
+                write_json_atomic(
+                    os.path.join(journal, f"{name}.json"),
+                    result.to_dict())
+
+    if not args.quiet:
+        for result in results:
+            if result is not None:
                 print(render(result))
                 print()
     if args.json_path is not None:
-        doc = {"schema": DOCUMENT_SCHEMA,
-               "runs": [r.to_dict() for r in results]}
-        text = json.dumps(doc, indent=2) + "\n"
-        if args.json_path == "-":
-            sys.stdout.write(text)
-        else:
-            with open(args.json_path, "w") as fh:
-                fh.write(text)
+        doc: Dict[str, Any] = {
+            "schema": DOCUMENT_SCHEMA,
+            "runs": [r.to_dict() for r in results if r is not None],
+        }
+        if failures:
+            doc["failures"] = [{"name": f.name, "attempts": f.attempts,
+                                "reason": f.reason} for f in failures]
+        _write_document(args.json_path, doc)
+    if failures:
+        _print_failures(failures)
+    if interrupted is not None:
+        return 128 + interrupted
+    return EXIT_PARTIAL_FAILURE if failures else 0
+
+
+def _journal_lookup(journal: Optional[str], name: str) -> Optional[dict]:
+    if journal is None:
+        return None
+    from repro.checkpoint.pool import ERROR_KEY, _journaled
+    doc = _journaled(os.path.join(journal, f"{name}.json"))
+    if doc is None or ERROR_KEY in doc:
+        return None
+    return doc
+
+
+# ------------------------------------------------------ checkpoint-run
+
+def _checkpoint_build(args: argparse.Namespace):
+    """Build the (fresh or resumed) checkpointable run plus its file
+    stem."""
+    import dataclasses as _dc
+
+    from repro.checkpoint import (
+        Checkpoint,
+        KernelRun,
+        StreamRun,
+        overload_params,
+        resume_run,
+    )
+    from repro.policies.harness import OVERLOAD_MMS_CFG
+
+    if args.resume_from is not None:
+        ckpt = Checkpoint.load(args.resume_from)
+        run = resume_run(ckpt)
+        stem = ckpt.params.get("scenario") or ckpt.workload
+        return run, stem
+
+    if args.scenario is None:
+        raise SystemExit("checkpoint-run needs a scenario name or "
+                         "--resume-from PATH")
+    spec = all_scenarios()[args.scenario].spec.with_options(
+        engine=args.engine, seed=args.seed,
+        budget="fast" if args.fast else None)
+    cfg = _dc.replace(spec.mms or OVERLOAD_MMS_CFG, policy=spec.policy,
+                      policy_seed=spec.seed, policy_records=False)
+    params = overload_params(
+        cfg, spec.traffic.pattern,
+        num_arrivals=spec.pick(spec.traffic.num_commands),
+        active_flows=spec.traffic.active_flows,
+        telemetry=spec.telemetry,
+        engine_label=spec.effective_engine or "fast")
+    params["scenario"] = spec.name
+    if spec.effective_engine == "reference":
+        run = KernelRun.fresh("overload", params)
+    else:
+        run = StreamRun.fresh("overload", params)
+    return run, spec.name
+
+
+def _cmd_checkpoint_run(args: argparse.Namespace) -> int:
+    from repro.checkpoint import run_with_checkpoints
+
+    run, stem = _checkpoint_build(args)
+    saved: List[str] = []
+
+    if args.checkpoint_every is not None:
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
+
+        def sink(ckpt) -> None:
+            path = os.path.join(args.checkpoint_dir,
+                                f"{stem}-{ckpt.at_ps}.json")
+            ckpt.save(path)
+            saved.append(path)
+
+        run_with_checkpoints(run, args.checkpoint_every, sink)
+    result = run.finish()
+
+    counters = result.counters() if hasattr(result, "counters") \
+        else dict(result)
+    kind = "stream" if type(run).__name__ == "StreamRun" else "kernel"
+    if not args.quiet:
+        print(f"{stem}: finished at {run.now} ps ({kind} engine, "
+              f"{len(saved)} checkpoint(s))")
+        for key, value in counters.items():
+            print(f"  {key:<20} {value}")
+    if args.json_path is not None:
+        _write_document(args.json_path, {
+            "schema": DOCUMENT_SCHEMA,
+            "scenario": stem,
+            "engine": kind,
+            "result": counters,
+            "checkpoints": saved,
+        })
     return 0
 
 
@@ -231,6 +508,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(_legacy_rewrite(list(argv)))
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "checkpoint-run":
+        return _cmd_checkpoint_run(args)
     if args.command == "sweep":
         sweep_names = [s.spec.name for s in scenarios_of_kind("sweep")]
         names = sweep_names if args.scenario == "all" else [args.scenario]

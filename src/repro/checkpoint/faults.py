@@ -1,0 +1,78 @@
+"""Deterministic fault injection for the sweep worker pool.
+
+CI cannot wait for real worker crashes, so this module manufactures
+them on demand: a JSON *fault plan* names which task executions die
+(``SIGKILL`` mid-task) or hang (sleep past any sane timeout), and
+:func:`maybe_fault` -- called by the pool worker before running its
+task -- consults the plan.  Faults are **exactly-once per planned
+occurrence**: each is claimed through an ``O_CREAT | O_EXCL`` marker
+file next to the plan, so the first execution of a task takes the
+fault and its retry runs clean.  That makes the CI smoke test sharp:
+a sweep with an injected worker kill must produce results identical
+to a fault-free sweep, because recovery re-runs the task, not a
+degraded variant of it.
+
+The plan lives in a file (not process state) because pool workers are
+separate processes: the path travels in the task payload, the claims
+synchronize through the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Dict, Optional
+
+from repro.checkpoint.atomic import read_json, write_json_atomic
+
+#: Default hang duration: far past any per-task timeout the sweep uses.
+HANG_SECONDS = 600.0
+
+
+def write_plan(path: str, *, kill: Optional[Dict[str, int]] = None,
+               hang: Optional[Dict[str, int]] = None,
+               hang_seconds: float = HANG_SECONDS) -> None:
+    """Write a fault plan: ``kill``/``hang`` map task names to how many
+    executions of that task should take the fault (almost always 1)."""
+    write_json_atomic(path, {
+        "kill": dict(kill or {}),
+        "hang": dict(hang or {}),
+        "hang_seconds": hang_seconds,
+    })
+
+
+def maybe_fault(plan_path: Optional[str], task: str) -> None:
+    """Take the planned fault for ``task``, if one is still unclaimed.
+
+    Called from inside a pool worker process.  ``kill`` dies by
+    ``SIGKILL`` (no cleanup, no result file -- exactly what a real
+    worker crash looks like); ``hang`` sleeps long enough to trip the
+    pool's per-task timeout.
+    """
+    if plan_path is None:
+        return
+    plan = read_json(plan_path)
+    for kind in ("kill", "hang"):
+        times = int(plan.get(kind, {}).get(task, 0))
+        for k in range(times):
+            if not _claim(plan_path, kind, task, k):
+                continue
+            if kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(float(plan.get("hang_seconds", HANG_SECONDS)))
+            return
+
+
+def _claim(plan_path: str, kind: str, task: str, k: int) -> bool:
+    """Claim occurrence ``k`` of a planned fault (True exactly once
+    across all workers and retries, via ``O_CREAT | O_EXCL``)."""
+    directory = plan_path + ".claims"
+    os.makedirs(directory, exist_ok=True)
+    marker = os.path.join(directory, f"{kind}-{task}-{k}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True

@@ -1,0 +1,179 @@
+"""Resumable feeders: observation tapes over generator workloads.
+
+The one thing an exact :class:`~repro.engines.stream.StreamMms`
+snapshot cannot serialize is its feeders -- plain Python generators
+(:mod:`repro.core.workloads`) suspended mid-iteration.  What *can* be
+reproduced is their execution: a feeder's behavior is a pure function
+of its construction arguments plus the values it observed from its
+environment (``now_fn()`` reads, ``queued_packets()`` probes, shared
+counter lookups).  So each checkpoint-aware feeder runs behind a
+:class:`Tape` that records every observation in program order, and a
+:class:`CountedFeeder` wrapper that counts consumed micro-ops.  Resume
+rebuilds the generator from the same factory, switches its tape to
+replay, and fast-forwards it the recorded number of ops: the generator
+re-reaches the exact suspension point with the exact internal state
+(loop counters, private RNGs), without touching the restored machine.
+
+Two replay rules keep this exact:
+
+* **Replay is a phase, not exhaustion.**  ``Tape.replaying`` stays True
+  for the whole fast-forward and is flipped off explicitly once the
+  tape is verified fully consumed.  Deriving "live" from "tape
+  exhausted" would be wrong: a read-modify-write like
+  ``counters["dequeued"] += 1`` whose *read* consumes the last tape
+  entry must still have its *write* suppressed.
+* **Writes are suppressed during replay.**  Feeders share one counter
+  store; each sees it through a :class:`CounterView` whose reads go
+  through the feeder's own tape and whose writes are dropped while
+  replaying (the store itself is restored from the checkpoint -- the
+  writes already happened).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class TapeMismatchError(RuntimeError):
+    """A replayed feeder diverged from its recording (wrong op count,
+    unconsumed observations, or observations beyond the tape) -- the
+    checkpoint and the factory disagree about the workload."""
+
+
+class Tape:
+    """Per-feeder observation log with explicit record/replay phases."""
+
+    __slots__ = ("log", "pos", "replaying")
+
+    def __init__(self, log: Optional[List[Any]] = None) -> None:
+        self.log: List[Any] = list(log) if log else []
+        self.pos = 0
+        self.replaying = False
+
+    def observe(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """One environment read: recorded live, served from the log
+        during replay (``fn`` is not called then)."""
+        if self.replaying:
+            if self.pos >= len(self.log):
+                raise TapeMismatchError(
+                    f"replay consumed all {len(self.log)} recorded "
+                    f"observations but the feeder asked for another")
+            value = self.log[self.pos]
+            self.pos += 1
+            return value
+        value = fn(*args)
+        self.log.append(value)
+        return value
+
+    def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """An observed stand-in for ``fn`` (``now_fn``,
+        ``queued_packets``)."""
+        def observed(*args: Any) -> Any:
+            return self.observe(fn, *args)
+        return observed
+
+    # ------------------------------------------------------ phase control
+
+    def start_replay(self) -> None:
+        self.pos = 0
+        self.replaying = True
+
+    def end_replay(self) -> None:
+        if self.pos != len(self.log):
+            raise TapeMismatchError(
+                f"replay consumed {self.pos} of {len(self.log)} recorded "
+                f"observations -- the feeder diverged from its recording")
+        self.replaying = False
+
+
+class CounterView:
+    """A feeder's taped view of the shared counter store.
+
+    Duck-types the ``Dict[str, int]`` surface the workload feeders use
+    (``get``, ``[]`` read, ``[]`` write): reads are observations on the
+    owning feeder's tape, writes reach the store only when live.
+    """
+
+    __slots__ = ("_store", "_tape")
+
+    def __init__(self, store: Dict[str, int], tape: Tape) -> None:
+        self._store = store
+        self._tape = tape
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self._tape.observe(self._store.get, key, default)
+
+    def __getitem__(self, key: str) -> int:
+        return self._tape.observe(self._store.__getitem__, key)
+
+    def __setitem__(self, key: str, value: int) -> None:
+        if not self._tape.replaying:
+            self._store[key] = value
+
+
+class CountedFeeder:
+    """Iterator wrapper tracking consumed micro-ops and termination.
+
+    This is the *only* checkpoint hook on the feeder path, and it is
+    attached exclusively by the checkpoint-aware drivers
+    (:mod:`repro.checkpoint.runs`): the plain harnesses keep handing raw
+    generators to the engines, so checkpoint support is structurally
+    absent from normal runs -- the same gating discipline as telemetry
+    probes.
+    """
+
+    __slots__ = ("gen", "tape", "ops", "finished")
+
+    def __init__(self, gen: Iterator[Any], tape: Tape) -> None:
+        self.gen = gen
+        self.tape = tape
+        self.ops = 0
+        self.finished = False
+
+    def __iter__(self) -> "CountedFeeder":
+        return self
+
+    def __next__(self) -> Any:
+        try:
+            op = next(self.gen)
+        except StopIteration:
+            self.finished = True
+            raise
+        self.ops += 1
+        return op
+
+    # ------------------------------------------------- snapshot/restore
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"ops": self.ops, "finished": self.finished,
+                "tape": list(self.tape.log)}
+
+    def fast_forward(self, ops: int, finished: bool) -> None:
+        """Replay the generator to its recorded suspension point.
+
+        The engines advance feeders only synchronously inside their
+        feeder wake (never mid-``next``), so ``ops`` consumed micro-ops
+        plus the finished flag pin the generator state exactly.  A
+        finished feeder gets one extra ``next()`` that must raise
+        ``StopIteration`` (running its trailing post-loop code -- e.g.
+        the ``feeders_done`` bump -- under replay suppression).
+        """
+        self.tape.start_replay()
+        for i in range(ops):
+            try:
+                next(self.gen)
+            except StopIteration:
+                raise TapeMismatchError(
+                    f"feeder finished after {i} of {ops} replayed ops")
+        if finished:
+            try:
+                next(self.gen)
+            except StopIteration:
+                pass
+            else:
+                raise TapeMismatchError(
+                    "feeder recorded as finished yielded another op "
+                    "during replay")
+            self.finished = True
+        self.ops = ops
+        self.tape.end_replay()

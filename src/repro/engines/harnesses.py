@@ -11,12 +11,21 @@ Table 5 warm-up window's record-order semantics -- so the returned
 values are *equal*, not approximately equal (asserted by
 ``tests/engines/``).
 
+The pacing and result-assembly arithmetic is factored into module
+functions (``load_volley_period_ps``, ``assemble_overload_result``,
+...) with the run loops kept thin on top: the checkpoint-aware drivers
+(:mod:`repro.checkpoint.runs`) call the *same* functions, which is what
+makes a resumed run's result structurally identical to an unbroken
+harness run rather than re-implemented-and-hopefully-equal.
+
 These entry points are not called directly by experiment code: the
 kernel harnesses route ``engine="fast"`` here whenever
 :func:`~repro.engines.stream.stream_supports` claims the configuration.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Tuple
 
 from repro.core.latency import LatencyBreakdown
 from repro.core.mms import BITS_PER_OP, MmsConfig, MmsLoadResult
@@ -29,7 +38,10 @@ from repro.core.workloads import (
 )
 from repro.engines.stream import StreamMms
 from repro.policies.harness import OverloadResult
-from repro.sim.clock import SEC
+from repro.sim.clock import Clock, SEC
+
+#: Saturation harness horizon (far beyond any drain time).
+SATURATION_HORIZON_PS = 60 * SEC
 
 
 def _feed_probe(records: list, probe) -> None:
@@ -55,32 +67,30 @@ def _records(eng: StreamMms, probe, horizon: int) -> list:
     return records
 
 
-def stream_run_load(offered_gbps: float, *, num_volleys: int,
-                    config: MmsConfig, active_flows: int,
-                    warmup_volleys: int, burst_len: int, burst_prob: float,
-                    seed: int, probe=None) -> MmsLoadResult:
-    """Table 5 at one offered load, on the command-stream machine."""
-    eng = StreamMms(config, probe=probe)
-    eng.prefill(range(active_flows),
-                packets_per_flow=(2 * LOAD_LAG_VOLLEYS) // active_flows + 4)
-    volley_period_ps = round(4 * BITS_PER_OP / offered_gbps * 1000)
+# ================================================== Table 5 load pacing
 
-    def now() -> int:
-        return eng.now
+def load_volley_period_ps(offered_gbps: float) -> int:
+    """Volley pacing of the Table 5 harness at one offered load."""
+    return round(4 * BITS_PER_OP / offered_gbps * 1000)
 
-    for port, (enqueue, phase) in enumerate(((True, 0), (False, 0),
-                                             (True, 1), (False, 1))):
-        eng.add_feeder(port, load_feed_ops(
-            now, port, enqueue, phase, num_volleys, volley_period_ps,
-            active_flows, burst_len, burst_prob, seed))
 
-    horizon = (num_volleys + 64) * volley_period_ps + 10 * SEC // 1000
-    eng.run(horizon)
+def load_prefill_packets(active_flows: int) -> int:
+    """Per-flow prefill depth of the Table 5 harness."""
+    return (2 * LOAD_LAG_VOLLEYS) // active_flows + 4
 
-    # Replay the records through the exact warm-up windowing of
-    # run_load's recording hook: every record advances the full-run
-    # breakdown and the last-seen timestamp; the warm recorder starts
-    # after warmup_volleys * 4 records.
+
+def load_horizon_ps(num_volleys: int, volley_period_ps: int) -> int:
+    """Run horizon of the Table 5 harness."""
+    return (num_volleys + 64) * volley_period_ps + 10 * SEC // 1000
+
+
+def assemble_load_result(eng: StreamMms, probe, horizon: int,
+                         config: MmsConfig, warmup_volleys: int,
+                         offered_gbps: float) -> MmsLoadResult:
+    """Replay the finished run's records through the exact warm-up
+    windowing of ``run_load``'s recording hook: every record advances
+    the full-run breakdown and the last-seen timestamp; the warm
+    recorder starts after ``warmup_volleys * 4`` records."""
     breakdown = LatencyBreakdown(eng.clock, keep_samples=config.keep_samples)
     warm = LatencyBreakdown(eng.clock, keep_samples=config.keep_samples)
     t0 = None
@@ -110,22 +120,40 @@ def stream_run_load(offered_gbps: float, *, num_volleys: int,
     )
 
 
-def stream_run_saturation(*, num_commands: int, config: MmsConfig,
-                          active_flows: int, probe=None) -> MmsLoadResult:
-    """The headline saturation experiment, on the command-stream
-    machine."""
+def stream_run_load(offered_gbps: float, *, num_volleys: int,
+                    config: MmsConfig, active_flows: int,
+                    warmup_volleys: int, burst_len: int, burst_prob: float,
+                    seed: int, probe=None) -> MmsLoadResult:
+    """Table 5 at one offered load, on the command-stream machine."""
     eng = StreamMms(config, probe=probe)
-    per_port = num_commands // 4
     eng.prefill(range(active_flows),
-                packets_per_flow=per_port * 2 // active_flows + 2)
+                packets_per_flow=load_prefill_packets(active_flows))
+    volley_period_ps = load_volley_period_ps(offered_gbps)
+
+    def now() -> int:
+        return eng.now
+
     for port, (enqueue, phase) in enumerate(((True, 0), (False, 0),
                                              (True, 1), (False, 1))):
-        eng.add_feeder(port,
-                       saturation_feed_ops(enqueue, phase, per_port,
-                                           active_flows))
-    horizon = 60 * SEC
-    eng.run(horizon)
+        eng.add_feeder(port, load_feed_ops(
+            now, port, enqueue, phase, num_volleys, volley_period_ps,
+            active_flows, burst_len, burst_prob, seed))
 
+    horizon = load_horizon_ps(num_volleys, volley_period_ps)
+    eng.run(horizon)
+    return assemble_load_result(eng, probe, horizon, config,
+                                warmup_volleys, offered_gbps)
+
+
+# ================================================== saturation pacing
+
+def saturation_prefill_packets(per_port: int, active_flows: int) -> int:
+    """Per-flow prefill depth of the saturation harness."""
+    return per_port * 2 // active_flows + 2
+
+
+def assemble_saturation_result(eng: StreamMms, probe, horizon: int,
+                               config: MmsConfig) -> MmsLoadResult:
     breakdown = LatencyBreakdown(eng.clock, keep_samples=config.keep_samples)
     for _time_ps, fifo_c, exec_c, data_c, e2e_c, _op in \
             _records(eng, probe, horizon):
@@ -148,42 +176,53 @@ def stream_run_saturation(*, num_commands: int, config: MmsConfig,
     )
 
 
-def stream_run_overload(cfg: MmsConfig, shape: str, *, num_arrivals: int,
-                        active_flows: int,
-                        engine_label: str = "fast",
-                        probe=None) -> OverloadResult:
-    """One overload experiment, on the command-stream machine.
-
-    ``cfg`` is the already-resolved build (policy spec, seed and record
-    retention folded in by :func:`repro.policies.harness.run_overload`,
-    which owns the argument validation and routes here).
-    """
-    eng = StreamMms(cfg, probe=probe)
-    pol = eng.policy
-
-    service_ps = round(10.5 * eng.clock.period_ps)
-    drain_period = 2 * service_ps
-    enq_period = 3 * drain_period // 4
-
-    per_port = num_arrivals // 3
-    counters = {"dequeued": 0}
-    for port in range(3):
-        eng.add_feeder(port, overload_feed_ops(shape, port, per_port,
-                                               active_flows, enq_period,
-                                               counters))
-    eng.add_feeder(3, overload_drain_ops(eng.pqm.queued_packets,
-                                         active_flows, drain_period,
-                                         counters))
-
-    horizon = (num_arrivals * 16 * enq_period
-               + cfg.num_segments * 4 * drain_period
-               + SEC // 1000)
+def stream_run_saturation(*, num_commands: int, config: MmsConfig,
+                          active_flows: int, probe=None) -> MmsLoadResult:
+    """The headline saturation experiment, on the command-stream
+    machine."""
+    eng = StreamMms(config, probe=probe)
+    per_port = num_commands // 4
+    eng.prefill(range(active_flows),
+                packets_per_flow=saturation_prefill_packets(per_port,
+                                                            active_flows))
+    for port, (enqueue, phase) in enumerate(((True, 0), (False, 0),
+                                             (True, 1), (False, 1))):
+        eng.add_feeder(port,
+                       saturation_feed_ops(enqueue, phase, per_port,
+                                           active_flows))
+    horizon = SATURATION_HORIZON_PS
     eng.run(horizon)
+    return assemble_saturation_result(eng, probe, horizon, config)
+
+
+# ==================================================== overload pacing
+
+def overload_pacing_ps(clock: Clock) -> Tuple[int, int]:
+    """``(drain_period_ps, enq_period_ps)`` of the overload harness:
+    the DQM serves one command per ~10.5 cycles, the drain dequeues at
+    twice that interval, and the three enqueue ports together offer
+    four segments per drain slot -- 2x oversubscription."""
+    service_ps = round(10.5 * clock.period_ps)
+    drain_period = 2 * service_ps
+    return drain_period, 3 * drain_period // 4
+
+
+def overload_horizon_ps(num_arrivals: int, enq_period_ps: int,
+                        num_segments: int, drain_period_ps: int) -> int:
+    """Run horizon of the overload harness."""
+    return (num_arrivals * 16 * enq_period_ps
+            + num_segments * 4 * drain_period_ps
+            + SEC // 1000)
+
+
+def assemble_overload_result(eng: StreamMms, cfg: MmsConfig, shape: str,
+                             counters: Dict[str, int], horizon: int,
+                             probe=None,
+                             engine_label: str = "fast") -> OverloadResult:
     if probe is not None:
         # replay only: the overload result wants counters, not records
         _feed_probe(eng.latency_records(horizon, with_ops=True), probe)
-
-    stats = pol.stats
+    stats = eng.policy.stats
     return OverloadResult(
         policy=cfg.policy.name,
         shape=shape,
@@ -196,8 +235,38 @@ def stream_run_overload(cfg: MmsConfig, shape: str, *, num_arrivals: int,
         pushed_out_segments=stats.pushed_out_segments,
         pushed_out_bytes=stats.pushed_out_bytes,
         dequeued_segments=counters["dequeued"],
-        residual_segments=pol.total_segments,
+        residual_segments=eng.policy.total_segments,
         capacity_segments=cfg.num_segments,
         elapsed_ps=eng.now,
         engine=engine_label,
     )
+
+
+def stream_run_overload(cfg: MmsConfig, shape: str, *, num_arrivals: int,
+                        active_flows: int,
+                        engine_label: str = "fast",
+                        probe=None) -> OverloadResult:
+    """One overload experiment, on the command-stream machine.
+
+    ``cfg`` is the already-resolved build (policy spec, seed and record
+    retention folded in by :func:`repro.policies.harness.run_overload`,
+    which owns the argument validation and routes here).
+    """
+    eng = StreamMms(cfg, probe=probe)
+
+    drain_period, enq_period = overload_pacing_ps(eng.clock)
+    per_port = num_arrivals // 3
+    counters = {"dequeued": 0}
+    for port in range(3):
+        eng.add_feeder(port, overload_feed_ops(shape, port, per_port,
+                                               active_flows, enq_period,
+                                               counters))
+    eng.add_feeder(3, overload_drain_ops(eng.pqm.queued_packets,
+                                         active_flows, drain_period,
+                                         counters))
+
+    horizon = overload_horizon_ps(num_arrivals, enq_period,
+                                  cfg.num_segments, drain_period)
+    eng.run(horizon)
+    return assemble_overload_result(eng, cfg, shape, counters, horizon,
+                                    probe=probe, engine_label=engine_label)

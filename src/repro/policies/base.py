@@ -298,3 +298,71 @@ class BufferPolicy(ABC):
             self.stats.records.append(DropRecord(
                 seq=self._seq, queue=queue, kind=kind, segments=segments,
                 nbytes=nbytes, reason=reason, time_ps=self.now_fn()))
+
+    # ------------------------------------------------- snapshot/restore
+
+    def state_dict(self) -> Dict[str, object]:
+        """Exact JSON-serializable snapshot of the mutable policy state
+        (occupancy books, stats, records, family extras).
+
+        Restoring it into a freshly constructed policy of the same
+        family/parameters via :meth:`load_state` reproduces every future
+        decision bit-for-bit -- the checkpoint/resume identity contract
+        of :mod:`repro.checkpoint`.  Constructor parameters (capacity,
+        thresholds, seeds) are *not* captured: they travel with the
+        :class:`~repro.core.mms.MmsConfig` in the checkpoint params.
+        """
+        s = self.stats
+        return {
+            "stats": {
+                "offered_segments": s.offered_segments,
+                "offered_bytes": s.offered_bytes,
+                "accepted_segments": s.accepted_segments,
+                "accepted_bytes": s.accepted_bytes,
+                "dropped_segments": s.dropped_segments,
+                "dropped_bytes": s.dropped_bytes,
+                "pushed_out_segments": s.pushed_out_segments,
+                "pushed_out_bytes": s.pushed_out_bytes,
+                "records": [[r.seq, r.queue, r.kind, r.segments, r.nbytes,
+                             r.reason, r.time_ps] for r in s.records],
+            },
+            "queue_segments": {str(q): n
+                               for q, n in self.queue_segments.items()},
+            "queue_bytes": {str(q): n for q, n in self.queue_bytes.items()},
+            "total_segments": self.total_segments,
+            "total_bytes": self.total_bytes,
+            "seq": self._seq,
+            "extra": self._state_extra(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output (see its contract)."""
+        st = state["stats"]
+        s = self.stats
+        s.offered_segments = st["offered_segments"]
+        s.offered_bytes = st["offered_bytes"]
+        s.accepted_segments = st["accepted_segments"]
+        s.accepted_bytes = st["accepted_bytes"]
+        s.dropped_segments = st["dropped_segments"]
+        s.dropped_bytes = st["dropped_bytes"]
+        s.pushed_out_segments = st["pushed_out_segments"]
+        s.pushed_out_bytes = st["pushed_out_bytes"]
+        s.records = [DropRecord(seq=r[0], queue=r[1], kind=r[2],
+                                segments=r[3], nbytes=r[4], reason=r[5],
+                                time_ps=r[6]) for r in st["records"]]
+        self.queue_segments = {int(q): n
+                               for q, n in state["queue_segments"].items()}
+        self.queue_bytes = {int(q): n
+                            for q, n in state["queue_bytes"].items()}
+        self.total_segments = state["total_segments"]
+        self.total_bytes = state["total_bytes"]
+        self._seq = state["seq"]
+        self._load_extra(state.get("extra") or {})
+
+    def _state_extra(self) -> Dict[str, object]:
+        """Family-specific mutable state (RED's filter and RNG);
+        JSON-serializable.  The base families have none."""
+        return {}
+
+    def _load_extra(self, extra: Dict[str, object]) -> None:
+        """Restore :meth:`_state_extra` output."""

@@ -16,7 +16,7 @@ produce byte-identical drop counters.
 from __future__ import annotations
 
 import random
-from typing import FrozenSet
+from typing import Dict, FrozenSet
 
 from repro.policies.base import ACCEPT, BufferPolicy, Decision
 
@@ -71,3 +71,18 @@ class RandomEarlyDetection(BufferPolicy):
         if p > 0.0 and self._rng.random() < p:
             return Decision("drop", reason="red: early drop")
         return ACCEPT
+
+    # ------------------------------------------------- snapshot/restore
+
+    def _state_extra(self) -> Dict[str, object]:
+        # Mersenne Twister state: (version, 625-int word tuple,
+        # gauss_next or None) -- every component is JSON-exact, so the
+        # restored RNG continues the identical draw sequence.
+        version, words, gauss_next = self._rng.getstate()
+        return {"avg": self.avg,
+                "rng": [version, list(words), gauss_next]}
+
+    def _load_extra(self, extra: Dict[str, object]) -> None:
+        self.avg = extra["avg"]
+        version, words, gauss_next = extra["rng"]
+        self._rng.setstate((version, tuple(words), gauss_next))

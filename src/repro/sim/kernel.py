@@ -261,6 +261,28 @@ class Simulator:
             )
         return end
 
+    def schedule_state(self) -> Dict[str, Any]:
+        """Serialize the event schedule: the clock plus every live
+        pending resume as ``[when_ps, process_name, value_kind]`` in
+        ``(time, sequence)`` order.
+
+        Process names carry their spawn sequence number (``name#seq``),
+        so two runs of the same model produce identical serializations
+        exactly when their schedules are equivalent -- the anchor of the
+        kernel path's replay-verified checkpoints
+        (:mod:`repro.checkpoint`).  Stale entries (process already
+        done) are skipped: they are unobservable.
+        """
+        entries: List[List[Any]] = []
+        for proc, value in self._lane:
+            if not proc.done:
+                entries.append([self.now, proc.name, _value_kind(value)])
+        for when in sorted(self._buckets):
+            for proc, value in self._buckets[when]:
+                if not proc.done:
+                    entries.append([when, proc.name, _value_kind(value)])
+        return {"now": self.now, "entries": entries}
+
     # ----------------------------------------------------------- internals
 
     def _push(self, when: int, proc: Process, value: Any) -> None:
@@ -302,6 +324,13 @@ class Simulator:
 #: Sentinel marking "process terminated, nothing to dispatch" in the
 #: inlined run loop.
 _NO_COMMAND = object()
+
+
+def _value_kind(value: Any) -> str:
+    """Stable label of a pending resume value for serialization (the
+    values themselves -- event payloads, process results -- are model
+    objects and not JSON)."""
+    return "none" if value is None else type(value).__name__
 
 
 class HeapqSimulator(Simulator):
@@ -349,6 +378,15 @@ class HeapqSimulator(Simulator):
                 f"({len(self._heap)} events pending)"
             )
         return end
+
+    def schedule_state(self) -> Dict[str, Any]:
+        """Heapq engine's :meth:`Simulator.schedule_state`: the heap in
+        ``(time, sequence)`` order (sorting a heap list yields exactly
+        that order -- the sequence is the unique tie-break)."""
+        entries = [[when, proc.name, _value_kind(value)]
+                   for when, _seq, proc, value in sorted(self._heap)
+                   if not proc.done]
+        return {"now": self.now, "entries": entries}
 
     def _push(self, when: int, proc: Process, value: Any) -> None:
         self._seq += 1

@@ -110,6 +110,56 @@ class MmsTelemetry(Probe):
             hists.setdefault(f"{label}.{component}", Log2Histogram())
             for label in (cls, "all") for component in _COMPONENTS)
 
+    # ------------------------------------------------- snapshot/restore
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Exact JSON-serializable snapshot of the fold state.
+
+        Unlike :meth:`snapshot` (the *published* summary, which rounds
+        nothing but fixes the percentile set), this captures everything
+        needed to *continue* the fold mid-run: restoring it into a
+        fresh probe of the same :class:`TelemetrySpec` and feeding the
+        remaining probe stream yields a byte-identical final snapshot
+        (the :mod:`repro.checkpoint` resume-identity contract).
+        """
+        return {
+            "sample_every": self.spec.sample_every,
+            "commands": self.commands,
+            "by_op": dict(self.by_op),
+            "dropped_commands": self.dropped_commands,
+            "drops_by_reason": dict(self.drops_by_reason),
+            "series": [[t, v] for t, v in self.series],
+            "peak_total": self.peak_total,
+            "peak_time_ps": self.peak_time_ps,
+            "final_total": self.final_total,
+            "queue_peaks": {str(q): v for q, v in self.queue_peaks.items()},
+            "histograms": {k: self.histograms[k].to_dict()
+                           for k in sorted(self.histograms)},
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (see its contract)."""
+        if state["sample_every"] != self.spec.sample_every:
+            raise ValueError(
+                f"telemetry state was folded with sample_every="
+                f"{state['sample_every']}, this probe uses "
+                f"{self.spec.sample_every}")
+        self.commands = state["commands"]
+        self.by_op = dict(state["by_op"])
+        self.dropped_commands = state["dropped_commands"]
+        self.drops_by_reason = dict(state["drops_by_reason"])
+        self.series = [(t, v) for t, v in state["series"]]
+        self.peak_total = state["peak_total"]
+        self.peak_time_ps = state["peak_time_ps"]
+        self.final_total = state["final_total"]
+        self.queue_peaks = {int(q): v
+                            for q, v in state["queue_peaks"].items()}
+        self.histograms = {k: Log2Histogram.from_dict(h)
+                           for k, h in state["histograms"].items()}
+        # the route cache holds direct references into the replaced
+        # histogram dict; drop it so _make_route reconnects lazily
+        self._routes = {}
+
     # ----------------------------------------------------------- snapshot
 
     def snapshot(self) -> "TelemetrySnapshot":

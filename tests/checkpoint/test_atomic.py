@@ -1,0 +1,61 @@
+"""Atomic persistence: a reader never sees a torn artifact."""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint.atomic import (
+    read_json,
+    write_json_atomic,
+    write_text_atomic,
+)
+
+
+def test_write_text_atomic_creates_and_replaces(tmp_path):
+    path = str(tmp_path / "doc.txt")
+    write_text_atomic(path, "one\n")
+    assert open(path).read() == "one\n"
+    write_text_atomic(path, "two\n")
+    assert open(path).read() == "two\n"
+
+
+def test_write_json_atomic_round_trips_with_newline(tmp_path):
+    path = str(tmp_path / "doc.json")
+    payload = {"b": [1, 2], "a": {"nested": None}}
+    write_json_atomic(path, payload)
+    text = open(path).read()
+    assert text.endswith("\n")
+    assert text == json.dumps(payload, indent=2) + "\n"
+    assert read_json(path) == payload
+
+
+def test_failed_write_preserves_old_content_and_leaves_no_temp(tmp_path):
+    path = str(tmp_path / "doc.json")
+    write_json_atomic(path, {"ok": 1})
+
+    class Unserializable:
+        pass
+
+    with pytest.raises(TypeError):
+        write_json_atomic(path, {"bad": Unserializable()})
+    # the original artifact survives, and the directory holds no
+    # abandoned temp files
+    assert read_json(path) == {"ok": 1}
+    assert os.listdir(tmp_path) == ["doc.json"]
+
+
+def test_temp_lives_in_target_directory(tmp_path, monkeypatch):
+    """os.replace must not cross filesystems, so the temp file has to
+    be created next to the target."""
+    seen = {}
+    import tempfile as _tempfile
+    orig = _tempfile.mkstemp
+
+    def spy(**kwargs):
+        seen.update(kwargs)
+        return orig(**kwargs)
+
+    monkeypatch.setattr("repro.checkpoint.atomic.tempfile.mkstemp", spy)
+    write_text_atomic(str(tmp_path / "x.txt"), "y")
+    assert seen["dir"] == str(tmp_path)

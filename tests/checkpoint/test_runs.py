@@ -1,0 +1,157 @@
+"""Checkpointable run drivers: harness equivalence, structural
+absence of checkpoint machinery on the plain path, and driver
+validation."""
+
+import dataclasses
+import inspect
+import types
+
+import pytest
+
+from repro.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    KernelRun,
+    StreamRun,
+    overload_params,
+    resume_run,
+    run_with_checkpoints,
+    script_params,
+    snapshot_stream,
+)
+from repro.core.mms import MmsConfig
+from repro.engines.stream import StreamMms
+from repro.policies import PolicySpec
+from repro.policies.harness import OVERLOAD_MMS_CFG, run_overload
+
+
+def _overload(engine_label="fast", **kw):
+    spec = PolicySpec("red")
+    cfg = dataclasses.replace(OVERLOAD_MMS_CFG, policy=spec,
+                              policy_seed=11, policy_records=True)
+    return overload_params(cfg, "burst", num_arrivals=240,
+                           active_flows=32, engine_label=engine_label,
+                           **kw)
+
+
+# ----------------------------------------------- harness equivalence
+
+def test_stream_run_matches_plain_harness():
+    """A checkpointable overload run must reproduce the plain harness
+    byte-for-byte -- the instrumentation is observationally free."""
+    base = run_overload(PolicySpec("red"), "burst", num_arrivals=240,
+                        active_flows=32, seed=11, engine="fast",
+                        keep_records=True)
+    run = StreamRun.fresh("overload", _overload())
+    assert run.finish() == base
+
+
+def test_kernel_run_matches_plain_harness():
+    base = run_overload(PolicySpec("red"), "burst", num_arrivals=240,
+                        active_flows=32, seed=11, engine="reference",
+                        keep_records=True)
+    run = KernelRun.fresh("overload", _overload("reference"))
+    assert run.finish() == base
+
+
+def test_resume_run_dispatches_by_engine():
+    stream = StreamRun.fresh("overload", _overload())
+    stream.run(stream.horizon // 4)
+    kernel = KernelRun.fresh("overload", _overload("reference"))
+    kernel.run(kernel.horizon // 4)
+    assert isinstance(resume_run(stream.checkpoint()), StreamRun)
+    assert isinstance(resume_run(kernel.checkpoint()), KernelRun)
+
+
+# ---------------------------------------------- structural absence
+
+def test_plain_harness_path_carries_no_checkpoint_machinery():
+    """When checkpointing is off, it is *structurally* absent: the
+    plain harnesses hand the engine raw generators (no tape wrappers,
+    no counter views), so the hot path pays nothing."""
+    from repro.core.workloads import overload_feed_ops
+    cfg = dataclasses.replace(OVERLOAD_MMS_CFG, policy=PolicySpec("red"),
+                              policy_seed=11)
+    eng = StreamMms(cfg)
+    eng.add_feeder(0, overload_feed_ops("burst", 0, 20, 8, 1000, {}))
+    assert all(isinstance(f, types.GeneratorType) for f in eng._feeders)
+    # and the snapshotter refuses such an engine rather than silently
+    # producing a checkpoint that cannot resume
+    with pytest.raises(CheckpointError, match="CountedFeeder"):
+        snapshot_stream(eng)
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.engines.stream",
+    "repro.engines.harnesses",
+    "repro.core.workloads",
+    "repro.policies.harness",
+])
+def test_plain_path_sources_never_import_checkpoint(module_name):
+    import importlib
+    src = inspect.getsource(importlib.import_module(module_name))
+    for stmt in ("import repro.checkpoint", "from repro.checkpoint",
+                 "from repro import checkpoint"):
+        assert stmt not in src, \
+            f"{module_name} must not depend on the checkpoint package"
+
+
+# ------------------------------------------------------- validation
+
+def test_unknown_workloads_are_rejected():
+    with pytest.raises(CheckpointError, match="unknown stream workload"):
+        StreamRun("quantum", {})
+    with pytest.raises(CheckpointError, match="unknown kernel workload"):
+        KernelRun("load", {})
+
+
+def test_resume_rejects_engine_mismatch():
+    stream = StreamRun.fresh("overload", _overload())
+    stream.run(1_000_000)
+    ckpt = stream.checkpoint()
+    with pytest.raises(CheckpointError, match="cannot resume"):
+        KernelRun.resume(ckpt)
+    kernel = KernelRun.fresh("overload", _overload("reference"))
+    kernel.run(1_000_000)
+    with pytest.raises(CheckpointError, match="cannot resume"):
+        StreamRun.resume(kernel.checkpoint())
+
+
+def test_kernel_resume_refuses_tampered_anchor():
+    run = KernelRun.fresh("overload", _overload("reference"))
+    run.run(run.horizon // 4)
+    doc = run.checkpoint().to_dict()
+    doc["state"]["fingerprint"]["digest"] = "0" * 64
+    with pytest.raises(CheckpointError, match="did not re-anchor"):
+        KernelRun.resume(Checkpoint.from_dict(doc))
+
+
+def test_script_params_drain_needs_three_mark_done_scripts():
+    cfg = MmsConfig(num_flows=16, num_segments=64, num_descriptors=64)
+    with pytest.raises(CheckpointError, match="exactly 3"):
+        script_params(cfg, [[1000], [1000]], horizon_ps=10**9,
+                      mark_done=True, drain=True, drain_period_ps=1000,
+                      drain_active_flows=4)
+    with pytest.raises(CheckpointError, match="mark_done"):
+        script_params(cfg, [[1000]] * 3, horizon_ps=10**9,
+                      mark_done=False, drain=True, drain_period_ps=1000,
+                      drain_active_flows=4)
+
+
+# ----------------------------------------------- periodic checkpoints
+
+def test_run_with_checkpoints_counts_interior_boundaries():
+    run = StreamRun.fresh("overload", _overload())
+    sunk = []
+    horizon = run.horizon
+    every = horizon // 4
+    n = run_with_checkpoints(run, every, sunk.append)
+    assert n == len(sunk) == 3          # the final state is not sunk
+    assert [c.at_ps for c in sunk] == [every, 2 * every, 3 * every]
+    assert run.now == horizon
+
+
+def test_run_with_checkpoints_rejects_nonpositive_period():
+    run = StreamRun.fresh("overload", _overload())
+    with pytest.raises(CheckpointError, match="positive"):
+        run_with_checkpoints(run, 0, lambda c: None)
