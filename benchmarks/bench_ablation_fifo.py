@@ -6,7 +6,6 @@ registered ``ablation-fifo-depth`` scenario shows the delay/utilization
 trade-off behind the paper's small FIFOs.
 """
 
-import pytest
 
 from benchmarks.bench_common import emit
 from repro.scenarios import Runner, render

@@ -7,7 +7,6 @@ interleaving loss -- the registered ``ablation-rw-grouping`` scenario
 quantifies how much was left on the table.
 """
 
-import pytest
 
 from benchmarks.bench_common import emit
 from repro.scenarios import Runner, render

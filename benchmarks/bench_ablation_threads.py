@@ -8,7 +8,6 @@ compares single-threaded and 4-thread engines across the Table 2 queue
 counts.
 """
 
-import pytest
 
 from benchmarks.bench_common import emit
 from repro.scenarios import Runner, render

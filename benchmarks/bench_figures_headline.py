@@ -4,7 +4,7 @@ the cross-cutting headline claims."""
 import pytest
 
 from benchmarks.bench_common import emit
-from repro.core import MMS, MmsConfig
+from repro.core import MMS
 from repro.npu import CopyStrategy, ReferenceNpu
 from repro.scenarios import Runner, render
 

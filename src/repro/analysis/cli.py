@@ -47,7 +47,6 @@ import sys
 from typing import Any, Dict, List, Optional
 
 from repro.scenarios import (
-    BUDGETS,
     ENGINES,
     KINDS,
     Runner,

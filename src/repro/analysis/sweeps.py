@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mms import MmsConfig, run_load
 from repro.ixp import IxpParams, build_queue_program, simulate_ixp
-from repro.mem import DdrTiming, simulate_throughput_loss
+from repro.mem import simulate_throughput_loss
 from repro.npu import CopyStrategy, QueueSwModel
 
 

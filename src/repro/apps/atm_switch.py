@@ -10,7 +10,7 @@ managers, and a 53-byte cell fits one 64-byte segment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core import MMS, Command, CommandType, MmsConfig
 from repro.net.atm import ATM_CELL_BYTES, AtmCell

@@ -148,6 +148,16 @@ class CountedFeeder:
         return {"ops": self.ops, "finished": self.finished,
                 "tape": list(self.tape.log)}
 
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output into a freshly built feeder.
+
+        Loads the recorded observations into the (generator-shared) tape
+        and fast-forwards the generator to its recorded suspension point
+        (see :meth:`fast_forward` for the replay rules).
+        """
+        self.tape.log = list(state["tape"])
+        self.fast_forward(int(state["ops"]), bool(state["finished"]))
+
     def fast_forward(self, ops: int, finished: bool) -> None:
         """Replay the generator to its recorded suspension point.
 

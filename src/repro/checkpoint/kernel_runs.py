@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Union
+
+if TYPE_CHECKING:
+    from repro.checkpoint.runs import StreamRun
 
 from repro.checkpoint.runs import _decode_op, _script_feeder
 from repro.checkpoint.snapshot import (
@@ -260,7 +263,7 @@ class KernelRun:
         }
 
 
-def resume_run(ckpt: Checkpoint):
+def resume_run(ckpt: Checkpoint) -> Union["StreamRun", "KernelRun"]:
     """Dispatch a checkpoint to its execution path's driver."""
     if ckpt.engine == "stream":
         from repro.checkpoint.runs import StreamRun

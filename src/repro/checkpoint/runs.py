@@ -32,7 +32,9 @@ needs nothing but the file.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro.checkpoint.feeders import CountedFeeder, CounterView, Tape
 from repro.checkpoint.snapshot import (
@@ -161,8 +163,9 @@ def _decode_op(op: Any) -> Any:
     return (CommandType(op[0]), op[1], op[2], op[3], op[4])
 
 
-def _script_feeder(ops: Sequence[Any], counters, mark_done: bool
-                   ) -> Iterator[Any]:
+def _script_feeder(ops: Sequence[Any],
+                   counters: Union[Dict[str, int], CounterView],
+                   mark_done: bool) -> Iterator[Any]:
     """A decoded script as a feeder generator, with the overload
     feeders' trailing done-handshake when requested."""
     for op in ops:

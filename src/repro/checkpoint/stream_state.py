@@ -42,7 +42,8 @@ from repro.checkpoint.snapshot import CheckpointError
 from repro.core.commands import CommandType
 from repro.engines.stream import C_OP, C_REQ
 from repro.engines.stream import StreamMms
-from repro.queueing.packet_queues import SegmentInfo
+from repro.queueing.freelist import FreeList
+from repro.queueing.packet_queues import PacketQueueManager, SegmentInfo
 
 #: A feeder factory: given the feeder's (restored) observation tape,
 #: build the feeder generator with its environment reads wired through
@@ -210,9 +211,9 @@ def restore_stream(eng: StreamMms, state: Dict[str, Any],
 
     # ---- feeders (bypassing add_feeder; see docstring) ----------
     for fst, factory in zip(state["feeders"], factories):
-        tape = Tape(fst["tape"])
+        tape = Tape()
         feeder = CountedFeeder(factory(tape), tape)
-        feeder.fast_forward(fst["ops"], fst["finished"])
+        feeder.load_state(fst)
         eng._feeders.append(feeder)
         eng._feeder_port.append(fst["port"])
 
@@ -226,11 +227,11 @@ def _owned_req(cmds: List[list], cmd_idx: int) -> list:
     return req
 
 
-def _freelist_state(fl) -> List[Any]:
+def _freelist_state(fl: FreeList) -> List[Any]:
     return [fl._reg_head, fl._reg_tail, fl.free_count, fl._virgin]
 
 
-def _restore_pqm(pqm, st: Dict[str, Any]) -> None:
+def _restore_pqm(pqm: PacketQueueManager, st: Dict[str, Any]) -> None:
     mem = pqm.mem
     sram = mem._sram
     sram._words = {int(a): v for a, v in st["words"].items()}

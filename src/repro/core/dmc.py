@@ -16,7 +16,6 @@ rise to ~31 cycles then emerges from bank conflicts (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.mem import DdrController, DdrTiming, MemOp
 from repro.sim import Clock, Simulator

@@ -10,8 +10,8 @@ every command's delay is decomposed into FIFO + execution + data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.core.commands import Command
 from repro.core.dmc import DataMemoryController
@@ -20,7 +20,6 @@ from repro.core.latency import LatencyBreakdown
 from repro.core.reassembly import ReassemblyBlock
 from repro.core.scheduler import DEFAULT_PORTS, InternalScheduler, PortConfig
 from repro.core.segmentation import SegmentationBlock
-from repro.mem import DdrTiming
 from repro.policies import BufferPolicy, PolicySpec, make_policy
 from repro.queueing import PacketQueueManager
 from repro.sim import Clock, Simulator

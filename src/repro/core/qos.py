@@ -18,7 +18,7 @@ dequeue commands, so these compose with either the functional
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.commands import Command, CommandType
 from repro.core.mms import MMS

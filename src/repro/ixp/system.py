@@ -12,7 +12,7 @@ switch the paper says eats the benefit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.ixp.memory_units import SharedMemoryUnit
 from repro.ixp.params import IxpParams

@@ -1,0 +1,83 @@
+"""Static contract checking for the reproduction (``repro-lint``).
+
+The repo's load-bearing guarantees -- byte-identical engines,
+resume-identity, structural absence of slow-path machinery from the
+command loop -- are enforced dynamically by identity suites and
+differential fuzz.  This package enforces the same contracts
+*statically*, at review time, with a stdlib-``ast`` rule pass driven by
+the declarative config in ``repro-lint.toml``:
+
+* **R1 determinism** -- no wall-clock/entropy calls; randomness only via
+  explicitly seeded ``random.Random``,
+* **R2 layering** -- hot-path packages never import checkpoint/
+  scenarios/telemetry-collector machinery (layer DAG in config; the
+  ``Probe`` protocol module is the sanctioned crossing),
+* **R3 atomic persistence** -- JSON reaches disk only through
+  :mod:`repro.checkpoint.atomic`,
+* **R4 serialization pairing** -- ``state_dict``/``load_state`` and
+  ``to_json``/``from_json`` come in pairs,
+* **R5 spec immutability** -- spec dataclasses are ``frozen=True``.
+
+Run it with ``repro-lint`` or ``python -m repro.lint``; the rule
+registry (:mod:`repro.lint.registry`) is pluggable -- see
+:mod:`repro.lint.rules` for how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.config import (
+    CONFIG_NAME,
+    Layer,
+    LintConfig,
+    LintConfigError,
+    find_config,
+    load_config,
+)
+from repro.lint.engine import lint_modules, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.modules import (
+    LintSyntaxError,
+    ModuleInfo,
+    collect_files,
+    iter_modules,
+    module_name,
+    parse_module,
+)
+from repro.lint.registry import Rule, all_rules, register_rule, select_rules
+from repro.lint.report import (
+    REPORT_VERSION,
+    build_report,
+    render_text,
+    validate_report_dict,
+)
+
+__all__ = [
+    "CONFIG_NAME",
+    "REPORT_VERSION",
+    "Finding",
+    "Layer",
+    "LintConfig",
+    "LintConfigError",
+    "LintSyntaxError",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "build_report",
+    "collect_files",
+    "find_config",
+    "iter_modules",
+    "lint_modules",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "load_config",
+    "module_name",
+    "parse_module",
+    "register_rule",
+    "render_text",
+    "select_rules",
+    "validate_report_dict",
+    "write_baseline",
+]

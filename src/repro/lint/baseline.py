@@ -1,0 +1,61 @@
+"""Baseline suppression: adopt the linter on a dirty tree, ratchet down.
+
+A baseline file records the :meth:`~repro.lint.findings.Finding.key` of
+known findings; ``--baseline`` filters them from the exit-code-relevant
+set (they are still counted as suppressed).  The committed baseline is
+*empty* -- every violation the rules surfaced was fixed in the PR that
+introduced them -- and must stay that way; the file format exists so a
+future, stricter rule can land green and be ratcheted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.checkpoint.atomic import write_text_atomic
+from repro.lint.findings import Finding
+
+#: Schema version of baseline documents.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or malformed."""
+
+
+def load_baseline(path: str) -> List[str]:
+    """Suppressed finding keys from a baseline document."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    if (not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION
+            or not isinstance(doc.get("suppress"), list)
+            or not all(isinstance(k, str) for k in doc["suppress"])):
+        raise BaselineError(
+            f"baseline {path} must be "
+            f'{{"version": {BASELINE_VERSION}, "suppress": [keys...]}}')
+    return list(doc["suppress"])
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Persist the keys of ``findings`` as a baseline (atomic, sorted,
+    deduplicated).  Returns the number of suppressed keys."""
+    keys = sorted({f.key() for f in findings})
+    doc = {"version": BASELINE_VERSION, "suppress": keys}
+    write_text_atomic(path, json.dumps(doc, indent=2) + "\n")
+    return len(keys)
+
+
+def apply_baseline(findings: Sequence[Finding], suppressed_keys: Sequence[str]
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (live, suppressed) against a baseline."""
+    keys = set(suppressed_keys)
+    live = [f for f in findings if f.key() not in keys]
+    gone = [f for f in findings if f.key() in keys]
+    return live, gone

@@ -1,0 +1,134 @@
+"""``repro-lint``: the static contract checker's command line.
+
+Exit codes follow lint convention:
+
+* ``0`` -- clean (no live findings),
+* ``1`` -- contract violations found,
+* ``2`` -- usage, config or parse error (argparse uses 2 as well).
+
+``python -m repro.lint`` is the same program (see ``__main__.py``); the
+console script is registered in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.checkpoint.atomic import write_text_atomic
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.config import LintConfigError, load_config
+from repro.lint.engine import lint_paths
+from repro.lint.modules import LintSyntaxError
+from repro.lint.registry import select_rules
+from repro.lint.report import build_report, render_text
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=("AST contract checker: enforces the repo's "
+                     "determinism, layering, atomic-persistence, "
+                     "serialization-pairing and spec-immutability "
+                     "invariants statically (config: repro-lint.toml)"))
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories relative to the configured root "
+             "(default: the configured package)")
+    parser.add_argument(
+        "--config", metavar="FILE",
+        help="config file (default: nearest repro-lint.toml upward)")
+    parser.add_argument(
+        "--rules", action="append", metavar="CODES",
+        help="comma-separated rule codes or names to run "
+             "(default: all; repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    parser.add_argument(
+        "--json", nargs="?", const="-", metavar="FILE",
+        help="emit the JSON report to FILE (atomic) or stdout ('-')")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings whose keys appear in this baseline")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record current findings as the new baseline and exit 0")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the human report (exit code / --json only)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    codes: Optional[List[str]] = None
+    if args.rules:
+        codes = [code.strip() for chunk in args.rules
+                 for code in chunk.split(",") if code.strip()]
+
+    try:
+        rules = select_rules(codes)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name:14s} {rule.summary}")
+            if rule.complements:
+                print(f"    complements: {rule.complements}")
+        return EXIT_CLEAN
+
+    try:
+        config = load_config(args.config)
+        findings, files = lint_paths(config, args.paths or None, rules)
+    except (LintConfigError, LintSyntaxError, FileNotFoundError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, findings)
+        if not args.quiet:
+            print(f"wrote baseline {args.write_baseline}: "
+                  f"{count} suppressed key(s)")
+        return EXIT_CLEAN
+
+    suppressed = []
+    if args.baseline:
+        try:
+            findings, suppressed = apply_baseline(
+                findings, load_baseline(args.baseline))
+        except BaselineError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+
+    if args.json:
+        doc = build_report(findings, files, rules, config.source,
+                           suppressed)
+        text = json.dumps(doc, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            write_text_atomic(args.json, text)
+
+    if not args.quiet and args.json != "-":
+        sys.stdout.write(render_text(findings, files, len(suppressed)))
+
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

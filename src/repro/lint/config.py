@@ -1,0 +1,202 @@
+"""Loader for ``repro-lint.toml``: the declarative contract config.
+
+The config is the single source of truth for what the rules enforce --
+the determinism ban list and its per-file allowances, the import-layer
+DAG, the atomic-persistence sanctuary, the serialization method pairs
+and the frozen-spec modules.  Rules receive a :class:`LintConfig` and
+never hard-code repo facts, so tightening a contract is a config edit,
+not a code change.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+#: Default config file name, looked up from the current directory upward.
+CONFIG_NAME = "repro-lint.toml"
+
+
+class LintConfigError(ValueError):
+    """The config file is missing, unparseable or self-inconsistent."""
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer of the import DAG."""
+
+    name: str
+    packages: Tuple[str, ...]
+    may_import: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Parsed, validated contract configuration."""
+
+    #: Absolute path of the config file (diagnostics only).
+    source: str
+    #: Absolute source root (``root`` key resolved against the config dir).
+    root: str
+    #: Package under ``root`` to lint by default.
+    package: str
+
+    # R1
+    banned_calls: Tuple[str, ...]
+    seeded_factories: Tuple[str, ...]
+    determinism_allow: Mapping[str, Tuple[str, ...]]
+
+    # R2
+    layers: Tuple[Layer, ...]
+
+    # R3
+    atomic_allowed_in: Tuple[str, ...]
+
+    # R4
+    serialization_pairs: Tuple[Tuple[str, str], ...]
+    serialization_allow: Tuple[str, ...]
+
+    # R5
+    spec_modules: Tuple[str, ...]
+    spec_class_suffixes: Tuple[str, ...]
+
+    #: module-prefix -> layer, longest prefix wins (see :meth:`layer_of`).
+    _layer_index: Mapping[str, Layer] = field(default_factory=dict)
+
+    def layer_of(self, module: str) -> Optional[Layer]:
+        """The layer ``module`` belongs to, by longest-prefix match
+        (``repro.telemetry.probe`` beats ``repro.telemetry``), or None
+        for unlayered modules."""
+        parts = module.split(".")
+        for cut in range(len(parts), 0, -1):
+            layer = self._layer_index.get(".".join(parts[:cut]))
+            if layer is not None:
+                return layer
+        return None
+
+
+def find_config(start: Optional[str] = None) -> str:
+    """Locate ``repro-lint.toml`` from ``start`` (default: cwd) upward."""
+    here = os.path.abspath(start or os.getcwd())
+    while True:
+        candidate = os.path.join(here, CONFIG_NAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(here)
+        if parent == here:
+            raise LintConfigError(
+                f"no {CONFIG_NAME} found from {start or os.getcwd()} upward")
+        here = parent
+
+
+def _table(doc: Mapping[str, Any], *keys: str) -> Mapping[str, Any]:
+    node: Any = doc
+    for key in keys:
+        if not isinstance(node, Mapping) or key not in node:
+            return {}
+        node = node[key]
+    return node if isinstance(node, Mapping) else {}
+
+
+def _str_list(value: Any, where: str) -> Tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+            isinstance(v, str) for v in value):
+        raise LintConfigError(f"{where} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(path: Optional[str] = None) -> LintConfig:
+    """Parse and validate a config file (default: nearest one upward)."""
+    resolved = os.path.abspath(path) if path else find_config()
+    try:
+        with open(resolved, "rb") as fh:
+            doc = tomllib.load(fh)
+    except OSError as exc:
+        raise LintConfigError(f"cannot read {resolved}: {exc}") from exc
+    except tomllib.TOMLDecodeError as exc:
+        raise LintConfigError(f"{resolved} is not valid TOML: {exc}") from exc
+
+    base = _table(doc, "lint")
+    root_rel = base.get("root", "src")
+    package = base.get("package", "repro")
+    if not isinstance(root_rel, str) or not isinstance(package, str):
+        raise LintConfigError("[lint] root and package must be strings")
+    root = os.path.normpath(
+        os.path.join(os.path.dirname(resolved), root_rel))
+
+    det = _table(doc, "rules", "determinism")
+    banned = _str_list(det.get("banned", []), "[rules.determinism] banned")
+    factories = _str_list(det.get("seeded_factories", []),
+                          "[rules.determinism] seeded_factories")
+    allow_raw = _table(doc, "rules", "determinism", "allow")
+    allow = {key: _str_list(value, f"[rules.determinism.allow] {key}")
+             for key, value in allow_raw.items()}
+
+    layer_tables = _table(doc, "rules", "layering", "layers")
+    layers: List[Layer] = []
+    for name, body in layer_tables.items():
+        if not isinstance(body, Mapping):
+            raise LintConfigError(f"layer {name!r} must be a table")
+        layers.append(Layer(
+            name=name,
+            packages=_str_list(body.get("packages", []),
+                               f"layer {name!r} packages"),
+            may_import=frozenset(_str_list(body.get("may_import", []),
+                                           f"layer {name!r} may_import")),
+        ))
+    names = {layer.name for layer in layers}
+    index: Dict[str, Layer] = {}
+    for layer in layers:
+        unknown = layer.may_import - names
+        if unknown:
+            raise LintConfigError(
+                f"layer {layer.name!r} may_import unknown layers "
+                f"{sorted(unknown)}")
+        for prefix in layer.packages:
+            if prefix in index:
+                raise LintConfigError(
+                    f"package {prefix!r} claimed by layers "
+                    f"{index[prefix].name!r} and {layer.name!r}")
+            index[prefix] = layer
+
+    atomic = _table(doc, "rules", "atomic-json")
+    atomic_allow = _str_list(atomic.get("allowed_in", []),
+                             "[rules.atomic-json] allowed_in")
+
+    ser = _table(doc, "rules", "serialization")
+    pairs_raw = ser.get("pairs", [])
+    if not isinstance(pairs_raw, list):
+        raise LintConfigError("[rules.serialization] pairs must be a list")
+    pairs: List[Tuple[str, str]] = []
+    for entry in pairs_raw:
+        if (not isinstance(entry, list) or len(entry) != 2
+                or not all(isinstance(v, str) for v in entry)):
+            raise LintConfigError(
+                "[rules.serialization] each pair must be two method names")
+        pairs.append((entry[0], entry[1]))
+    ser_allow = _str_list(ser.get("allow", []),
+                          "[rules.serialization] allow")
+
+    spec = _table(doc, "rules", "frozen-spec")
+    spec_modules = _str_list(spec.get("modules", []),
+                             "[rules.frozen-spec] modules")
+    suffixes = _str_list(spec.get("class_suffixes", []),
+                         "[rules.frozen-spec] class_suffixes")
+
+    return LintConfig(
+        source=resolved,
+        root=root,
+        package=package,
+        banned_calls=banned,
+        seeded_factories=factories,
+        determinism_allow=allow,
+        layers=tuple(layers),
+        atomic_allowed_in=atomic_allow,
+        serialization_pairs=tuple(pairs),
+        serialization_allow=ser_allow,
+        spec_modules=spec_modules,
+        spec_class_suffixes=suffixes,
+        _layer_index=index,
+    )

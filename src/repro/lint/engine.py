@@ -1,0 +1,51 @@
+"""The lint driver: files -> parsed modules -> rule findings.
+
+Deterministic by construction: files are visited in sorted order, rules
+in code order, and findings are reported sorted by (path, line, col,
+rule) -- two runs over the same tree produce byte-identical output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.modules import ModuleInfo, iter_modules, parse_module
+from repro.lint.registry import Rule, select_rules
+
+
+def _sorted(findings: List[Finding]) -> List[Finding]:
+    return sorted(findings,
+                  key=lambda f: (f.path, f.line, f.col, f.rule, f.symbol))
+
+
+def lint_modules(modules: Sequence[ModuleInfo], config: LintConfig,
+                 rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Run rules over pre-parsed modules (the fixture-test entry)."""
+    active = list(rules) if rules is not None else select_rules()
+    findings: List[Finding] = []
+    for module in modules:
+        for rule in active:
+            findings.extend(rule.check(module, config))
+    return _sorted(findings)
+
+
+def lint_source(source: str, relpath: str, config: LintConfig,
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one in-memory module (tests lint snippets this way)."""
+    return lint_modules([parse_module(source, relpath)], config, rules)
+
+
+def lint_paths(config: LintConfig,
+               paths: Optional[Sequence[str]] = None,
+               rules: Optional[Sequence[Rule]] = None,
+               ) -> "tuple[List[Finding], int]":
+    """Lint files/directories under the config root.
+
+    ``paths`` defaults to the configured package directory.  Returns
+    ``(findings, files_checked)``.
+    """
+    targets = list(paths) if paths else [config.package]
+    modules = list(iter_modules(config.root, targets))
+    return lint_modules(modules, config, rules), len(modules)

@@ -1,0 +1,45 @@
+"""The unit of lint output: one contract violation at one location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation of a statically checked contract.
+
+    ``path`` is relative to the lint root (e.g. ``repro/sim/kernel.py``),
+    ``symbol`` names the offending construct (a call, an imported module,
+    a class) so baselines stay stable across unrelated line churn.
+    """
+
+    rule: str       #: rule code, e.g. "R1"
+    name: str       #: rule slug, e.g. "determinism"
+    path: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+
+    def key(self) -> str:
+        """Line-independent identity used by baseline suppression."""
+        return f"{self.rule} {self.path} {self.symbol}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "key": self.key(),
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form (path:line:col style)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule}[{self.name}] {self.message}")

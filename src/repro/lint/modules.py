@@ -1,0 +1,84 @@
+"""Source collection and parsing: files -> :class:`ModuleInfo`.
+
+Every rule sees the same pre-parsed view of a module -- its root-relative
+path, dotted module name and ``ast`` tree -- so the tree is parsed once
+per file regardless of how many rules run.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module."""
+
+    #: Path relative to the lint root, with forward slashes
+    #: (e.g. ``repro/sim/kernel.py``) -- the form config allowlists use.
+    path: str
+    #: Dotted module name (``repro.sim.kernel``; packages drop
+    #: ``.__init__``).
+    module: str
+    tree: ast.Module
+
+
+class LintSyntaxError(ValueError):
+    """A file under lint does not parse."""
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name of a root-relative path."""
+    parts = relpath.replace(os.sep, "/").split("/")
+    parts[-1] = parts[-1].removesuffix(".py")
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def parse_module(source: str, relpath: str) -> ModuleInfo:
+    """Parse one module from source text (fixture tests use this too)."""
+    relpath = relpath.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        raise LintSyntaxError(f"{relpath}: {exc}") from exc
+    return ModuleInfo(path=relpath, module=module_name(relpath), tree=tree)
+
+
+def collect_files(root: str, paths: Sequence[str]) -> List[str]:
+    """Resolve lint targets to a sorted list of root-relative .py paths.
+
+    ``paths`` entries may be absolute or root-relative, files or
+    directories; directories are walked recursively (``__pycache__``
+    skipped).  Order is deterministic: sorted by relative path.
+    """
+    found = set()
+    for target in paths:
+        absolute = target if os.path.isabs(target) \
+            else os.path.join(root, target)
+        absolute = os.path.normpath(absolute)
+        if os.path.isfile(absolute):
+            found.add(os.path.relpath(absolute, root))
+        elif os.path.isdir(absolute):
+            for dirpath, dirnames, filenames in os.walk(absolute):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__")
+                for name in filenames:
+                    if name.endswith(".py"):
+                        found.add(os.path.relpath(
+                            os.path.join(dirpath, name), root))
+        else:
+            raise FileNotFoundError(f"no such lint target: {target}")
+    return sorted(p.replace(os.sep, "/") for p in found)
+
+
+def iter_modules(root: str, paths: Sequence[str]) -> Iterator[ModuleInfo]:
+    """Parse every target file under ``root`` in deterministic order."""
+    for relpath in collect_files(root, paths):
+        with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+            source = fh.read()
+        yield parse_module(source, relpath)

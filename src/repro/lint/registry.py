@@ -1,0 +1,78 @@
+"""The pluggable rule registry.
+
+A rule is a stateless class with a ``code`` (``R1``...), a ``name``
+slug, human docs, and a :meth:`Rule.check` that yields
+:class:`~repro.lint.findings.Finding`s for one parsed module.  Rules
+self-register via :func:`register_rule` at import time
+(:mod:`repro.lint.rules` imports every rule module), so adding a rule is
+one new file plus a config section -- the engine, CLI, reporter and
+baseline machinery pick it up unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.modules import ModuleInfo
+
+
+class Rule:
+    """Base class: one statically checked contract."""
+
+    #: Stable short code (``R1``); baseline keys and ``--rules`` use it.
+    code: str = ""
+    #: Slug shown in reports (``determinism``).
+    name: str = ""
+    #: One-line contract statement.
+    summary: str = ""
+    #: The dynamic suite this rule front-runs (docs/--list-rules).
+    complements: str = ""
+
+    def check(self, module: ModuleInfo,
+              config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, line: int, col: int,
+                symbol: str, message: str) -> Finding:
+        return Finding(rule=self.code, name=self.name, path=module.path,
+                       line=line, col=col, symbol=symbol, message=message)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (unique ``code``)."""
+    if not cls.code or not cls.name:
+        raise ValueError(f"rule {cls.__name__} needs a code and a name")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code!r}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, instantiated, in code order."""
+    import repro.lint.rules  # noqa: F401  (registers on first import)
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def select_rules(codes: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Rules to run: all of them, or the requested codes/names."""
+    rules = all_rules()
+    if codes is None:
+        return rules
+    by_key = {rule.code: rule for rule in rules}
+    by_key.update({rule.name: rule for rule in rules})
+    picked = []
+    for code in codes:
+        if code not in by_key:
+            known = sorted({r.code for r in rules} | {r.name for r in rules})
+            raise ValueError(
+                f"unknown rule {code!r} (choose from {known})")
+        rule = by_key[code]
+        if rule not in picked:
+            picked.append(rule)
+    return sorted(picked, key=lambda r: r.code)

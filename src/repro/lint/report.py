@@ -1,0 +1,88 @@
+"""Finding reporters: human text and a versioned JSON document."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule
+
+#: Schema version of ``--json`` documents.
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files: int,
+                suppressed: int = 0) -> str:
+    """The default human report (one line per finding + summary)."""
+    lines = [f.render() for f in findings]
+    tail = (f"{len(findings)} finding(s) in {files} file(s)"
+            + (f", {suppressed} suppressed by baseline" if suppressed
+               else ""))
+    if not findings:
+        tail = f"clean: 0 findings in {files} file(s)" \
+            + (f" ({suppressed} suppressed by baseline)" if suppressed
+               else "")
+    lines.append(tail)
+    return "\n".join(lines) + "\n"
+
+
+def build_report(findings: Sequence[Finding], files: int,
+                 rules: Sequence[Rule], config_path: str,
+                 suppressed: Sequence[Finding] = ()) -> Dict[str, Any]:
+    """The ``--json`` document (schema asserted by tests/lint)."""
+    by_rule = {rule.code: 0 for rule in rules}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro-lint",
+        "config": config_path,
+        "rules": [{"code": rule.code, "name": rule.name,
+                   "summary": rule.summary,
+                   "complements": rule.complements}
+                  for rule in rules],
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "summary": {
+            "files": files,
+            "findings": len(findings),
+            "suppressed": len(suppressed),
+            "by_rule": by_rule,
+        },
+    }
+
+
+def validate_report_dict(doc: Any) -> List[str]:
+    """Schema problems of a report document (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["report must be a JSON object"]
+    if doc.get("version") != REPORT_VERSION:
+        problems.append(f"version must be {REPORT_VERSION}")
+    if doc.get("tool") != "repro-lint":
+        problems.append("tool must be 'repro-lint'")
+    for field in ("rules", "findings", "suppressed"):
+        if not isinstance(doc.get(field), list):
+            problems.append(f"{field} must be a list")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary must be an object")
+    else:
+        for field in ("files", "findings", "suppressed"):
+            if not isinstance(summary.get(field), int):
+                problems.append(f"summary.{field} must be an int")
+        if not isinstance(summary.get("by_rule"), dict):
+            problems.append("summary.by_rule must be an object")
+    if isinstance(doc.get("findings"), list):
+        for i, entry in enumerate(doc["findings"]):
+            if not isinstance(entry, dict):
+                problems.append(f"findings[{i}] must be an object")
+                continue
+            for field in ("rule", "name", "path", "symbol", "message",
+                          "key"):
+                if not isinstance(entry.get(field), str):
+                    problems.append(f"findings[{i}].{field} must be a str")
+            for field in ("line", "col"):
+                if not isinstance(entry.get(field), int):
+                    problems.append(f"findings[{i}].{field} must be an int")
+    return problems

@@ -1,0 +1,19 @@
+"""Rule modules; importing this package registers every rule.
+
+Adding a rule: create a module here with a ``@register_rule`` class
+(subclass :class:`repro.lint.registry.Rule`), give it a fresh ``code``,
+document the invariant it guards, add its config section to
+``repro-lint.toml`` and a violating/clean fixture pair to
+``tests/lint/``.  Nothing else changes -- the engine, CLI, reporter and
+baseline machinery discover it through the registry.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (import = registration)
+    atomic_json,
+    determinism,
+    frozen_spec,
+    layering,
+    serialization,
+)

@@ -1,0 +1,132 @@
+"""R1 -- determinism: no wall clocks, no ambient entropy.
+
+Every engine-identity and resume-identity guarantee in this repo rests
+on runs being pure functions of (spec, seed).  One ``time.time()`` or
+module-level ``random.*`` call anywhere under ``src/repro`` silently
+voids that.  The rule bans the configured clock/entropy calls and the
+shared-global-state ``random`` module wholesale; explicitly seeded
+``random.Random(seed)`` construction is the one sanctioned source of
+randomness, and per-file config allowances cover wall-clock reads that
+never feed simulated results (run timing, pool timeouts).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.modules import ModuleInfo
+from repro.lint.registry import Rule, register_rule
+
+
+def resolve_call_chain(node: ast.AST,
+                       aliases: Dict[str, str]) -> Optional[str]:
+    """Qualified dotted name of an expression like ``t.perf_counter``,
+    given the module's import aliases, or None if the chain is not
+    rooted at an imported name."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the qualified names their imports bind
+    (any scope: conditional and function-local imports count too)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[(item.asname or item.name).split(".")[0]] = \
+                    item.name if item.asname else item.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            for item in node.names:
+                if node.module and item.name != "*":
+                    aliases[item.asname or item.name] = \
+                        f"{node.module}.{item.name}"
+    return aliases
+
+
+@register_rule
+class DeterminismRule(Rule):
+    code = "R1"
+    name = "determinism"
+    summary = ("no wall-clock or entropy calls under src/repro; "
+               "randomness only via explicitly seeded random.Random")
+    complements = ("engine-identity suites and differential fuzz "
+                   "(tests/engines, tests/checkpoint)")
+
+    def check(self, module: ModuleInfo,
+              config: LintConfig) -> Iterator[Finding]:
+        allowed = set(config.determinism_allow.get(module.path, ()))
+        aliases = collect_aliases(module.tree)
+        seeded = set(config.seeded_factories)
+        seeded_modules = {f.rsplit(".", 1)[0] for f in seeded}
+
+        def verdict(qual: str, module_root: bool = False) -> Optional[str]:
+            """Why ``qual`` is banned, or None if it is fine.
+
+            ``module_root`` marks a plain ``import X``: importing the
+            ``random`` module itself is how seeded instances are built,
+            so only the outright-banned entries apply there.
+            """
+            if qual in allowed:
+                return None
+            if qual in seeded:
+                return None  # call sites check the seed argument
+            for entry in config.banned_calls:
+                if qual == entry or qual.startswith(entry + "."):
+                    return (f"call to {qual} is nondeterministic "
+                            f"(banned by [rules.determinism])")
+            if module_root:
+                return None
+            for mod in seeded_modules:
+                if qual == mod or qual.startswith(mod + "."):
+                    return (f"module-level {qual} uses hidden global "
+                            f"state; use an explicitly seeded "
+                            f"{', '.join(sorted(seeded))} instance")
+            return None
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and not node.level \
+                    and node.module:
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    qual = f"{node.module}.{item.name}"
+                    why = verdict(qual)
+                    if why:
+                        yield self.finding(
+                            module, node.lineno, node.col_offset, qual,
+                            f"importing {qual}: {why}")
+            elif isinstance(node, ast.Import):
+                for item in node.names:
+                    why = verdict(item.name, module_root=True)
+                    if why:
+                        yield self.finding(
+                            module, node.lineno, node.col_offset,
+                            item.name, f"importing {item.name}: {why}")
+            elif isinstance(node, ast.Call):
+                qual = resolve_call_chain(node.func, aliases)
+                if qual is None:
+                    continue
+                if qual in seeded and qual not in allowed:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module, node.lineno, node.col_offset, qual,
+                            f"{qual}() without a seed is entropy-seeded; "
+                            f"pass an explicit seed")
+                    continue
+                why = verdict(qual)
+                if why:
+                    yield self.finding(module, node.lineno,
+                                       node.col_offset, qual, why)

@@ -1,0 +1,73 @@
+"""R5 -- spec immutability: declarative specs are frozen dataclasses.
+
+``ScenarioSpec`` and its sub-specs are hashed into cache keys, carried
+across process boundaries by the sweep pool, embedded in persisted
+``RunResult`` documents and shared between scenarios by the registry.
+A mutable spec silently breaks all of that (two runs of "the same"
+scenario need not be the same).  The rule requires ``frozen=True`` on
+every dataclass in the configured spec modules and on any dataclass
+whose name carries a configured suffix (``*Spec``) anywhere in the
+tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.modules import ModuleInfo
+from repro.lint.registry import Rule, register_rule
+
+
+def dataclass_frozen(node: ast.ClassDef) -> Optional[bool]:
+    """None if ``node`` is not a dataclass, else its frozen-ness.
+
+    Handles ``@dataclass``, ``@dataclass(...)`` and the
+    ``dataclasses.``-qualified forms; only a literal ``frozen=True``
+    counts (a computed value cannot be verified statically).
+    """
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", None)
+        if name != "dataclass":
+            continue
+        if isinstance(deco, ast.Call):
+            for kw in deco.keywords:
+                if kw.arg == "frozen":
+                    return (isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True)
+        return False
+    return None
+
+
+@register_rule
+class FrozenSpecRule(Rule):
+    code = "R5"
+    name = "frozen-spec"
+    summary = ("dataclasses in spec modules and *Spec dataclasses "
+               "everywhere must declare frozen=True")
+    complements = ("spec validation tests (tests/scenarios/test_spec.py)")
+
+    def check(self, module: ModuleInfo,
+              config: LintConfig) -> Iterator[Finding]:
+        spec_module = module.path in config.spec_modules
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            by_name = any(node.name.endswith(suffix)
+                          for suffix in config.spec_class_suffixes)
+            if not (spec_module or by_name):
+                continue
+            frozen = dataclass_frozen(node)
+            if frozen is None or frozen:
+                continue
+            why = (f"dataclasses in spec module {module.path}"
+                   if spec_module else
+                   f"spec-named dataclasses (*{'/'.join(config.spec_class_suffixes)})")
+            yield self.finding(
+                module, node.lineno, node.col_offset, node.name,
+                f"dataclass {node.name} must declare frozen=True: "
+                f"{why} are shared, hashed and persisted")

@@ -1,0 +1,77 @@
+"""R2 -- import layering: the hot path never imports the slow path.
+
+The paper's core discipline is placement: queue-management state the
+fast path touches lives in SRAM, everything slower stays out of the
+loop.  Applied to this codebase, the command-loop packages (``sim``,
+``engines``, ``queueing``, ``mem``, ``core``, ``policies``) must be
+*structurally* free of checkpoint, scenario and telemetry-collector
+machinery -- not just "disabled", absent.  The layer DAG lives in
+``repro-lint.toml``; membership is by longest module-prefix match, which
+is how ``repro.telemetry.probe`` (the sanctioned Probe-protocol
+crossing) escapes its slow parent package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.modules import ModuleInfo
+from repro.lint.registry import Rule, register_rule
+
+
+def imported_modules(module: ModuleInfo) -> List[Tuple[str, int, int]]:
+    """Every module the file imports, as ``(dotted_name, line, col)``.
+
+    Relative imports are resolved against the module's own dotted name;
+    ``from M import N`` reports ``M`` (``N`` may be a class), except
+    when ``M`` is a package and ``N`` a submodule -- the conservative
+    choice is still ``M``: layering constrains *packages*, and a
+    submodule of a forbidden package makes its parent name forbidden
+    too (prefix matching in the config handles both).
+    """
+    out: List[Tuple[str, int, int]] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                out.append((item.name, node.lineno, node.col_offset))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # relative: climb `level` packages from this module
+                parts = module.module.split(".")
+                base = parts[:-node.level] if node.level < len(parts) else []
+                target = ".".join(base + ([node.module] if node.module
+                                          else []))
+            else:
+                target = node.module or ""
+            if target:
+                out.append((target, node.lineno, node.col_offset))
+    return out
+
+
+@register_rule
+class LayeringRule(Rule):
+    code = "R2"
+    name = "layering"
+    summary = ("hot-path packages may not import checkpoint/scenarios/"
+               "telemetry-collector machinery (layer DAG in config)")
+    complements = ("structural-absence tests "
+                   "(tests/checkpoint/test_runs.py)")
+
+    def check(self, module: ModuleInfo,
+              config: LintConfig) -> Iterator[Finding]:
+        layer = config.layer_of(module.module)
+        if layer is None:
+            return
+        for target, line, col in imported_modules(module):
+            target_layer = config.layer_of(target)
+            if target_layer is None or target_layer.name == layer.name:
+                continue
+            if target_layer.name not in layer.may_import:
+                yield self.finding(
+                    module, line, col, target,
+                    f"layer {layer.name!r} ({module.module}) may not "
+                    f"import layer {target_layer.name!r} ({target}); "
+                    f"allowed: {sorted(layer.may_import)}")

@@ -1,0 +1,54 @@
+"""R4 -- serialization pairing: snapshot halves must come in pairs.
+
+Resume-identity (:mod:`repro.checkpoint`) depends on every snapshotable
+object being restorable: a class that grows a ``state_dict`` without a
+``load_state`` (or a ``to_json`` without a ``from_json``) can be saved
+into a checkpoint that nothing can ever load -- a break the identity
+fuzz only notices once such a checkpoint is actually resumed.  The rule
+flags any class body defining exactly one half of a configured pair;
+classes inheriting the counterpart can be listed in the config
+allowance (``"path::ClassName"``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.modules import ModuleInfo
+from repro.lint.registry import Rule, register_rule
+
+
+@register_rule
+class SerializationPairRule(Rule):
+    code = "R4"
+    name = "serialization"
+    summary = ("a class defining state_dict must define load_state "
+               "(and to_json <-> from_json)")
+    complements = ("resume-identity fuzz "
+                   "(tests/checkpoint/test_resume_identity.py)")
+
+    def check(self, module: ModuleInfo,
+              config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if f"{module.path}::{node.name}" in config.serialization_allow:
+                continue
+            methods = {item.name for item in node.body
+                       if isinstance(item, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))}
+            for save, load in config.serialization_pairs:
+                present = methods & {save, load}
+                if len(present) != 1:
+                    continue
+                have = present.pop()
+                missing = load if have == save else save
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"{node.name}.{missing}",
+                    f"class {node.name} defines {have} but not "
+                    f"{missing}: an unpaired serialization half breaks "
+                    f"checkpoint/resume identity")

@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from repro.mem.ddr import Access, DdrModel, MemOp
 from repro.mem.timing import DdrTiming
-from repro.sim import Clock, Fifo, LatencyRecorder, NS, Simulator
+from repro.sim import Clock, LatencyRecorder, NS, Simulator
 from repro.sim.kernel import Event
 
 
@@ -57,7 +57,7 @@ class DdrController:
     reorder_window:
         How many queued requests the issue stage may look past the head
         to find one whose bank is idle.  ``1`` = strict FIFO.  The MMS
-    	DMC "issues interleaved commands so as to minimize bank
+        DMC "issues interleaved commands so as to minimize bank
         conflicts", i.e. a window > 1.
     pipeline_overhead_ns:
         Fixed controller/datapath pipeline latency added to every

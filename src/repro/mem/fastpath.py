@@ -29,7 +29,6 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
-from repro.mem.ddr import MemOp
 from repro.mem.timing import DdrTiming
 
 # Imported late by repro.mem.sched to avoid a cycle; ScheduleResult is

@@ -11,7 +11,7 @@ accesses on few banks and worsens conflicts).
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.mem.ddr import Access, MemOp
 

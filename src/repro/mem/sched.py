@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Iterator, List, Optional, Sequence
+from typing import Deque, List, Optional, Sequence
 
 from repro.mem.ddr import Access, DdrModel, IssueRecord, MemOp
 from repro.mem.patterns import AccessPattern, paper_port_patterns
@@ -32,7 +32,7 @@ from repro.mem.timing import DdrTiming
 PAPER_HISTORY_DEPTH = 3
 
 
-@dataclass
+@dataclass(frozen=True)
 class PortSpec:
     """A port with its (infinite) access pattern."""
 

@@ -15,7 +15,7 @@ access (pipelined), the NPU charges a PLB transaction per access.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.mem.timing import ZbtTiming
 

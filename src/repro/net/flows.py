@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 #: A chooser returns a flow id given an RNG.
 FlowChooser = Callable[[random.Random], int]

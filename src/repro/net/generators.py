@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
 from repro.net.ethernet import wire_time_ps
-from repro.net.flows import FlowChooser, uniform_flow_chooser
+from repro.net.flows import FlowChooser
 from repro.net.packet import Packet
 from repro.sim.clock import SEC
 

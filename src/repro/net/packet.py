@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 #: The fixed segment size every system in the paper uses: "the incoming
 #: data items are partitioned into fixed size segments of 64 bytes each".

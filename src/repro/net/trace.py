@@ -10,7 +10,7 @@ flow) and to compute achieved throughput.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 from repro.net.packet import Packet
 from repro.sim.clock import SEC

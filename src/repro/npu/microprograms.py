@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List
+from typing import List
 
 from repro.npu.params import NpuParams, SEGMENT_BEATS
 from repro.queueing import SegmentQueueManager

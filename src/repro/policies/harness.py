@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.telemetry.probe import Probe
 
 from repro.core.mms import MMS, MmsConfig
 from repro.core.workloads import (
@@ -103,7 +106,7 @@ def run_overload(policy: PolicySpec, shape: str, *,
                  seed: int = 2005,
                  engine: str = "fast",
                  keep_records: bool = False,
-                 probe=None) -> OverloadResult:
+                 probe: Optional["Probe"] = None) -> OverloadResult:
     """Run one (policy, traffic shape) overload experiment.
 
     ``num_arrivals`` segments are offered across ``active_flows`` flow

@@ -34,11 +34,11 @@ which cross-checks its schedules against these traces).
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple, Union
 
 from repro.policies.base import BufferPolicy, DroppedSegment
 from repro.queueing.errors import QueueEmptyError
-from repro.queueing.freelist import NIL, FreeList, OutOfBuffersError
+from repro.queueing.freelist import NIL, FreeList
 from repro.queueing.pointer_memory import AccessRecord, PointerMemory
 
 #: Field width used for every link in packed words.
@@ -607,7 +607,7 @@ class PacketQueueManager:
 
     # ======================================================== bulk ops
 
-    def bulk_prefill(self, flows, packets_per_flow: int,
+    def bulk_prefill(self, flows: Iterable[int], packets_per_flow: int,
                      segments_per_packet: int = 1) -> int:
         """Bulk analog of the MMS prefill loop (state- and
         counter-identical to repeated :meth:`enqueue_segment` calls with

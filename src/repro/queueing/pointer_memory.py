@@ -21,7 +21,7 @@ hard-coded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.mem.sram import ZbtSram
 from repro.mem.timing import ZbtTiming
@@ -52,8 +52,16 @@ class AccessRecord:
     index: int
 
 
-#: Sentinel marking a count-only trace in progress (no records kept).
-_COUNT_TRACE = object()
+class _CountOnlyTrace(List[AccessRecord]):
+    """Sentinel type for a count-only trace in progress (no records
+    kept).  Subclassing the record list keeps ``_trace``'s type uniform
+    without paying a cast on the access hot path; the ``is`` guards in
+    :meth:`PointerMemory.read`/:meth:`~PointerMemory.write` ensure the
+    sentinel instance itself is never appended to."""
+
+
+#: Sentinel marking a count-only trace in progress (identity-compared).
+_COUNT_TRACE = _CountOnlyTrace()
 
 
 class PointerMemory:
@@ -182,7 +190,7 @@ class PointerMemory:
         else:
             self._trace = []
 
-    def end_trace(self):
+    def end_trace(self) -> Union[List[AccessRecord], range]:
         """Stop recording and return the ordered access list (or its
         ``range`` stand-in under :attr:`count_only_traces`)."""
         if self._trace is None:
@@ -194,7 +202,8 @@ class PointerMemory:
 
     # ------------------------------------------------------- bulk ops
 
-    def bulk_update(self, region: str, pairs, extra_reads: int = 0,
+    def bulk_update(self, region: str, pairs: Iterable[Tuple[int, int]],
+                    extra_reads: int = 0,
                     extra_writes: int = 0) -> None:
         """Apply ``(index, value)`` writes of one *bulk* operation.
 

@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.policies.base import BufferPolicy, DroppedSegment
 from repro.queueing.errors import QueueEmptyError
-from repro.queueing.freelist import NIL, FreeList, OutOfBuffersError
+from repro.queueing.freelist import NIL, FreeList
 from repro.queueing.pointer_memory import AccessRecord, PointerMemory
 
 #: Bits of the ``next`` word used for the link; metadata sits above.

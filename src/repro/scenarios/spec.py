@@ -19,7 +19,7 @@ spec's ``budget``.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple, TypeVar
 
 from repro.core.mms import MmsConfig

@@ -9,8 +9,7 @@ here are intentionally simple, deterministic and dependency-free.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
-from typing import Iterable, List, Optional, Sequence, TYPE_CHECKING
+from typing import Iterable, List, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator

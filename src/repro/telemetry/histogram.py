@@ -13,7 +13,7 @@ streams (the engine-identity contract) report byte-identical summaries.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 
 def bucket_of(value: float) -> int:

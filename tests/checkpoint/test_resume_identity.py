@@ -38,7 +38,6 @@ from repro.checkpoint import (
 from repro.core.commands import CommandType
 from repro.core.mms import MmsConfig
 from repro.policies import PolicySpec
-from repro.sim.clock import SEC
 from repro.telemetry import TelemetrySpec
 from tests.engines.test_stream_fuzz import (
     Capture,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import MMS, Command, CommandType, MmsConfig, figure2_diagram
 from repro.core.mms import run_load, run_saturation
-from repro.core.scheduler import PortConfig
 
 SMALL = MmsConfig(num_flows=256, num_segments=2048, num_descriptors=1024,
                   strict_microcode=False)

@@ -3,7 +3,6 @@ platform-vs-platform consistency."""
 
 import random
 
-import pytest
 
 from repro.core import MMS, Command, CommandType, MmsConfig
 from repro.net import (

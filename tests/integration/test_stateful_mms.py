@@ -4,13 +4,7 @@ Python reference model under arbitrary command interleavings."""
 from collections import deque
 
 from hypothesis import settings
-from hypothesis.stateful import (
-    RuleBasedStateMachine,
-    initialize,
-    invariant,
-    precondition,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from hypothesis import strategies as st
 
 from repro.queueing import PacketQueueManager, QueueEmptyError

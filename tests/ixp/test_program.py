@@ -1,6 +1,5 @@
 """Tests for the per-packet program derivation."""
 
-import pytest
 
 from repro.ixp import IxpParams, build_queue_program
 from repro.ixp.program import derive_queue_op_access_count

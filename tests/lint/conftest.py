@@ -1,0 +1,18 @@
+"""Shared fixtures: the repo's real lint config and a snippet linter."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import LintConfig, load_config
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+CONFIG_PATH = REPO_ROOT / "repro-lint.toml"
+
+
+@pytest.fixture(scope="session")
+def config() -> LintConfig:
+    """The committed repro-lint.toml, as the rules see it."""
+    return load_config(str(CONFIG_PATH))

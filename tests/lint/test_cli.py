@@ -1,0 +1,165 @@
+"""CLI contract: exit codes, --json schema, --baseline, -m parity."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import validate_report_dict
+from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+from tests.lint.conftest import REPO_ROOT
+
+MINI_CONFIG = """
+[lint]
+root = "."
+package = "pkg"
+
+[rules.determinism]
+banned = ["time.time"]
+seeded_factories = ["random.Random"]
+
+[rules.atomic-json]
+allowed_in = []
+
+[rules.serialization]
+pairs = [["state_dict", "load_state"]]
+allow = []
+
+[rules.frozen-spec]
+modules = []
+class_suffixes = ["Spec"]
+"""
+
+CLEAN_SRC = "X = 1\n"
+DIRTY_SRC = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """)
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A miniature lintable project with its own config."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__init__.py").write_text(CLEAN_SRC)
+    config = tmp_path / "repro-lint.toml"
+    config.write_text(MINI_CONFIG)
+    return tmp_path
+
+
+def write_module(project, name, source):
+    (project / "pkg" / name).write_text(source)
+
+
+def test_clean_tree_exits_zero(project, capsys):
+    assert main(["--config", str(project / "repro-lint.toml")]) == EXIT_CLEAN
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_location_lines(project, capsys):
+    write_module(project, "dirty.py", DIRTY_SRC)
+    assert main(["--config", str(project / "repro-lint.toml")]) \
+        == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "pkg/dirty.py:5:" in out
+    assert "R1[determinism]" in out
+
+
+def test_json_report_schema_and_atomic_file(project, capsys):
+    write_module(project, "dirty.py", DIRTY_SRC)
+    out_file = project / "report.json"
+    code = main(["--config", str(project / "repro-lint.toml"),
+                 "--json", str(out_file), "--quiet"])
+    assert code == EXIT_FINDINGS
+    doc = json.loads(out_file.read_text())
+    assert validate_report_dict(doc) == []
+    assert doc["summary"]["findings"] == 1
+    assert doc["summary"]["by_rule"]["R1"] == 1
+    assert doc["findings"][0]["path"] == "pkg/dirty.py"
+    # no stray temp files from the atomic write
+    assert [p.name for p in project.glob("*.tmp")] == []
+
+
+def test_json_to_stdout(project, capsys):
+    code = main(["--config", str(project / "repro-lint.toml"), "--json"])
+    assert code == EXIT_CLEAN
+    doc = json.loads(capsys.readouterr().out)
+    assert validate_report_dict(doc) == []
+    assert doc["summary"]["findings"] == 0
+
+
+def test_baseline_round_trip(project, capsys):
+    write_module(project, "dirty.py", DIRTY_SRC)
+    config = ["--config", str(project / "repro-lint.toml")]
+    baseline = project / "lint-baseline.json"
+
+    assert main(config + ["--write-baseline", str(baseline)]) == EXIT_CLEAN
+    doc = json.loads(baseline.read_text())
+    assert doc["version"] == 1 and len(doc["suppress"]) == 1
+
+    # suppressed findings gate nothing but are still reported as such
+    assert main(config + ["--baseline", str(baseline)]) == EXIT_CLEAN
+    assert "1 suppressed by baseline" in capsys.readouterr().out
+
+    # a *new* violation still fails against the old baseline
+    write_module(project, "worse.py", DIRTY_SRC)
+    assert main(config + ["--baseline", str(baseline)]) == EXIT_FINDINGS
+
+
+def test_rule_selection(project, capsys):
+    write_module(project, "dirty.py", DIRTY_SRC)
+    config = ["--config", str(project / "repro-lint.toml")]
+    # R1 disabled -> the clock call is invisible
+    assert main(config + ["--rules", "R3,R4"]) == EXIT_CLEAN
+    assert main(config + ["--rules", "determinism"]) == EXIT_FINDINGS
+
+
+def test_unknown_rule_is_usage_error(project, capsys):
+    assert main(["--rules", "R99"]) == EXIT_ERROR
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_config_is_usage_error(tmp_path, capsys):
+    assert main(["--config", str(tmp_path / "nope.toml")]) == EXIT_ERROR
+    assert "repro-lint:" in capsys.readouterr().err
+
+
+def test_syntax_error_is_usage_error(project, capsys):
+    write_module(project, "broken.py", "def f(:\n")
+    assert main(["--config", str(project / "repro-lint.toml")]) == EXIT_ERROR
+
+
+def test_explicit_paths_scope_the_run(project):
+    write_module(project, "dirty.py", DIRTY_SRC)
+    config = ["--config", str(project / "repro-lint.toml")]
+    assert main(config + ["pkg/__init__.py"]) == EXIT_CLEAN
+    assert main(config + ["pkg/dirty.py"]) == EXIT_FINDINGS
+
+
+def test_list_rules_names_all_five(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for code in ("R1", "R2", "R3", "R4", "R5"):
+        assert code in out
+
+
+def test_python_dash_m_matches_cli(project):
+    """`python -m repro.lint` is the same program as the console script."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint",
+         "--config", str(project / "repro-lint.toml"), "--json"],
+        capture_output=True, text=True, env=env, cwd=str(project))
+    assert proc.returncode == EXIT_CLEAN, proc.stderr
+    doc = json.loads(proc.stdout)
+    assert validate_report_dict(doc) == []

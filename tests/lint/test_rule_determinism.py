@@ -1,0 +1,151 @@
+"""R1 fixtures: clock/entropy bans, seeded-Random sanction, allowlist."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.rules.determinism import DeterminismRule
+
+RULE = [DeterminismRule()]
+PATH = "repro/fixture/mod.py"  # not in any config allowlist
+
+
+def lint(src, config, path=PATH):
+    return lint_source(textwrap.dedent(src), path, config, RULE)
+
+
+def test_wall_clock_call_flagged(config):
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """, config)
+    assert [f.symbol for f in findings] == ["time.time"]
+    assert findings[0].rule == "R1"
+    assert findings[0].line == 5
+
+
+def test_aliased_import_resolved(config):
+    findings = lint(
+        """
+        import time as _t
+
+        def stamp():
+            return _t.perf_counter_ns()
+        """, config)
+    assert [f.symbol for f in findings] == ["time.perf_counter_ns"]
+
+
+def test_from_import_of_banned_callable_flagged(config):
+    findings = lint(
+        """
+        from time import time
+
+        def stamp():
+            return time()
+        """, config)
+    # flagged at the import site and at the call site
+    assert [f.symbol for f in findings] == ["time.time", "time.time"]
+    assert findings[0].line == 2
+
+
+def test_datetime_now_flagged_via_both_import_styles(config):
+    findings = lint(
+        """
+        import datetime
+        from datetime import datetime as dt
+
+        a = datetime.datetime.now()
+        b = dt.now()
+        """, config)
+    assert [f.symbol for f in findings] == [
+        "datetime.datetime.now", "datetime.datetime.now"]
+
+
+def test_unseeded_module_random_flagged(config):
+    findings = lint(
+        """
+        import random
+
+        def draw():
+            return random.randint(0, 7)
+        """, config)
+    assert [f.symbol for f in findings] == ["random.randint"]
+    assert "seeded" in findings[0].message
+
+
+def test_os_urandom_and_secrets_flagged(config):
+    findings = lint(
+        """
+        import os
+        import secrets
+
+        def token():
+            return os.urandom(8) + secrets.token_bytes(8)
+        """, config)
+    assert [f.symbol for f in findings] == [
+        "secrets", "os.urandom", "secrets.token_bytes"]
+
+
+def test_seeded_random_instance_clean(config):
+    findings = lint(
+        """
+        import random
+
+        def make_rng(seed):
+            rng = random.Random(seed)
+            return rng.randint(0, 7)
+        """, config)
+    assert findings == []
+
+
+def test_unseeded_random_instance_flagged(config):
+    findings = lint(
+        """
+        from random import Random
+
+        def make_rng():
+            return Random()
+        """, config)
+    assert [f.symbol for f in findings] == ["random.Random"]
+    assert "seed" in findings[0].message
+
+
+def test_allowlisted_file_and_call_clean(config):
+    src = """
+        import time
+
+        def wall():
+            return time.perf_counter()
+        """
+    # runner.py is allowlisted for exactly this call ...
+    assert lint(src, config, path="repro/scenarios/runner.py") == []
+    # ... everywhere else it is a violation
+    assert len(lint(src, config)) == 1
+
+
+def test_allowlist_is_per_call_not_per_file(config):
+    findings = lint(
+        """
+        import time
+
+        def wall():
+            return time.time()
+        """, config, path="repro/scenarios/runner.py")
+    assert [f.symbol for f in findings] == ["time.time"]
+
+
+def test_unrelated_attribute_chains_clean(config):
+    findings = lint(
+        """
+        class Clock:
+            def time(self):
+                return 0
+
+        def read(clock):
+            return clock.time() + Clock().time()
+        """, config)
+    assert findings == []

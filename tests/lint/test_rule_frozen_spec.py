@@ -1,0 +1,90 @@
+"""R5 fixtures: frozen-by-module, frozen-by-name, decorator forms."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.rules.frozen_spec import FrozenSpecRule
+
+RULE = [FrozenSpecRule()]
+
+
+def lint(src, path, config):
+    return lint_source(textwrap.dedent(src), path, config, RULE)
+
+
+def test_unfrozen_dataclass_in_spec_module_flagged(config):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Anything:
+            x: int = 0
+        """, "repro/scenarios/spec.py", config)
+    assert [f.symbol for f in findings] == ["Anything"]
+    assert "frozen=True" in findings[0].message
+
+
+def test_unfrozen_spec_named_dataclass_flagged_anywhere(config):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class PortSpec:
+            name: str = ""
+        """, "repro/mem/sched.py", config)
+    assert [f.symbol for f in findings] == ["PortSpec"]
+
+
+def test_frozen_forms_clean(config):
+    findings = lint(
+        """
+        import dataclasses
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class TrafficSpec:
+            x: int = 0
+
+        @dataclasses.dataclass(frozen=True, slots=True)
+        class MemorySpec:
+            y: int = 0
+        """, "repro/scenarios/spec.py", config)
+    assert findings == []
+
+
+def test_frozen_false_literal_flagged(config):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=False)
+        class RunSpec:
+            x: int = 0
+        """, "repro/core/anything.py", config)
+    assert [f.symbol for f in findings] == ["RunSpec"]
+
+
+def test_plain_spec_named_class_not_a_dataclass_clean(config):
+    findings = lint(
+        """
+        class HandSpec:
+            def __init__(self):
+                self.x = 0
+        """, "repro/core/anything.py", config)
+    assert findings == []
+
+
+def test_unfrozen_dataclass_elsewhere_without_spec_name_clean(config):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class RunningTotals:
+            count: int = 0
+        """, "repro/core/anything.py", config)
+    assert findings == []

@@ -1,0 +1,91 @@
+"""R4 fixtures: unpaired snapshot halves, both pair families."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.rules.serialization import SerializationPairRule
+
+RULE = [SerializationPairRule()]
+PATH = "repro/fixture/state.py"
+
+
+def lint(src, config, path=PATH):
+    return lint_source(textwrap.dedent(src), path, config, RULE)
+
+
+def test_state_dict_without_load_state_flagged(config):
+    findings = lint(
+        """
+        class Machine:
+            def state_dict(self):
+                return {}
+        """, config)
+    assert [f.symbol for f in findings] == ["Machine.load_state"]
+    assert "resume" in findings[0].message
+
+
+def test_load_state_without_state_dict_flagged(config):
+    findings = lint(
+        """
+        class Machine:
+            def load_state(self, state):
+                pass
+        """, config)
+    assert [f.symbol for f in findings] == ["Machine.state_dict"]
+
+
+def test_to_json_without_from_json_flagged(config):
+    findings = lint(
+        """
+        class Doc:
+            def to_json(self):
+                return "{}"
+        """, config)
+    assert [f.symbol for f in findings] == ["Doc.from_json"]
+
+
+def test_paired_classes_clean(config):
+    findings = lint(
+        """
+        class Machine:
+            def state_dict(self):
+                return {}
+
+            def load_state(self, state):
+                pass
+
+        class Doc:
+            def to_json(self):
+                return "{}"
+
+            @classmethod
+            def from_json(cls, text):
+                return cls()
+        """, config)
+    assert findings == []
+
+
+def test_both_pairs_checked_independently(config):
+    findings = lint(
+        """
+        class Everything:
+            def state_dict(self):
+                return {}
+
+            def to_json(self):
+                return "{}"
+        """, config)
+    assert sorted(f.symbol for f in findings) == [
+        "Everything.from_json", "Everything.load_state"]
+
+
+def test_unrelated_class_clean(config):
+    findings = lint(
+        """
+        class Plain:
+            def run(self):
+                pass
+        """, config)
+    assert findings == []

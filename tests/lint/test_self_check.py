@@ -1,0 +1,96 @@
+"""The gate itself: the live src/repro tree is clean, with no baseline.
+
+This is the tier-1 teeth of the static contracts -- a PR that
+introduces a clock call on a hot path, a checkpoint import in an
+engine, a bare json.dump or an unpaired state_dict fails here, before
+any identity suite has to catch it dynamically.
+"""
+
+from __future__ import annotations
+
+from repro.lint import lint_paths, select_rules
+from repro.lint.config import Layer
+from tests.lint.conftest import CONFIG_PATH, REPO_ROOT
+
+
+def test_live_tree_is_clean(config):
+    findings, files = lint_paths(config)
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, (
+        f"src/repro violates its static contracts "
+        f"(fix them or -- for a sanctioned exception -- extend "
+        f"repro-lint.toml):\n{rendered}")
+    # the whole package was actually checked, not a subset
+    assert files > 100
+
+
+def test_committed_config_parses_and_names_all_rules(config):
+    assert config.source == str(CONFIG_PATH)
+    assert {r.code for r in select_rules()} == {"R1", "R2", "R3", "R4", "R5"}
+    # every rule has non-trivial config behind it
+    assert config.banned_calls and config.seeded_factories
+    assert config.layers and config.serialization_pairs
+    assert config.atomic_allowed_in and config.spec_modules
+    assert config.spec_class_suffixes
+
+
+def test_layer_dag_covers_every_package(config):
+    """A new top-level package must be placed in the DAG deliberately."""
+    packages = sorted(
+        p.name for p in (REPO_ROOT / "src" / "repro").iterdir()
+        if p.is_dir() and (p / "__init__.py").exists())
+    unplaced = [pkg for pkg in packages
+                if config.layer_of(f"repro.{pkg}") is None]
+    assert not unplaced, (
+        f"packages missing from the repro-lint.toml layer DAG: {unplaced}")
+
+
+def test_layer_dag_is_acyclic_beyond_self(config):
+    """may_import edges (minus self-loops) form a DAG -- 'layering'
+    would be meaningless with cycles."""
+    edges = {layer.name: set(layer.may_import) - {layer.name}
+             for layer in config.layers}
+    seen, done = set(), set()
+
+    def visit(name: str) -> None:
+        assert name not in seen, f"layer cycle through {name!r}"
+        if name in done:
+            return
+        seen.add(name)
+        for dep in edges.get(name, ()):
+            visit(dep)
+        seen.discard(name)
+        done.add(name)
+
+    for name in edges:
+        visit(name)
+
+
+def test_longest_prefix_wins_for_probe_crossing(config):
+    probe = config.layer_of("repro.telemetry.probe")
+    collector = config.layer_of("repro.telemetry.collector")
+    assert isinstance(probe, Layer) and probe.name == "probe"
+    assert isinstance(collector, Layer) and collector.name == "slow"
+
+
+def test_hot_layer_cannot_reach_slow(config):
+    hot = config.layer_of("repro.sim.kernel")
+    assert hot is not None and hot.name == "hot"
+    assert "slow" not in hot.may_import
+    assert "platform" not in hot.may_import
+
+
+def test_determinism_allowlist_entries_point_at_real_files(config):
+    for relpath in config.determinism_allow:
+        assert (REPO_ROOT / "src" / relpath).is_file(), (
+            f"[rules.determinism.allow] names a missing file: {relpath}")
+
+
+def test_atomic_sanctuary_is_exactly_checkpoint_atomic(config):
+    assert list(config.atomic_allowed_in) == ["repro/checkpoint/atomic.py"]
+    assert (REPO_ROOT / "src" / "repro" / "checkpoint" / "atomic.py").is_file()
+
+
+def test_spec_modules_exist(config):
+    for relpath in config.spec_modules:
+        assert (REPO_ROOT / "src" / relpath).is_file()

@@ -256,7 +256,6 @@ def test_app_descriptor_exhaustion_drops_instead_of_raising():
 def test_pushout_listener_releases_app_metadata():
     from repro.apps import IpRouter
     from repro.net.packet import Packet
-    import dataclasses
     from repro.core import MMS, MmsConfig
     mms = MMS(MmsConfig(num_flows=3, num_segments=8, num_descriptors=8,
                         policy=PolicySpec(name="lqd")))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Simulator, SimulationError
+from repro.sim import Simulator, SimulationError
 from repro.sim.kernel import all_of, call_at
 
 

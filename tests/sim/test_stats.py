@@ -1,6 +1,5 @@
 """Tests for statistics collectors."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
