@@ -25,6 +25,10 @@ Benchmarks
   full-budget Table 5 (stream engine): probes-off must stay within 2%
   of the plain run (structural absence) and keep the 3x stream floor;
   the probes-on overhead is recorded for the trajectory.
+* ``bench_trace`` -- the same contract for the span tracer: trace-off
+  must stay within 2% of the plain run (the stage hooks are
+  structurally absent when no probe wants them) and keep the 3x
+  stream floor; the trace-on overhead and span count are recorded.
 * ``kernel_events`` -- raw same-time + delay event throughput of the two
   kernel engines.
 
@@ -65,6 +69,11 @@ TABLE5_STREAM_SPEEDUP_FLOOR = 3.0
 #: (probes are structurally absent, so anything beyond timer noise is a
 #: regression) -- and the 3x stream floor above must still hold.
 TELEMETRY_OFF_OVERHEAD_CEILING = 0.02
+
+#: Same contract for the span tracer: the stage-transition hooks are
+#: structurally absent when no probe asks for them, so a trace-off run
+#: must stay within this fraction of the plain run.
+TRACE_OFF_OVERHEAD_CEILING = 0.02
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -293,6 +302,90 @@ def bench_telemetry(quick: bool, repeats: int, table5: dict) -> dict:
     }
 
 
+def _assert_stage_hooks_structurally_absent() -> None:
+    """The tracer's structural-absence check.
+
+    The DQM has three dispatch/finalize variant pairs -- plain, probed,
+    traced -- and picks once at construction time: a telemetry-only
+    probe must get the *probed* pair (no stage bookkeeping), a probe
+    with ``wants_stages`` must get the *traced* pair.  A per-command
+    ``if wants_stages`` creeping into the probed path would pass any
+    timing comparison -- this assertion is what fails instead.
+    """
+    from repro.core.dqm import DataQueueManager
+    from repro.core.mms import MMS, MmsConfig
+    from repro.telemetry import MmsTelemetry
+    from repro.trace import TraceCollector, TraceSpec
+
+    cfg = MmsConfig(num_flows=16, num_segments=64, num_descriptors=64)
+    probed = MMS(cfg, probe=MmsTelemetry())
+    if probed.dqm._dispatch.__func__ \
+            is not DataQueueManager._dispatch_probed:
+        raise SystemExit(
+            "bench_trace: telemetry-only DQM took the traced dispatch path")
+    traced = MMS(cfg, probe=TraceCollector(TraceSpec()))
+    if traced.dqm._dispatch.__func__ \
+            is not DataQueueManager._dispatch_traced or \
+            traced.dqm._finalize.__func__ \
+            is not DataQueueManager._finalize_traced:
+        raise SystemExit(
+            "bench_trace: tracing DQM did not swap in its traced variants")
+
+
+def bench_trace(quick: bool, repeats: int, table5: dict) -> dict:
+    """Span-tracing cost contract on full-budget Table 5 (stream engine).
+
+    Mirrors :func:`bench_telemetry` for the tracer: the structural
+    check above, an interleaved plain vs trace-off A/B (gated at 2%),
+    the trace-on overhead recorded for the trajectory (not gated --
+    tracing implies probing, which disables the inlined opcode
+    branches), results unperturbed, and the 3x stream floor intact
+    with tracing disabled.
+    """
+    _assert_stage_hooks_structurally_absent()
+    runner = Runner()
+    # the A/B legs are *identical invocations* (no probe either way), so
+    # any measured gap is machine noise: best-of-5 floors it and the
+    # alternating leg order cancels within-pair drift bias
+    reps = max(5, 1 if quick else repeats)
+    base_s = off_s = float("inf")
+    off_result = None
+    for i in range(reps):
+        for leg in ("base", "off") if i % 2 == 0 else ("off", "base"):
+            t0 = time.perf_counter()
+            result = runner.run("table5", engine="fast")
+            elapsed = time.perf_counter() - t0
+            if leg == "base":
+                base_s = min(base_s, elapsed)
+            else:
+                off_s = min(off_s, elapsed)
+                off_result = result
+    on_s, on_result = _best_of(
+        lambda: runner.run("table5", engine="fast", trace=True), reps)
+    on_metrics = dict(on_result.metrics)
+    trace_payload = on_metrics.pop("trace")
+    if on_metrics != off_result.metrics:
+        raise SystemExit(
+            "bench_trace: tracing perturbed the simulated results")
+    spans = sum(t["counters"]["spans"] for t in trace_payload.values())
+    if not spans:
+        raise SystemExit("bench_trace: traced run recorded no spans")
+    return {
+        "plain_s": round(base_s, 4),
+        "trace_off_s": round(off_s, 4),
+        "trace_on_s": round(on_s, 4),
+        "off_overhead": round(off_s / base_s - 1.0, 4),
+        "on_overhead": round(on_s / base_s - 1.0, 4),
+        "stream_speedup_with_trace_off": round(
+            table5["reference_s"] / off_s, 2),
+        "spans": spans,
+        "structurally_absent_when_disabled": True,
+        "identical_results": True,
+        "budget": "full",
+        "engine": "command-stream machine (repro.engines.StreamMms)",
+    }
+
+
 def bench_kernel_events(quick: bool, repeats: int) -> dict:
     """Raw kernel event throughput: clocked processes with shared edges."""
     procs, steps = (50, 200) if quick else (200, 500)
@@ -357,6 +450,14 @@ def main(argv=None) -> int:
           f"(overhead {t['off_overhead'] * 100:+.1f}%) "
           f"on={t['telemetry_on_s']}s "
           f"(overhead {t['on_overhead'] * 100:+.1f}%)")
+    results["bench_trace"] = bench_trace(
+        args.quick, repeats, results["bench_table5_stream"])
+    tr = results["bench_trace"]
+    print(f"bench_trace: off={tr['trace_off_s']}s "
+          f"(overhead {tr['off_overhead'] * 100:+.1f}%) "
+          f"on={tr['trace_on_s']}s "
+          f"(overhead {tr['on_overhead'] * 100:+.1f}%, "
+          f"{tr['spans']} spans)")
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -406,6 +507,23 @@ def main(argv=None) -> int:
     if tele["stream_speedup_with_telemetry_off"] < TABLE5_STREAM_SPEEDUP_FLOOR:
         print(f"FAIL: stream speedup with telemetry disabled "
               f"{tele['stream_speedup_with_telemetry_off']}x is below the "
+              f"{TABLE5_STREAM_SPEEDUP_FLOOR}x floor", file=sys.stderr)
+        return 1
+    trace = results["bench_trace"]
+    if trace["off_overhead"] > TRACE_OFF_OVERHEAD_CEILING:
+        msg = (f"trace-off overhead {trace['off_overhead'] * 100:.1f}% "
+               f"exceeds the {TRACE_OFF_OVERHEAD_CEILING * 100:.0f}% "
+               f"ceiling (stage hooks must be structurally absent when "
+               f"disabled)")
+        if args.quick:
+            print(f"WARNING: {msg} -- likely runner noise; the structural "
+                  f"check passed", file=sys.stderr)
+        else:
+            print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+    if trace["stream_speedup_with_trace_off"] < TABLE5_STREAM_SPEEDUP_FLOOR:
+        print(f"FAIL: stream speedup with tracing disabled "
+              f"{trace['stream_speedup_with_trace_off']}x is below the "
               f"{TABLE5_STREAM_SPEEDUP_FLOOR}x floor", file=sys.stderr)
         return 1
     return 0

@@ -14,6 +14,10 @@ The CLI is a thin front-end over the scenario registry
     repro-experiments checkpoint-run latency-lqd-burst \\
         --checkpoint-every 2000000000 --checkpoint-dir ckpts
     repro-experiments checkpoint-run --resume-from ckpts/latency-....json
+    repro-experiments run latency-lqd-burst --trace --json run.json
+    repro-experiments trace-export run.json trace.json   # -> ui.perfetto.dev
+    repro-experiments trace-diff a.json b.json           # first divergence
+    repro-experiments report run.json                    # human summary
 
 ``run``/``sweep`` accept ``--engine fast|reference`` and ``--seed N``;
 each scenario honors the knobs it declares (closed-form scenarios have
@@ -188,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "histograms, occupancy series) for scenarios "
                             "that support it; the snapshot lands in "
                             "metrics.telemetry of the --json document")
+        p.add_argument("--trace", action="store_true",
+                       help="enable per-packet lifecycle span tracing "
+                            "for scenarios that support it; the snapshot "
+                            "lands in metrics.trace of the --json "
+                            "document (see trace-export / trace-diff)")
         p.add_argument("--journal", dest="journal_dir", metavar="DIR",
                        default=None,
                        help="persist each finished scenario atomically to "
@@ -244,6 +253,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_ckpt.add_argument("--quiet", action="store_true",
                         help="suppress the result summary")
 
+    p_texp = sub.add_parser(
+        "trace-export",
+        help="convert a traced run/result document to Chrome trace-event "
+             "JSON (viewable at https://ui.perfetto.dev)")
+    p_texp.add_argument("input", help="run/result/trace JSON document "
+                                      "(from run --trace --json)")
+    p_texp.add_argument("output", help="Chrome trace-event JSON path "
+                                       "(atomic write)")
+    p_texp.add_argument("--label", default=None, metavar="NAME",
+                        help="which trace to export when the document "
+                             "carries several (labels are listed on "
+                             "error)")
+
+    p_tdiff = sub.add_parser(
+        "trace-diff",
+        help="locate the first divergent span between two traced "
+             "documents (exit 0 identical, 1 divergent, 2 error)")
+    p_tdiff.add_argument("a", help="first run/result/trace JSON document")
+    p_tdiff.add_argument("b", help="second run/result/trace JSON document")
+    p_tdiff.add_argument("--label", default=None, metavar="NAME",
+                         help="which trace to compare when a document "
+                              "carries several")
+    p_tdiff.add_argument("--context", type=int, default=3, metavar="N",
+                         help="surrounding spans to show around the "
+                              "divergence (default: 3)")
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a human-readable summary (telemetry percentiles, "
+             "cycle attribution, drops) of any results document")
+    p_report.add_argument("input", help="run/result/trace JSON document")
+
     return parser
 
 
@@ -254,7 +295,8 @@ def _legacy_rewrite(argv: List[str]) -> List[str]:
     argparse used to accept, ``--fast table1``) predate the
     subcommands; keep both working as aliases for ``run``.
     """
-    if not argv or argv[0] in ("list", "run", "sweep", "checkpoint-run"):
+    if not argv or argv[0] in ("list", "run", "sweep", "checkpoint-run",
+                               "trace-export", "trace-diff", "report"):
         return argv
     legacy = set(scenario_names()) | {"all"}
     if any(token in legacy for token in argv):
@@ -289,6 +331,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "supports": sorted(spec.supports),
                 "fastpath": spec.fastpath,
                 "telemetry": spec.telemetry is not None,
+                "trace": spec.trace is not None,
                 "engine": spec.effective_engine,
                 "budget": spec.budget,
                 "seed": spec.seed,
@@ -313,10 +356,10 @@ def _run_one_serialized(payload) -> dict:
     path travel with the payload, so a pool run is exactly as
     deterministic as a serial one.
     """
-    paths, name, engine, seed, fast, telemetry = payload
+    paths, name, engine, seed, fast, telemetry, trace = payload
     sys.path[:] = paths
     result = Runner().run(name, engine=engine, seed=seed, fast=fast,
-                          telemetry=telemetry)
+                          telemetry=telemetry, trace=trace)
     return result.to_dict()
 
 
@@ -325,7 +368,10 @@ def _print_failures(failures) -> None:
     print("\nFAILED SCENARIOS", file=sys.stderr)
     width = max(len(f.name) for f in failures)
     for f in failures:
-        print(f"  {f.name:<{width}}  attempts={f.attempts}  {f.reason}",
+        wall = getattr(f, "wall_clock_s", None)
+        wall_text = "-" if wall is None else f"{wall:.2f}s"
+        print(f"  {f.name:<{width}}  attempts={f.attempts}  "
+              f"wall={wall_text:<9}  {f.reason}",
               file=sys.stderr)
 
 
@@ -335,7 +381,8 @@ def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
 
     jobs = getattr(args, "jobs", 1)
     payloads = [(list(sys.path), name, args.engine, args.seed,
-                 args.fast or None, args.telemetry or None)
+                 args.fast or None, args.telemetry or None,
+                 args.trace or None)
                 for name in names]
 
     if jobs > 1 and len(names) > 1:
@@ -369,7 +416,8 @@ def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
                 result = runner.run(name, engine=args.engine,
                                     seed=args.seed,
                                     fast=args.fast or None,
-                                    telemetry=args.telemetry or None)
+                                    telemetry=args.telemetry or None,
+                                    trace=args.trace or None)
             except KeyboardInterrupt:
                 interrupted = _signal.SIGINT
                 failures.extend(
@@ -401,7 +449,10 @@ def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
         }
         if failures:
             doc["failures"] = [{"name": f.name, "attempts": f.attempts,
-                                "reason": f.reason} for f in failures]
+                                "reason": f.reason,
+                                "wall_clock_s": getattr(f, "wall_clock_s",
+                                                        None)}
+                               for f in failures]
         _write_document(args.json_path, doc)
     if failures:
         _print_failures(failures)
@@ -455,6 +506,7 @@ def _checkpoint_build(args: argparse.Namespace):
         num_arrivals=spec.pick(spec.traffic.num_commands),
         active_flows=spec.traffic.active_flows,
         telemetry=spec.telemetry,
+        trace=spec.trace,
         engine_label=spec.effective_engine or "fast")
     params["scenario"] = spec.name
     if spec.effective_engine == "reference":
@@ -501,6 +553,94 @@ def _cmd_checkpoint_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------- trace/report tools
+
+def _load_json_doc(path: str):
+    """``(document, error)`` -- exactly one is None."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh), None
+    except (OSError, ValueError) as exc:
+        return None, f"cannot read {path}: {exc}"
+
+
+def _pick_trace(path: str, label: Optional[str]):
+    """``((label, payload), error)`` for the one trace to operate on
+    (documents can carry several, e.g. a per-load table5 run or a
+    sweep)."""
+    from repro.trace.export import extract_traces
+    doc, err = _load_json_doc(path)
+    if err is not None:
+        return None, err
+    try:
+        traces = extract_traces(doc)
+    except ValueError as exc:
+        return None, f"{path}: {exc}"
+    if label is not None:
+        for lab, payload in traces:
+            if lab == label:
+                return (lab, payload), None
+        known = ", ".join(lab for lab, _t in traces)
+        return None, (f"{path}: no trace labelled {label!r} "
+                      f"(document carries: {known})")
+    if len(traces) > 1:
+        known = ", ".join(lab for lab, _t in traces)
+        return None, (f"{path} carries {len(traces)} traces; pick one "
+                      f"with --label (one of: {known})")
+    return traces[0], None
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.trace.export import export_chrome_trace
+    picked, err = _pick_trace(args.input, args.label)
+    if err is not None:
+        print(err, file=sys.stderr)
+        return 2
+    label, payload = picked
+    try:
+        doc = export_chrome_trace(payload, args.output,
+                                  process_name=label)
+    except ValueError as exc:
+        print(f"{args.input}: {exc}", file=sys.stderr)
+        return 2
+    spans = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+    print(f"wrote {args.output}: {spans} spans from {label!r} "
+          f"(open at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.trace.diff import first_divergence
+    from repro.trace.diff import render as render_divergence
+    sides = []
+    for path in (args.a, args.b):
+        picked, err = _pick_trace(path, args.label)
+        if err is not None:
+            print(err, file=sys.stderr)
+            return 2
+        sides.append((path, picked))
+    (path_a, (label_a, trace_a)), (path_b, (label_b, trace_b)) = sides
+    div = first_divergence(trace_a, trace_b,
+                           context=max(args.context, 0))
+    print(render_divergence(div, f"{path_a}:{label_a}",
+                            f"{path_b}:{label_b}"))
+    return 0 if div is None else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.trace.report import render_report
+    doc, err = _load_json_doc(args.input)
+    if err is not None:
+        print(err, file=sys.stderr)
+        return 2
+    try:
+        print(render_report(doc, source=args.input))
+    except ValueError as exc:
+        print(f"{args.input}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -509,6 +649,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args)
     if args.command == "checkpoint-run":
         return _cmd_checkpoint_run(args)
+    if args.command == "trace-export":
+        return _cmd_trace_export(args)
+    if args.command == "trace-diff":
+        return _cmd_trace_diff(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "sweep":
         sweep_names = [s.spec.name for s in scenarios_of_kind("sweep")]
         names = sweep_names if args.scenario == "all" else [args.scenario]

@@ -68,6 +68,8 @@ from repro.checkpoint.snapshot import (
     config_to_dict,
     telemetry_spec_from_dict,
     telemetry_spec_to_dict,
+    trace_spec_from_dict,
+    trace_spec_to_dict,
     validate_checkpoint_dict,
 )
 from repro.checkpoint.stream_state import restore_stream, snapshot_stream
@@ -104,6 +106,8 @@ __all__ = [
     "snapshot_stream",
     "telemetry_spec_from_dict",
     "telemetry_spec_to_dict",
+    "trace_spec_from_dict",
+    "trace_spec_to_dict",
     "validate_checkpoint_dict",
     "write_json_atomic",
     "write_plan",

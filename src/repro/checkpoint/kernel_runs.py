@@ -16,9 +16,9 @@ byte-identically is refused rather than silently diverging.
 Determinism makes the replay exact: the kernel path takes no
 wall-clock or OS input, every RNG is seeded from the params, and the
 event order is pinned by the ``(time, sequence)`` contract.  The
-telemetry probe is deliberately *not* checkpointed on this path -- it
-re-accumulates during the replay and arrives at the anchor in the
-identical state.
+telemetry probe and span tracer are deliberately *not* checkpointed on
+this path -- they re-accumulate during the replay and arrive at the
+anchor in the identical state.
 
 Only the ``overload`` and ``script`` workload families get kernel
 drivers: the Table 5 load/saturation workloads always route to the
@@ -36,12 +36,11 @@ from typing import TYPE_CHECKING, Any, Dict, Union
 if TYPE_CHECKING:
     from repro.checkpoint.runs import StreamRun
 
-from repro.checkpoint.runs import _decode_op, _script_feeder
+from repro.checkpoint.runs import _build_probes, _decode_op, _script_feeder
 from repro.checkpoint.snapshot import (
     Checkpoint,
     CheckpointError,
     config_from_dict,
-    telemetry_spec_from_dict,
 )
 from repro.core.mms import MMS
 from repro.core.workloads import (
@@ -52,7 +51,6 @@ from repro.core.workloads import (
 from repro.engines import harnesses
 from repro.policies.harness import OverloadResult
 from repro.sim.kernel import make_simulator
-from repro.telemetry.collector import MmsTelemetry
 
 #: Workload families a KernelRun can drive (see module docstring).
 KERNEL_WORKLOADS = ("overload", "script")
@@ -107,9 +105,7 @@ class KernelRun:
         self.workload = workload
         self.params = params
         self.config = config_from_dict(params["config"])
-        spec = params.get("telemetry")
-        self.probe = None if spec is None \
-            else MmsTelemetry(telemetry_spec_from_dict(spec))
+        self.telemetry, self.tracer, self.probe = _build_probes(params)
         self.store: Dict[str, int] = {}
         self._build()
 

@@ -21,6 +21,10 @@ little throughput bookkeeping for robustness:
   as done; a re-run of an interrupted sweep skips everything already
   journaled (a torn write never passes ``read_json``, so a crash
   mid-write re-runs that task);
+* **heartbeat documents** -- alongside the journal, every task keeps a
+  ``<name>.heartbeat.json`` event log (start/finish/retry/fail with
+  attempt numbers and pool-relative elapsed seconds), so a stalled or
+  crashed sweep can be diagnosed from the journal directory alone;
 * **graceful interrupt** -- ``SIGINT``/``SIGTERM`` stop new work,
   terminate what is running, keep every completed result, and report
   which signal ended the sweep (the CLI exits ``128 + signum``).
@@ -54,11 +58,16 @@ ERROR_KEY = "__error__"
 
 @dataclass
 class TaskFailure:
-    """One task that exhausted its retry budget (or was interrupted)."""
+    """One task that exhausted its retry budget (or was interrupted).
+
+    ``wall_clock_s`` is the total time the task spent actually running
+    across every attempt; ``None`` when the runner does not measure it
+    (the CLI's serial path) or the task never started."""
 
     name: str
     attempts: int
     reason: str
+    wall_clock_s: Optional[float] = None
 
 
 @dataclass
@@ -132,6 +141,9 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
 
     paths = [os.path.join(result_dir, _safe_name(name) + ".json")
              for name, _payload in tasks]
+    hb_paths = [os.path.join(result_dir,
+                             _safe_name(name) + ".heartbeat.json")
+                for name, _payload in tasks]
 
     pending: deque = deque()
     for idx, path in enumerate(paths):
@@ -148,7 +160,29 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
     running: Dict[int, Tuple[Any, Optional[float]]] = {}
     attempts = [0] * len(tasks)
     last_reason = [""] * len(tasks)
+    started = [0.0] * len(tasks)   # monotonic launch instant, per attempt
+    spent = [0.0] * len(tasks)     # total running time across attempts
     signals: List[int] = []
+    pool_t0 = time.monotonic()
+    heartbeats: Dict[int, List[Dict[str, Any]]] = {}
+
+    def heartbeat(idx: int, event: str) -> None:
+        """Append one event to the task's heartbeat document (journaled
+        sweeps only -- the throwaway tmpdir case has nobody to read
+        them)."""
+        if journal_dir is None:
+            return
+        events = heartbeats.setdefault(idx, [])
+        events.append({"event": event, "attempt": attempts[idx],
+                       "elapsed_s": round(time.monotonic() - pool_t0, 3)})
+        write_json_atomic(hb_paths[idx], {"schema": 1,
+                                          "name": tasks[idx][0],
+                                          "events": events})
+
+    def settle(idx: int) -> None:
+        """Fold the finished attempt's running time into the task's
+        wall-clock total."""
+        spent[idx] += time.monotonic() - started[idx]
 
     def on_signal(signum: int, _frame: Any) -> None:
         signals.append(signum)
@@ -163,17 +197,22 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
     def fail(idx: int, reason: str) -> None:
         last_reason[idx] = reason
         if attempts[idx] <= retries and not signals:
+            heartbeat(idx, "retry")
             deferred.append(
                 (time.monotonic() + backoff_s * attempts[idx], idx))
         else:
+            heartbeat(idx, "fail")
             outcome.failures.append(
                 TaskFailure(name=tasks[idx][0], attempts=attempts[idx],
-                            reason=reason))
+                            reason=reason,
+                            wall_clock_s=round(spent[idx], 3)
+                            if attempts[idx] else None))
 
     def reap(idx: int, proc: Any) -> None:
         doc = _journaled(paths[idx])
         if doc is not None and ERROR_KEY not in doc:
             outcome.results[idx] = doc
+            heartbeat(idx, "finish")
         elif doc is not None:
             fail(idx, doc[ERROR_KEY])
         elif proc.exitcode is not None and proc.exitcode < 0:
@@ -205,6 +244,8 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
                     target=_worker,
                     args=(fn, name, payload, paths[idx], fault_plan))
                 proc.start()
+                started[idx] = time.monotonic()
+                heartbeat(idx, "start")
                 deadline = None if timeout_s is None \
                     else now + timeout_s
                 running[idx] = (proc, deadline)
@@ -214,15 +255,18 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
                 if not proc.is_alive():
                     proc.join()
                     del running[idx]
+                    settle(idx)
                     reap(idx, proc)
                 elif deadline is not None and time.monotonic() > deadline:
                     _terminate(proc)
                     del running[idx]
+                    settle(idx)
                     # accept a result that raced the timeout; otherwise
                     # the task is indistinguishable from a hang
                     doc = _journaled(paths[idx])
                     if doc is not None and ERROR_KEY not in doc:
                         outcome.results[idx] = doc
+                        heartbeat(idx, "finish")
                     else:
                         fail(idx, f"timeout after {timeout_s}s")
 
@@ -233,21 +277,26 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
             outcome.interrupted = signals[0]
             for idx, (proc, _deadline) in running.items():
                 _terminate(proc)
+                settle(idx)
                 # a completed-but-unreaped result still counts
                 doc = _journaled(paths[idx])
                 if doc is not None and ERROR_KEY not in doc:
                     outcome.results[idx] = doc
+                    heartbeat(idx, "finish")
                 else:
                     outcome.failures.append(TaskFailure(
                         name=tasks[idx][0], attempts=attempts[idx],
-                        reason="interrupted while running"))
+                        reason="interrupted while running",
+                        wall_clock_s=round(spent[idx], 3)))
             running.clear()
             unrun = list(pending) + [idx for _ready, idx in deferred]
             for idx in unrun:
                 if outcome.results[idx] is None:
                     outcome.failures.append(TaskFailure(
                         name=tasks[idx][0], attempts=attempts[idx],
-                        reason="interrupted before completion"))
+                        reason="interrupted before completion",
+                        wall_clock_s=round(spent[idx], 3)
+                        if attempts[idx] else None))
     finally:
         for signum, handler in old_handlers.items():
             signal.signal(signum, handler)

@@ -44,6 +44,8 @@ from repro.checkpoint.snapshot import (
     config_to_dict,
     telemetry_spec_from_dict,
     telemetry_spec_to_dict,
+    trace_spec_from_dict,
+    trace_spec_to_dict,
 )
 from repro.checkpoint.stream_state import restore_stream, snapshot_stream
 from repro.core.commands import CommandType
@@ -57,7 +59,8 @@ from repro.core.workloads import (
 from repro.engines import harnesses
 from repro.engines.stream import StreamMms
 from repro.telemetry.collector import MmsTelemetry
-from repro.telemetry.probe import TelemetrySpec
+from repro.telemetry.probe import Probe, ProbeChain, TelemetrySpec
+from repro.trace.spans import TraceCollector, TraceSpec
 
 #: Workload families a StreamRun can drive.
 STREAM_WORKLOADS = ("load", "saturation", "overload", "script")
@@ -71,12 +74,14 @@ _FOUR_PORTS = ((True, 0), (False, 0), (True, 1), (False, 1))
 def load_params(config: MmsConfig, *, offered_gbps: float,
                 num_volleys: int, active_flows: int, warmup_volleys: int,
                 burst_len: int, burst_prob: float, seed: int,
-                telemetry: Optional[TelemetrySpec] = None) -> Dict[str, Any]:
+                telemetry: Optional[TelemetrySpec] = None,
+                trace: Optional[TraceSpec] = None) -> Dict[str, Any]:
     """Params dict for a Table 5 load run (one offered load)."""
     return {
         "config": config_to_dict(config),
         "telemetry": None if telemetry is None
         else telemetry_spec_to_dict(telemetry),
+        "trace": None if trace is None else trace_spec_to_dict(trace),
         "offered_gbps": offered_gbps,
         "num_volleys": num_volleys,
         "active_flows": active_flows,
@@ -89,13 +94,15 @@ def load_params(config: MmsConfig, *, offered_gbps: float,
 
 def saturation_params(config: MmsConfig, *, num_commands: int,
                       active_flows: int,
-                      telemetry: Optional[TelemetrySpec] = None
+                      telemetry: Optional[TelemetrySpec] = None,
+                      trace: Optional[TraceSpec] = None
                       ) -> Dict[str, Any]:
     """Params dict for a headline-saturation run."""
     return {
         "config": config_to_dict(config),
         "telemetry": None if telemetry is None
         else telemetry_spec_to_dict(telemetry),
+        "trace": None if trace is None else trace_spec_to_dict(trace),
         "num_commands": num_commands,
         "active_flows": active_flows,
     }
@@ -104,6 +111,7 @@ def saturation_params(config: MmsConfig, *, num_commands: int,
 def overload_params(config: MmsConfig, shape: str, *, num_arrivals: int,
                     active_flows: int,
                     telemetry: Optional[TelemetrySpec] = None,
+                    trace: Optional[TraceSpec] = None,
                     engine_label: str = "fast") -> Dict[str, Any]:
     """Params dict for an overload run.  ``config`` is the resolved
     build (policy spec, seed and record retention folded in, as
@@ -115,6 +123,7 @@ def overload_params(config: MmsConfig, shape: str, *, num_arrivals: int,
         "config": config_to_dict(config),
         "telemetry": None if telemetry is None
         else telemetry_spec_to_dict(telemetry),
+        "trace": None if trace is None else trace_spec_to_dict(trace),
         "shape": shape,
         "num_arrivals": num_arrivals,
         "active_flows": active_flows,
@@ -126,7 +135,8 @@ def script_params(config: MmsConfig, scripts: Sequence[Sequence[Any]], *,
                   horizon_ps: int, mark_done: bool = False,
                   drain: bool = False, drain_period_ps: int = 0,
                   drain_active_flows: int = 0,
-                  telemetry: Optional[TelemetrySpec] = None
+                  telemetry: Optional[TelemetrySpec] = None,
+                  trace: Optional[TraceSpec] = None
                   ) -> Dict[str, Any]:
     """Params dict for a free-form script run: one micro-op list per
     port (``int`` = delay in ps, tuple = submit op).  With ``drain``,
@@ -141,6 +151,7 @@ def script_params(config: MmsConfig, scripts: Sequence[Sequence[Any]], *,
         "config": config_to_dict(config),
         "telemetry": None if telemetry is None
         else telemetry_spec_to_dict(telemetry),
+        "trace": None if trace is None else trace_spec_to_dict(trace),
         "scripts": [[_encode_op(op) for op in ops] for ops in scripts],
         "horizon_ps": horizon_ps,
         "mark_done": mark_done,
@@ -174,6 +185,30 @@ def _script_feeder(ops: Sequence[Any],
         counters["feeders_done"] = counters.get("feeders_done", 0) + 1
 
 
+def _build_probes(params: Dict[str, Any]) -> Tuple[
+        Optional[MmsTelemetry], Optional[TraceCollector], Optional[Probe]]:
+    """``(telemetry, tracer, combined probe)`` from a params dict.
+
+    The driver keeps the individual collectors because checkpoint state
+    is per-collector (``"probe"`` holds the telemetry fold, ``"trace"``
+    the span tracer's), while the engine wants one probe -- a
+    :class:`~repro.telemetry.probe.ProbeChain` when both are on."""
+    tele_spec = params.get("telemetry")
+    telemetry = None if tele_spec is None \
+        else MmsTelemetry(telemetry_spec_from_dict(tele_spec))
+    trace_spec = params.get("trace")
+    tracer = None if trace_spec is None \
+        else TraceCollector(trace_spec_from_dict(trace_spec))
+    children: List[Probe] = [p for p in (telemetry, tracer)
+                             if p is not None]
+    probe: Optional[Probe] = None
+    if len(children) == 1:
+        probe = children[0]
+    elif children:
+        probe = ProbeChain(children)
+    return telemetry, tracer, probe
+
+
 # ======================================================== the driver
 
 class StreamRun:
@@ -194,9 +229,7 @@ class StreamRun:
         self.workload = workload
         self.params = params
         self.config = config_from_dict(params["config"])
-        spec = params.get("telemetry")
-        self.probe = None if spec is None \
-            else MmsTelemetry(telemetry_spec_from_dict(spec))
+        self.telemetry, self.tracer, self.probe = _build_probes(params)
         self.eng = StreamMms(self.config, probe=self.probe)
         self.store: Dict[str, int] = {}
 
@@ -247,11 +280,17 @@ class StreamRun:
     def _restore(self, state: Dict[str, Any]) -> None:
         self.store.update(state.get("counters") or {})
         probe_state = state.get("probe")
-        if (probe_state is None) != (self.probe is None):
+        if (probe_state is None) != (self.telemetry is None):
             raise CheckpointError(
                 "checkpoint and params disagree about telemetry")
-        if self.probe is not None:
-            self.probe.load_state(probe_state)
+        if self.telemetry is not None:
+            self.telemetry.load_state(probe_state)
+        trace_state = state.get("trace")
+        if (trace_state is None) != (self.tracer is None):
+            raise CheckpointError(
+                "checkpoint and params disagree about tracing")
+        if self.tracer is not None:
+            self.tracer.load_state(trace_state)
         factories = [factory for _port, factory in self._feeders()]
         restore_stream(self.eng, state["machine"], factories)
 
@@ -368,8 +407,10 @@ class StreamRun:
             state={
                 "machine": snapshot_stream(self.eng),
                 "counters": dict(self.store) if self.store else None,
-                "probe": None if self.probe is None
-                else self.probe.state_dict(),
+                "probe": None if self.telemetry is None
+                else self.telemetry.state_dict(),
+                "trace": None if self.tracer is None
+                else self.tracer.state_dict(),
             },
         )
 

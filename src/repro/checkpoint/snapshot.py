@@ -37,6 +37,7 @@ from repro.core.mms import MmsConfig
 from repro.core.scheduler import PortConfig
 from repro.policies.base import PolicySpec
 from repro.telemetry.probe import TelemetrySpec
+from repro.trace.spans import TraceSpec
 
 #: Schema version of the serialized checkpoint payload.
 CHECKPOINT_SCHEMA = 1
@@ -176,3 +177,12 @@ def telemetry_spec_to_dict(spec: TelemetrySpec) -> Dict[str, Any]:
 def telemetry_spec_from_dict(d: Mapping[str, Any]) -> TelemetrySpec:
     return TelemetrySpec(sample_every=d["sample_every"],
                          percentiles=tuple(d["percentiles"]))
+
+
+def trace_spec_to_dict(spec: TraceSpec) -> Dict[str, Any]:
+    """Serialize a :class:`TraceSpec` for checkpoint params."""
+    return {"max_spans": spec.max_spans}
+
+
+def trace_spec_from_dict(d: Mapping[str, Any]) -> TraceSpec:
+    return TraceSpec(max_spans=d["max_spans"])

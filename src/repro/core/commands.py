@@ -79,6 +79,9 @@ class Command:
     start_exec_ps: int = -1
     end_exec_ps: int = -1
     data_done_ps: int = -1
+    #: Dispatch index stamped by the traced DQM variants (span tracing);
+    #: -1 when tracing is off.
+    trace_seq: int = -1
     #: Optional simulation event; when set, the DQM triggers it with the
     #: command's functional result at end of execution (see
     #: :meth:`repro.core.mms.MMS.submit_and_wait`).

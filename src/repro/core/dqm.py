@@ -92,8 +92,12 @@ class DataQueueManager:
         #: absence, not an inert per-command branch).
         self.probe = probe
         if probe is not None:
-            self._dispatch = self._dispatch_probed  # type: ignore[assignment]
-            self._finalize = self._finalize_probed  # type: ignore[assignment]
+            if getattr(probe, "wants_stages", False):
+                self._dispatch = self._dispatch_traced  # type: ignore[assignment]
+                self._finalize = self._finalize_traced  # type: ignore[assignment]
+            else:
+                self._dispatch = self._dispatch_probed  # type: ignore[assignment]
+                self._finalize = self._finalize_probed  # type: ignore[assignment]
 
     # ----------------------------------------------------------- execute
 
@@ -143,10 +147,12 @@ class DataQueueManager:
     def _finalize(self, cmd: Command, exec_cycles_f: float, data_event):
         period = self.clock.period_ps
         data_cycles = 0.0
+        data_submit_ps = -1
         if data_event is not None:
             req = yield data_event
             cmd.data_done_ps = self.sim.now
             data_cycles = (req.total_ps) / period
+            data_submit_ps = req.submit_ps
         else:
             cmd.data_done_ps = cmd.end_exec_ps
             yield 0
@@ -161,18 +167,35 @@ class DataQueueManager:
             data_cycles=data_cycles,
             end_to_end_cycles=end_to_end_cycles,
         )
-        return fifo_cycles, data_cycles, end_to_end_cycles
+        return fifo_cycles, data_cycles, end_to_end_cycles, data_submit_ps
 
     def _finalize_probed(self, cmd: Command, exec_cycles_f: float,
                          data_event):
         """Telemetry variant of :meth:`_finalize`: the same record (by
         delegation), then the probe's ``on_record`` at the delivery
         instant."""
-        fifo_cycles, data_cycles, end_to_end_cycles = \
+        fifo_cycles, data_cycles, end_to_end_cycles, _ = \
             yield from DataQueueManager._finalize(self, cmd, exec_cycles_f,
                                                   data_event)
         self.probe.on_record(self.sim.now, cmd.type, fifo_cycles,
                              exec_cycles_f, data_cycles, end_to_end_cycles)
+
+    def _finalize_traced(self, cmd: Command, exec_cycles_f: float,
+                         data_event):
+        """Tracing variant of :meth:`_finalize`: the telemetry record,
+        then the stage bounds, both at the record-delivery instant (the
+        stream engine replays the identical calls in the identical
+        order)."""
+        fifo_cycles, data_cycles, end_to_end_cycles, data_submit_ps = \
+            yield from DataQueueManager._finalize(self, cmd, exec_cycles_f,
+                                                  data_event)
+        probe = self.probe
+        probe.on_record(self.sim.now, cmd.type, fifo_cycles,
+                        exec_cycles_f, data_cycles, end_to_end_cycles)
+        data_done_ps = cmd.data_done_ps if data_submit_ps >= 0 else -1
+        probe.on_stages(self.sim.now, cmd.trace_seq, cmd.type, cmd.flow,
+                        cmd.submit_ps, cmd.start_exec_ps, cmd.end_exec_ps,
+                        data_submit_ps, data_done_ps)
 
     # ---------------------------------------------------------- dispatch
 
@@ -242,3 +265,11 @@ class DataQueueManager:
                               pqm.queued_segments(cmd.flow),
                               pqm.num_segments - pqm.free_segments)
         return out
+
+    def _dispatch_traced(self, cmd: Command):
+        """Tracing variant of :meth:`_dispatch_probed`: stamps the
+        dispatch index first (the DQM is serial, so
+        ``commands_executed`` at the pop instant *is* the dispatch
+        order both engines share), then delegates."""
+        cmd.trace_seq = self.commands_executed
+        return DataQueueManager._dispatch_probed(self, cmd)

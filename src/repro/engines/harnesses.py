@@ -58,12 +58,28 @@ def _feed_probe(records: list, probe) -> None:
         on_record(time_ps, op, fifo_c, exec_c, data_c, e2e_c)
 
 
+def _feed_stages(eng: StreamMms, probe, horizon: int) -> None:
+    """Replay the run's stage records into the probe's ``on_stages``
+    channel, in kernel delivery order.
+
+    Runs after the ``on_record`` replay -- the two channels carry no
+    ordering contract between each other (the probe docstring's
+    per-channel independence rule), so replaying them back to back is
+    byte-equivalent to the kernel's interleaved live emission."""
+    on_stages = probe.on_stages
+    for time_ps, seq, op, flow, submit, start, end, dsub, ddone in \
+            eng.stage_records(horizon):
+        on_stages(time_ps, seq, op, flow, submit, start, end, dsub, ddone)
+
+
 def _records(eng: StreamMms, probe, horizon: int) -> list:
     """The run's ``with_ops`` latency records for the breakdown
     replay (built once; fed to the probe when one is set)."""
     records = eng.latency_records(horizon, with_ops=True)
     if probe is not None:
         _feed_probe(records, probe)
+        if getattr(probe, "wants_stages", False):
+            _feed_stages(eng, probe, horizon)
     return records
 
 
@@ -222,6 +238,8 @@ def assemble_overload_result(eng: StreamMms, cfg: MmsConfig, shape: str,
     if probe is not None:
         # replay only: the overload result wants counters, not records
         _feed_probe(eng.latency_records(horizon, with_ops=True), probe)
+        if getattr(probe, "wants_stages", False):
+            _feed_stages(eng, probe, horizon)
     stats = eng.policy.stats
     return OverloadResult(
         policy=cfg.policy.name,

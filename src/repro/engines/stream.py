@@ -607,3 +607,42 @@ class StreamMms:
         if with_ops:
             return [(e[0], e[2], e[3], e[4], e[5], e[6]) for e in entries]
         return [(e[0], e[2], e[3], e[4], e[5]) for e in entries]
+
+    def stage_records(self, horizon_ps: int) -> List[tuple]:
+        """Per-command lifecycle stage bounds in kernel delivery order.
+
+        Each entry is ``(record_time_ps, seq, op, flow, submit_ps,
+        start_ps, end_ps, data_submit_ps, data_done_ps)`` -- exactly
+        what the kernel path's traced finalize feeds ``on_stages``, in
+        the order those processes resume.  ``seq`` is the dispatch
+        index: the DQM is serial, so completion (append) order in
+        ``_done`` *is* dispatch order, shared with the kernel's
+        ``commands_executed`` stamp.  Delivery instants and skip rules
+        mirror :meth:`latency_records` record for record; the data
+        bounds are -1 for commands that never reached the DMC.
+        """
+        entries = []
+        for seq, cmd in enumerate(self._done):
+            req = cmd[C_REQ]
+            end_ps = cmd[C_END]
+            if req is None:
+                record_time = end_ps
+                data_submit = -1
+                data_done = -1
+                tie = 1
+            else:
+                complete = req[R_COMPLETE]
+                if complete < 0:
+                    continue  # never issued inside the horizon
+                record_time = complete
+                data_submit = req[R_SUBMIT]
+                data_done = complete
+                tie = 0
+            if record_time > horizon_ps:
+                continue
+            entries.append((record_time, tie, seq, cmd[C_OP], cmd[C_FLOW],
+                            cmd[C_SUBMIT], cmd[C_START], end_ps,
+                            data_submit, data_done))
+        entries.sort(key=lambda e: (e[0], e[1]))
+        return [(e[0], e[2], e[3], e[4], e[5], e[6], e[7], e[8], e[9])
+                for e in entries]

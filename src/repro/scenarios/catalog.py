@@ -55,7 +55,9 @@ from repro.scenarios.spec import (
     SchedulerSpec,
     TrafficSpec,
 )
-from repro.telemetry import MmsTelemetry, TelemetrySnapshot, TelemetrySpec
+from repro.telemetry import (MmsTelemetry, ProbeChain, TelemetrySnapshot,
+                             TelemetrySpec)
+from repro.trace.spans import TraceCollector
 
 #: Moderate MMS configuration: full results, minutes-not-hours runtime.
 TABLE5_MMS_CFG = MmsConfig(num_flows=2048, num_segments=16384,
@@ -65,6 +67,24 @@ TABLE5_MMS_CFG = MmsConfig(num_flows=2048, num_segments=16384,
 #: historical benchmark configuration).
 SWEEP_MMS_CFG = MmsConfig(num_flows=1024, num_segments=8192,
                           num_descriptors=4096)
+
+
+def _probes(spec: ScenarioSpec, default_telemetry=None):
+    """``(combined probe, telemetry collector, trace collector)`` for a
+    resolved spec.
+
+    The execution paths take one probe; when a spec enables both the
+    telemetry collector and the span tracer they ride one
+    :class:`ProbeChain`.  All three are None when neither is enabled
+    (structural absence)."""
+    tele_spec = spec.telemetry or default_telemetry
+    tele = MmsTelemetry(tele_spec) if tele_spec else None
+    tracer = TraceCollector(spec.trace) if spec.trace else None
+    children = [p for p in (tele, tracer) if p is not None]
+    if not children:
+        return None, None, None
+    probe = children[0] if len(children) == 1 else ProbeChain(children)
+    return probe, tele, tracer
 
 
 def _telemetry_blocks(snap: TelemetrySnapshot, title: str) -> List[Block]:
@@ -267,7 +287,8 @@ def _table4(spec: ScenarioSpec) -> Outcome:
         num_volleys=(2500, 800), warmup_volleys=(300, 100)),
     memory=MemorySpec(backend="ddr", banks=(8,)),
     mms=TABLE5_MMS_CFG,
-    supports=frozenset({"engine", "seed", "budget", "mms", "telemetry"}),
+    supports=frozenset({"engine", "seed", "budget", "mms", "telemetry",
+                        "trace"}),
     fastpath="stream",
 ))
 def _table5(spec: ScenarioSpec) -> Outcome:
@@ -278,17 +299,20 @@ def _table5(spec: ScenarioSpec) -> Outcome:
     metrics: Dict[str, object] = {}
     deltas: Dict[str, float] = {}
     telemetry: Dict[str, object] = {}
+    traces: Dict[str, object] = {}
     for load in spec.pick(spec.traffic.loads_gbps):
         p_fifo, p_exec, p_data, p_total = PAPER_TABLE5[load]
-        probe = MmsTelemetry(spec.telemetry) if spec.telemetry else None
+        probe, tele, tracer = _probes(spec)
         res = run_load(load, num_volleys=volleys, config=cfg,
                        warmup_volleys=warmup, seed=spec.seed,
                        engine=spec.engine, probe=probe)
         metrics[f"load{load}"] = (res.fifo_cycles, res.execution_cycles,
                                   res.data_cycles, res.total_cycles)
         deltas[f"load{load}.total"] = paper_delta(p_total, res.total_cycles)
-        if probe is not None:
-            telemetry[f"load{load}"] = probe.snapshot().to_dict()
+        if tele is not None:
+            telemetry[f"load{load}"] = tele.snapshot().to_dict()
+        if tracer is not None:
+            traces[f"load{load}"] = tracer.snapshot().to_dict()
         rows.append([load,
                      p_fifo, round(res.fifo_cycles, 1),
                      p_exec, round(res.execution_cycles, 1),
@@ -296,6 +320,8 @@ def _table5(spec: ScenarioSpec) -> Outcome:
                      p_total, round(res.total_cycles, 1)])
     if telemetry:
         metrics["telemetry"] = telemetry
+    if traces:
+        metrics["trace"] = traces
     block = Block.table(
         ["Gbps", "fifo (paper)", "fifo (ours)", "exec (paper)", "exec (ours)",
          "data (paper)", "data (ours)", "total (paper)", "total (ours)"],
@@ -694,7 +720,7 @@ _SHAPE_BLURB = {
 
 
 def _overload(spec: ScenarioSpec) -> Outcome:
-    probe = MmsTelemetry(spec.telemetry) if spec.telemetry else None
+    probe, tele, tracer = _probes(spec)
     res = run_overload(
         spec.policy, spec.traffic.pattern,
         num_arrivals=spec.pick(spec.traffic.num_commands),
@@ -718,10 +744,12 @@ def _overload(spec: ScenarioSpec) -> Outcome:
                         title=f"{spec.title} "
                               f"(drop rate {res.drop_rate:.3f})")
     blocks = [block]
-    if probe is not None:
-        snap = probe.snapshot()
+    if tele is not None:
+        snap = tele.snapshot()
         metrics["telemetry"] = snap.to_dict()
         blocks += _telemetry_blocks(snap, spec.title)
+    if tracer is not None:
+        metrics["trace"] = tracer.snapshot().to_dict()
     return Outcome(metrics=metrics, blocks=tuple(blocks))
 
 
@@ -740,7 +768,7 @@ def _register_overload_family() -> None:
                 mms=OVERLOAD_MMS_CFG,
                 policy=policy,
                 supports=frozenset({"engine", "seed", "budget", "mms",
-                                    "telemetry"}),
+                                    "telemetry", "trace"}),
                 fastpath="stream",
             ))(_overload)
 
@@ -761,14 +789,14 @@ _register_overload_family()
 # criterion of ``repro.telemetry``.
 
 def _latency(spec: ScenarioSpec) -> Outcome:
-    probe = MmsTelemetry(spec.telemetry or TelemetrySpec())
+    probe, tele, tracer = _probes(spec, default_telemetry=TelemetrySpec())
     res = run_overload(
         spec.policy, spec.traffic.pattern,
         num_arrivals=spec.pick(spec.traffic.num_commands),
         active_flows=spec.traffic.active_flows,
         config=spec.mms or OVERLOAD_MMS_CFG,
         seed=spec.seed, engine=spec.engine, probe=probe)
-    snap = probe.snapshot()
+    snap = tele.snapshot()
     metrics: Dict[str, object] = {
         "policy": res.policy,
         "shape": res.shape,
@@ -777,6 +805,8 @@ def _latency(spec: ScenarioSpec) -> Outcome:
         "drop_rate": res.drop_rate,
         "telemetry": snap.to_dict(),
     }
+    if tracer is not None:
+        metrics["trace"] = tracer.snapshot().to_dict()
     for cls in ("enqueue", "dequeue"):
         hist = snap.histograms.get(f"{cls}.e2e")
         if hist is not None:
@@ -802,7 +832,7 @@ def _register_latency_family() -> None:
                 policy=policy,
                 telemetry=TelemetrySpec(),
                 supports=frozenset({"engine", "seed", "budget", "mms",
-                                    "telemetry"}),
+                                    "telemetry", "trace"}),
                 fastpath="stream",
             ))(_latency)
 

@@ -237,6 +237,23 @@ def validate_result_dict(d: Mapping[str, Any]) -> List[str]:
                     continue
                 problems.extend(f"metrics.telemetry[{key!r}]: {p}"
                                 for p in validate_telemetry_dict(snap))
+    if ok("metrics", dict) and "trace" in d["metrics"]:
+        # Trace payloads follow the same shape discipline (one snapshot,
+        # or one per load for multi-load scenarios like table5).
+        from repro.trace.spans import validate_trace_dict
+        payload = d["metrics"]["trace"]
+        if not isinstance(payload, dict):
+            problems.append("metrics.trace not an object")
+        elif "schema" in payload:
+            problems.extend(f"metrics.trace: {p}"
+                            for p in validate_trace_dict(payload))
+        else:
+            for key, snap in payload.items():
+                if not isinstance(snap, dict):
+                    problems.append(f"metrics.trace[{key!r}] not an object")
+                    continue
+                problems.extend(f"metrics.trace[{key!r}]: {p}"
+                                for p in validate_trace_dict(snap))
     if ok("schema", int) and d["schema"] != RESULT_SCHEMA:
         problems.append(f"schema {d['schema']} != {RESULT_SCHEMA}")
     if ok("engine", str) and d["engine"] not in _RESULT_ENGINES:

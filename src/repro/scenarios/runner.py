@@ -18,6 +18,7 @@ from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.result import RunResult, jsonify
 from repro.scenarios.spec import ScenarioSpec
 from repro.telemetry import TelemetrySpec
+from repro.trace.spans import TraceSpec
 
 
 class Runner:
@@ -29,7 +30,7 @@ class Runner:
             budget: Optional[str] = None,
             fast: Optional[bool] = None,
             mms: Optional[MmsConfig] = None,
-            telemetry=None) -> RunResult:
+            telemetry=None, trace=None) -> RunResult:
         """Run one scenario by name with optional knob overrides.
 
         ``fast`` is sugar for ``budget="fast"`` / ``"full"`` and must
@@ -39,7 +40,8 @@ class Runner:
         spec; the snapshot lands in ``result.metrics["telemetry"]``.
         There is no off-switch (the ``latency-*`` family is always
         probed); passing ``False`` is rejected rather than silently
-        ignored.
+        ignored.  ``trace`` follows the same discipline with
+        :class:`TraceSpec`, landing in ``result.metrics["trace"]``.
         """
         if fast is not None:
             if budget is not None:
@@ -47,10 +49,12 @@ class Runner:
             budget = "fast" if fast else "full"
         if telemetry is True:
             telemetry = TelemetrySpec()
+        if trace is True:
+            trace = TraceSpec()
         scenario = get_scenario(name)
         spec = scenario.spec.with_options(engine=engine, seed=seed,
                                           budget=budget, mms=mms,
-                                          telemetry=telemetry)
+                                          telemetry=telemetry, trace=trace)
         return self.run_spec(spec)
 
     def run_spec(self, spec: ScenarioSpec) -> RunResult:
@@ -76,9 +80,10 @@ class Runner:
                  seed: Optional[int] = None,
                  budget: Optional[str] = None,
                  fast: Optional[bool] = None,
-                 telemetry=None) -> List[RunResult]:
+                 telemetry=None, trace=None) -> List[RunResult]:
         """Run several scenarios (default: every registered one)."""
         if names is None:
             names = scenario_names()
         return [self.run(n, engine=engine, seed=seed, budget=budget,
-                         fast=fast, telemetry=telemetry) for n in names]
+                         fast=fast, telemetry=telemetry, trace=trace)
+                for n in names]

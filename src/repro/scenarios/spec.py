@@ -27,6 +27,9 @@ from repro.mem.timing import DdrTiming
 from repro.policies import PolicySpec
 from repro.policies.harness import SHAPES
 from repro.telemetry import TelemetrySpec
+# the probe-layer leaf directly, not the repro.trace package: the spec
+# layer must not drag the export/diff tooling into its import graph
+from repro.trace.spans import TraceSpec
 
 #: Execution engines every scenario understands.  ``fast`` selects the
 #: batched/calendar-queue implementations, ``reference`` the original
@@ -173,6 +176,12 @@ class ScenarioSpec:
     #: has it on by default; scenarios declaring ``"telemetry"`` in
     #: ``supports`` accept it as a knob (CLI ``--telemetry``).
     telemetry: Optional[TelemetrySpec] = None
+    #: Span tracing (:mod:`repro.trace`): None = tracer structurally
+    #: absent; a :class:`TraceSpec` enables the span collector and lands
+    #: its snapshot in ``RunResult.metrics["trace"]``.  Off by default
+    #: everywhere; scenarios declaring ``"trace"`` in ``supports``
+    #: accept it as a knob (CLI ``--trace``).
+    trace: Optional[TraceSpec] = None
     supports: FrozenSet[str] = frozenset()
     #: Capability flag: what ``engine="fast"`` resolves to (see
     #: :data:`FASTPATHS`).  Scenarios the stream machine cannot batch
@@ -191,13 +200,17 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown budget {self.budget!r} (choose from {BUDGETS})")
         unknown = self.supports - {"engine", "seed", "budget", "mms",
-                                   "telemetry"}
+                                   "telemetry", "trace"}
         if unknown:
             raise ValueError(f"unknown supports entries: {sorted(unknown)}")
         if self.telemetry is not None and "telemetry" not in self.supports:
             raise ValueError(
                 "a scenario carrying a TelemetrySpec must declare "
                 "'telemetry' in supports")
+        if self.trace is not None and "trace" not in self.supports:
+            raise ValueError(
+                "a scenario carrying a TraceSpec must declare "
+                "'trace' in supports")
         if self.fastpath not in FASTPATHS:
             raise ValueError(
                 f"unknown fastpath {self.fastpath!r} (choose from "
@@ -218,7 +231,8 @@ class ScenarioSpec:
                      seed: Optional[int] = None,
                      budget: Optional[str] = None,
                      mms: Optional[MmsConfig] = None,
-                     telemetry: Optional[TelemetrySpec] = None
+                     telemetry: Optional[TelemetrySpec] = None,
+                     trace: Optional[TraceSpec] = None
                      ) -> "ScenarioSpec":
         """A copy with the given knobs applied where supported.
 
@@ -232,7 +246,8 @@ class ScenarioSpec:
         scenario whose telemetry is already on (an explicit spec
         overrides, like every other supported knob).  There is
         deliberately no off-switch: omit the knob to keep the
-        scenario's own setting.
+        scenario's own setting.  ``trace`` follows the identical
+        discipline.
         """
         if engine is not None and engine not in ENGINES:
             raise ValueError(
@@ -243,6 +258,9 @@ class ScenarioSpec:
         if telemetry is not None and not isinstance(telemetry, TelemetrySpec):
             raise ValueError(
                 f"telemetry must be a TelemetrySpec, got {telemetry!r}")
+        if trace is not None and not isinstance(trace, TraceSpec):
+            raise ValueError(
+                f"trace must be a TraceSpec, got {trace!r}")
         changes = {}
         if engine is not None and "engine" in self.supports:
             changes["engine"] = engine
@@ -254,6 +272,8 @@ class ScenarioSpec:
             changes["mms"] = mms
         if telemetry is not None and "telemetry" in self.supports:
             changes["telemetry"] = telemetry
+        if trace is not None and "trace" in self.supports:
+            changes["trace"] = trace
         if not changes:
             return self
         return dataclasses.replace(self, **changes)

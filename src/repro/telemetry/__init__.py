@@ -32,7 +32,7 @@ at construction time), so the fast-path floors are unaffected.
 """
 
 from repro.telemetry.histogram import Log2Histogram
-from repro.telemetry.probe import Probe, TelemetrySpec
+from repro.telemetry.probe import Probe, ProbeChain, TelemetrySpec
 from repro.telemetry.collector import (
     TELEMETRY_SCHEMA,
     MmsTelemetry,
@@ -42,6 +42,7 @@ from repro.telemetry.collector import (
 
 __all__ = [
     "Probe",
+    "ProbeChain",
     "TelemetrySpec",
     "Log2Histogram",
     "MmsTelemetry",

@@ -29,7 +29,7 @@ telemetry call sites (and no per-command branches) at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.core.commands import CommandType
 
@@ -71,6 +71,11 @@ class Probe:
     probe's arguments).
     """
 
+    #: Stage-transition opt-in: the execution paths emit ``on_stages``
+    #: (and pay its bookkeeping) only when this is True, so
+    #: telemetry-only probes keep the exact PR-5 probed hot path.
+    wants_stages: bool = False
+
     def on_command(self, time_ps: int, op: CommandType, flow: int,
                    result: object, queue_depth: int,
                    total_segments: int) -> None:
@@ -85,3 +90,56 @@ class Probe:
         """One latency-record delivery at ``time_ps`` (the Table 5
         decomposition plus the true submit-to-completion latency), in
         record-delivery order."""
+
+    def on_stages(self, time_ps: int, seq: int, op: CommandType, flow: int,
+                  submit_ps: int, start_ps: int, end_ps: int,
+                  data_submit_ps: int, data_done_ps: int) -> None:
+        """One command's lifecycle stage bounds, delivered at its
+        latency-record instant (``time_ps``), in record-delivery order.
+
+        ``seq`` is the command's dispatch index -- the DQM is serial, so
+        dispatch order is a total order shared by both engines even
+        though records complete out of it.  ``submit_ps`` is -1 for
+        commands never staged through a port FIFO;
+        ``data_submit_ps``/``data_done_ps`` are -1 for pointer-only
+        commands.  Emitted only when :attr:`wants_stages` is True.
+        """
+
+
+class ProbeChain(Probe):
+    """Fan a single probe slot out to several independent probes.
+
+    The execution paths take exactly one probe at construction; chaining
+    keeps that contract while letting a run carry both the telemetry
+    collector and the span tracer.  Each hook forwards to every child in
+    chain order; :attr:`wants_stages` is the OR of the children's, so a
+    telemetry-only chain still skips stage bookkeeping.
+    """
+
+    def __init__(self, probes: Sequence[Probe]) -> None:
+        if not probes:
+            raise ValueError("ProbeChain requires at least one probe")
+        self.probes: Tuple[Probe, ...] = tuple(probes)
+        self.wants_stages = any(
+            getattr(p, "wants_stages", False) for p in self.probes)
+
+    def on_command(self, time_ps: int, op: CommandType, flow: int,
+                   result: object, queue_depth: int,
+                   total_segments: int) -> None:
+        for probe in self.probes:
+            probe.on_command(time_ps, op, flow, result, queue_depth,
+                             total_segments)
+
+    def on_record(self, time_ps: int, op: CommandType, fifo_cycles: float,
+                  execution_cycles: float, data_cycles: float,
+                  end_to_end_cycles: float) -> None:
+        for probe in self.probes:
+            probe.on_record(time_ps, op, fifo_cycles, execution_cycles,
+                            data_cycles, end_to_end_cycles)
+
+    def on_stages(self, time_ps: int, seq: int, op: CommandType, flow: int,
+                  submit_ps: int, start_ps: int, end_ps: int,
+                  data_submit_ps: int, data_done_ps: int) -> None:
+        for probe in self.probes:
+            probe.on_stages(time_ps, seq, op, flow, submit_ps, start_ps,
+                            end_ps, data_submit_ps, data_done_ps)

@@ -1,0 +1,41 @@
+"""``repro.trace``: per-packet lifecycle tracing and run reports.
+
+The telemetry layer (:mod:`repro.telemetry`) answers distribution
+questions -- tail latency, occupancy dynamics -- but not *which stage of
+which packet* took the time, nor *where two engines first diverged*.
+This package adds the span tier on top of the same probe protocol:
+
+* :class:`TraceCollector` (:mod:`.spans`) -- a
+  :class:`~repro.telemetry.Probe` recording one span per lifecycle
+  stage (FIFO wait, DQM execution, DMC/DDR data transfer) of every
+  command, plus exact per-component cycle attribution.  Byte-identical
+  across the kernel and :class:`~repro.engines.StreamMms` engines, like
+  every probe fold.
+* :mod:`.export` -- Chrome trace-event JSON for ui.perfetto.dev.
+* :mod:`.diff` -- first-divergent-span localization between two traces.
+* :mod:`.report` -- human-readable run summaries from result documents.
+
+Only the probe-layer leaf (:mod:`.spans`) is re-exported here; the
+export/diff/report tooling lives in the slow layer and is imported as
+explicit submodules (``from repro.trace import export``) so that
+spec-layer imports of :class:`TraceSpec` never drag orchestration
+machinery into the import graph.
+"""
+
+from repro.trace.spans import (
+    STAGES,
+    TRACE_SCHEMA,
+    TraceCollector,
+    TraceSnapshot,
+    TraceSpec,
+    validate_trace_dict,
+)
+
+__all__ = [
+    "STAGES",
+    "TRACE_SCHEMA",
+    "TraceCollector",
+    "TraceSnapshot",
+    "TraceSpec",
+    "validate_trace_dict",
+]

@@ -1,0 +1,117 @@
+"""First-divergence localization between two trace payloads.
+
+Engine-identity and resume-identity failures used to be a wall of
+bytes: two multi-megabyte JSON documents that differ *somewhere*.
+:func:`first_divergence` walks two span lists in lockstep and names the
+first span (and the first field within it) where the runs part ways,
+with the surrounding spans as context -- one actionable line instead of
+a manual bisect.  Spans are compared in snapshot order (dispatch
+sequence, then stage), which both engines share by construction.
+
+The comparison is exact -- the byte-identity contract means *any*
+difference is a finding, not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Where two traces first part ways.
+
+    ``kind`` names the channel: ``"spans"`` (index + differing fields +
+    context), ``"span-count"`` (one list is a prefix of the other),
+    ``"counters"`` / ``"attribution"`` / ``"schema"`` (span lists are
+    identical but the aggregates differ).
+    """
+
+    kind: str
+    index: int = -1
+    fields: Tuple[Tuple[str, Any, Any], ...] = ()
+    context_a: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+    context_b: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+    context_start: int = 0
+
+
+def _map_diff(a: Mapping[str, Any],
+              b: Mapping[str, Any]) -> List[Tuple[str, Any, Any]]:
+    out = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            out.append((key, va, vb))
+    return out
+
+
+def first_divergence(a: Mapping[str, Any], b: Mapping[str, Any],
+                     context: int = 3) -> Optional[Divergence]:
+    """The first divergent span between traces ``a`` and ``b``
+    (None = byte-identical payloads)."""
+    if a.get("schema") != b.get("schema"):
+        return Divergence(kind="schema", fields=(
+            ("schema", a.get("schema"), b.get("schema")),))
+    spans_a = a.get("spans", [])
+    spans_b = b.get("spans", [])
+    for i, (sa, sb) in enumerate(zip(spans_a, spans_b)):
+        if sa == sb:
+            continue
+        start = max(0, i - context)
+        stop = i + context + 1
+        return Divergence(
+            kind="spans", index=i,
+            fields=tuple(_map_diff(sa, sb)),
+            context_a=tuple(spans_a[start:stop]),
+            context_b=tuple(spans_b[start:stop]),
+            context_start=start)
+    if len(spans_a) != len(spans_b):
+        i = min(len(spans_a), len(spans_b))
+        start = max(0, i - context)
+        return Divergence(
+            kind="span-count", index=i,
+            fields=(("len(spans)", len(spans_a), len(spans_b)),),
+            context_a=tuple(spans_a[start:i + context + 1]),
+            context_b=tuple(spans_b[start:i + context + 1]),
+            context_start=start)
+    for key in ("counters", "attribution"):
+        diffs = _map_diff(a.get(key, {}), b.get(key, {}))
+        if diffs:
+            return Divergence(kind=key, fields=tuple(diffs))
+    if dict(a) != dict(b):  # unreachable for schema-valid payloads
+        return Divergence(kind="schema",
+                          fields=(("payload", "differs", "differs"),))
+    return None
+
+
+def _span_line(span: Mapping[str, Any]) -> str:
+    return (f"{span['id']:>14}  {span['op']:<24} flow={span['flow']:<4} "
+            f"[{span['begin_ps']:>12} .. {span['end_ps']:>12}] ps  "
+            f"verdict={span['verdict']}")
+
+
+def render(div: Optional[Divergence], label_a: str, label_b: str) -> str:
+    """Human-readable divergence report (also used by ``trace-diff``)."""
+    if div is None:
+        return f"traces identical: {label_a} == {label_b}"
+    lines = [f"trace A: {label_a}", f"trace B: {label_b}"]
+    if div.kind in ("spans", "span-count"):
+        what = ("first divergent span" if div.kind == "spans"
+                else "span lists diverge in length; first unmatched span")
+        lines.append(f"{what}: index {div.index}")
+        for key, va, vb in div.fields:
+            lines.append(f"  {key}: A={va!r}  B={vb!r}")
+        for name, spans in (("A", div.context_a), ("B", div.context_b)):
+            lines.append(f"context ({name}):")
+            if not spans:
+                lines.append("  (no spans)")
+            for off, span in enumerate(spans):
+                marker = ">" if div.context_start + off == div.index else " "
+                lines.append(f" {marker}{div.context_start + off:>6}  "
+                             + _span_line(span))
+    else:
+        lines.append(f"span lists identical; {div.kind} differ:")
+        for key, va, vb in div.fields:
+            lines.append(f"  {key}: A={va!r}  B={vb!r}")
+    return "\n".join(lines)

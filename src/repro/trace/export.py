@@ -1,0 +1,135 @@
+"""Chrome trace-event export: view a run's spans in Perfetto.
+
+:func:`to_chrome_trace` converts one serialized
+:class:`~repro.trace.spans.TraceSnapshot` payload to the Chrome
+trace-event JSON format (the ``traceEvents`` array of ``"X"`` complete
+events), which https://ui.perfetto.dev renders directly.  Stages map to
+threads of one process -- FIFO wait, DQM execution, DMC/DDR transfer --
+so a packet's lifecycle reads as a vertical slice across the three
+lanes.  Timestamps are microseconds (the format's unit); the original
+picosecond bounds travel unrounded in each event's ``args``.
+
+:func:`extract_traces` digs trace payloads out of any document the CLI
+produces -- a raw trace snapshot, a serialized
+:class:`~repro.scenarios.RunResult`, a ``run``/``sweep`` document or a
+``checkpoint-run`` envelope -- so ``trace-export``, ``trace-diff`` and
+``report`` all accept the same inputs.
+
+Writes go through :func:`repro.checkpoint.write_json_atomic` (the R3
+atomic-persistence contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.checkpoint.atomic import write_json_atomic
+from repro.trace.spans import STAGES, TRACE_SCHEMA, validate_trace_dict
+
+#: Stage -> trace-event thread id (one lane per lifecycle stage).
+_STAGE_TID = {name: i for i, name in enumerate(STAGES)}
+
+_STAGE_LABEL = {
+    "fifo": "fifo (port wait)",
+    "execute": "execute (DQM)",
+    "data": "data (DMC/DDR)",
+}
+
+#: Picoseconds per trace-event microsecond.
+_PS_PER_US = 1_000_000
+
+
+def extract_traces(doc: Mapping[str, Any],
+                   label: str = "") -> List[Tuple[str, Dict[str, Any]]]:
+    """Every ``(label, trace_payload)`` a document carries.
+
+    Accepts a raw trace snapshot, a ``RunResult`` dict (single or
+    per-load ``metrics["trace"]``), a ``run``/``sweep`` document
+    (``{"runs": [...]}``,) or a ``checkpoint-run`` envelope
+    (``{"result": ...}``).  Raises :class:`ValueError` when the document
+    carries no trace at all.
+    """
+    if not isinstance(doc, Mapping):
+        raise ValueError("document is not a JSON object")
+    if doc.get("schema") == TRACE_SCHEMA and "spans" in doc:
+        return [(label or "trace", dict(doc))]
+    if "runs" in doc and isinstance(doc["runs"], list):
+        out: List[Tuple[str, Dict[str, Any]]] = []
+        for run in doc["runs"]:
+            try:
+                out.extend(extract_traces(run))
+            except ValueError:
+                continue  # untraced runs in a mixed document are fine
+        if not out:
+            raise ValueError("no run in the document carries a trace")
+        return out
+    if "result" in doc and isinstance(doc["result"], Mapping):
+        return extract_traces(doc["result"], label)
+    metrics = doc.get("metrics")
+    if isinstance(metrics, Mapping) and "trace" in metrics:
+        name = label or str(doc.get("scenario", "trace"))
+        payload = metrics["trace"]
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"{name}: metrics.trace is not an object")
+        if "schema" in payload:
+            return [(name, dict(payload))]
+        return [(f"{name}/{key}", dict(payload[key]))
+                for key in sorted(payload)]
+    raise ValueError(
+        "document carries no trace payload (run with --trace, or pass a "
+        "trace JSON)")
+
+
+def to_chrome_trace(trace: Mapping[str, Any],
+                    process_name: str = "repro-qmnp") -> Dict[str, Any]:
+    """One trace payload as a Chrome trace-event document."""
+    problems = validate_trace_dict(trace)
+    if problems:
+        raise ValueError("invalid trace payload: " + "; ".join(problems))
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for stage, tid in _STAGE_TID.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": _STAGE_LABEL[stage]},
+        })
+    for span in trace["spans"]:
+        begin = span["begin_ps"]
+        events.append({
+            "name": f"{span['op']} #{span['seq']}",
+            "cat": span["stage"],
+            "ph": "X",
+            "ts": begin / _PS_PER_US,
+            "dur": (span["end_ps"] - begin) / _PS_PER_US,
+            "pid": 0,
+            "tid": _STAGE_TID[span["stage"]],
+            "args": {
+                "id": span["id"],
+                "seq": span["seq"],
+                "flow": span["flow"],
+                "verdict": span["verdict"],
+                "queue_depth": span["queue_depth"],
+                "total_segments": span["total_segments"],
+                "begin_ps": begin,
+                "end_ps": span["end_ps"],
+                "record_ps": span["record_ps"],
+            },
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "counters": dict(trace["counters"]),
+            "attribution": dict(trace["attribution"]),
+        },
+    }
+
+
+def export_chrome_trace(trace: Mapping[str, Any], path: str,
+                        process_name: str = "repro-qmnp") -> Dict[str, Any]:
+    """Convert and atomically persist; returns the written document."""
+    doc = to_chrome_trace(trace, process_name=process_name)
+    write_json_atomic(path, doc)
+    return doc

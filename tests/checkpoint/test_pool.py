@@ -141,6 +141,47 @@ def test_torn_journal_entries_rerun(tmp_path):
         assert json.load(fh) == {"value": 2}
 
 
+# ------------------------------------------------------------ heartbeats
+
+def test_heartbeats_record_lifecycle_events(tmp_path):
+    journal = str(tmp_path / "journal")
+    plan = str(tmp_path / "faults.json")
+    write_plan(plan, kill={"t1": 1})
+    out = run_tasks(_double, TASKS[:3], jobs=2, retries=2,
+                    backoff_s=0.0, journal_dir=journal, fault_plan=plan)
+    assert out.ok
+    with open(os.path.join(journal, "t1.heartbeat.json")) as fh:
+        doc = json.load(fh)
+    assert doc["schema"] == 1 and doc["name"] == "t1"
+    events = [(e["event"], e["attempt"]) for e in doc["events"]]
+    assert events == [("start", 1), ("retry", 1), ("start", 2),
+                      ("finish", 2)]
+    elapsed = [e["elapsed_s"] for e in doc["events"]]
+    assert elapsed == sorted(elapsed) and elapsed[0] >= 0
+    with open(os.path.join(journal, "t0.heartbeat.json")) as fh:
+        smooth = [e["event"] for e in json.load(fh)["events"]]
+    assert smooth == ["start", "finish"]
+
+
+def test_heartbeats_mark_exhausted_tasks_failed(tmp_path):
+    journal = str(tmp_path / "journal")
+    out = run_tasks(_explode, [("bad", 0)], jobs=1, retries=1,
+                    backoff_s=0.0, journal_dir=journal)
+    assert not out.ok
+    with open(os.path.join(journal, "bad.heartbeat.json")) as fh:
+        events = [(e["event"], e["attempt"])
+                  for e in json.load(fh)["events"]]
+    assert events == [("start", 1), ("retry", 1), ("start", 2),
+                      ("fail", 2)]
+
+
+def test_failures_carry_wall_clock():
+    out = run_tasks(_explode, [("bad", 0)], jobs=1, retries=0)
+    (failure,) = out.failures
+    assert failure.wall_clock_s is not None
+    assert failure.wall_clock_s >= 0
+
+
 # ------------------------------------------------------------ interrupts
 
 def _quick_then_slow(payload):

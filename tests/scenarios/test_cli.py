@@ -117,7 +117,8 @@ def test_list_json_machine_readable(capsys):
     for entry in doc["scenarios"]:
         assert set(entry) == {"name", "kind", "workload", "title",
                               "description", "supports", "fastpath",
-                              "telemetry", "engine", "budget", "seed"}
+                              "telemetry", "trace", "engine", "budget",
+                              "seed"}
 
 
 def test_list_json_reports_fastpath_capabilities(capsys):

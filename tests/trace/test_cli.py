@@ -1,0 +1,144 @@
+"""CLI surface of the tracing subsystem: --trace, trace-export,
+trace-diff and report, exercised through ``main`` end to end."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cli import main
+
+
+@pytest.fixture(scope="module")
+def traced_doc(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "run.json")
+    assert main(["run", "latency-lqd-burst", "--fast", "--trace",
+                 "--quiet", "--json", path]) == 0
+    return path
+
+
+def test_run_trace_flag_lands_snapshot(traced_doc):
+    with open(traced_doc, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    snap = doc["runs"][0]["metrics"]["trace"]
+    assert snap["schema"] == 1 and snap["spans"]
+
+
+def test_list_advertises_trace_capability(tmp_path):
+    path = str(tmp_path / "specs.json")
+    assert main(["list", "--json", path]) == 0
+    with open(path, "r", encoding="utf-8") as fh:
+        specs = json.load(fh)["scenarios"]
+    by_name = {s["name"]: s for s in specs}
+    # every spec reports the knob; none carries a TraceSpec by default
+    assert all("trace" in s for s in specs)
+    assert by_name["latency-lqd-burst"]["trace"] is False
+
+
+def test_trace_export_round_trip(traced_doc, tmp_path, capsys):
+    out = str(tmp_path / "chrome.json")
+    assert main(["trace-export", traced_doc, out]) == 0
+    assert "perfetto" in capsys.readouterr().out
+    with open(out, "r", encoding="utf-8") as fh:
+        chrome = json.load(fh)
+    assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+
+
+def test_trace_export_errors_exit_2(tmp_path, capsys):
+    missing = str(tmp_path / "nope.json")
+    assert main(["trace-export", missing, str(tmp_path / "o.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    untraced = str(tmp_path / "untraced.json")
+    with open(untraced, "w", encoding="utf-8") as fh:
+        json.dump({"schema": 1, "metrics": {}}, fh)
+    assert main(["trace-export", untraced,
+                 str(tmp_path / "o.json")]) == 2
+    assert "no trace" in capsys.readouterr().err
+
+
+def test_trace_diff_identical_and_divergent(traced_doc, tmp_path,
+                                            capsys):
+    assert main(["trace-diff", traced_doc, traced_doc]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    with open(traced_doc, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    spans = doc["runs"][0]["metrics"]["trace"]["spans"]
+    spans[3]["end_ps"] += 1
+    mutated = str(tmp_path / "mutated.json")
+    with open(mutated, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    assert main(["trace-diff", traced_doc, mutated]) == 1
+    out = capsys.readouterr().out
+    assert "first divergent span: index 3" in out
+    assert "end_ps" in out
+
+
+def test_trace_diff_unreadable_exits_2(traced_doc, tmp_path):
+    assert main(["trace-diff", traced_doc,
+                 str(tmp_path / "gone.json")]) == 2
+
+
+def test_report_command(traced_doc, capsys):
+    assert main(["report", traced_doc]) == 0
+    out = capsys.readouterr().out
+    assert "== latency-lqd-burst" in out
+    assert "attribution:" in out
+
+
+def test_report_rejects_junk(tmp_path, capsys):
+    junk = str(tmp_path / "junk.json")
+    with open(junk, "w", encoding="utf-8") as fh:
+        fh.write("{\"nothing\": true}")
+    assert main(["report", junk]) == 2
+    assert "neither" in capsys.readouterr().err
+
+
+def test_checkpoint_run_carries_trace_spec(tmp_path):
+    """checkpoint-run on a latency scenario folds the spec's trace
+    knob into the params (None when the scenario declares none)."""
+    from repro.analysis.cli import _checkpoint_build
+    import argparse
+    args = argparse.Namespace(resume_from=None,
+                              scenario="latency-lqd-burst",
+                              engine=None, seed=None, fast=True)
+    run, stem = _checkpoint_build(args)
+    assert stem == "latency-lqd-burst"
+    assert run.params["trace"] is None
+    assert run.tracer is None
+
+
+def test_sweep_failure_table_has_wall_column(capsys, tmp_path,
+                                             monkeypatch):
+    """A serial-path failure renders '-' in the wall column (only the
+    pool measures per-task wall clock)."""
+    from repro.analysis.cli import _print_failures
+    from repro.checkpoint import TaskFailure
+    _print_failures([
+        TaskFailure(name="a", attempts=1, reason="boom"),
+        TaskFailure(name="b", attempts=2, reason="slow",
+                    wall_clock_s=1.234),
+    ])
+    err = capsys.readouterr().err
+    assert "wall=-" in err
+    assert "wall=1.23s" in err
+
+
+def test_failure_dicts_in_json_document_carry_wall_clock(tmp_path,
+                                                         monkeypatch):
+    """The sweep --json document's failure entries expose the pool's
+    per-task wall clock (None on the serial path)."""
+    import repro.scenarios.runner as runner_mod
+
+    def boom(self, name, **kw):
+        raise RuntimeError("induced")
+
+    monkeypatch.setattr(runner_mod.Runner, "run", boom)
+    path = str(tmp_path / "doc.json")
+    assert main(["run", "latency-red-burst", "--fast", "--quiet",
+                 "--json", path]) == 3
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    (failure,) = doc["failures"]
+    assert failure["name"] == "latency-red-burst"
+    assert "wall_clock_s" in failure and failure["wall_clock_s"] is None

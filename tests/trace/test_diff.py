@@ -1,0 +1,95 @@
+"""Divergence localization: the diff names the exact first bad span."""
+
+import copy
+
+import pytest
+
+from repro.scenarios import Runner
+from repro.trace.diff import Divergence, first_divergence, render
+
+
+@pytest.fixture(scope="module")
+def trace():
+    result = Runner().run("latency-lqd-burst", fast=True, trace=True)
+    return result.metrics["trace"]
+
+
+def test_identical_traces_have_no_divergence(trace):
+    assert first_divergence(trace, copy.deepcopy(trace)) is None
+    text = render(None, "a.json", "b.json")
+    assert "identical" in text and "a.json" in text
+
+
+def test_single_field_mutation_is_localized_exactly(trace):
+    k = len(trace["spans"]) // 2
+    mutated = copy.deepcopy(trace)
+    orig = mutated["spans"][k]["end_ps"]
+    mutated["spans"][k]["end_ps"] = orig + 1
+    div = first_divergence(trace, mutated, context=2)
+    assert div.kind == "spans"
+    assert div.index == k
+    assert div.fields == (("end_ps", orig, orig + 1),)
+    assert div.context_start == k - 2
+    assert len(div.context_a) == 5 and len(div.context_b) == 5
+    assert div.context_a[2] == trace["spans"][k]
+    text = render(div, "A", "B")
+    assert f"index {k}" in text
+    assert f"end_ps: A={orig!r}  B={orig + 1!r}" in text
+    # the context rows mark the divergent line
+    assert any(line.startswith(f" >{k:>6}") for line in text.splitlines())
+
+
+def test_earliest_of_several_mutations_wins(trace):
+    mutated = copy.deepcopy(trace)
+    mutated["spans"][5]["flow"] += 1
+    mutated["spans"][9]["begin_ps"] += 7
+    div = first_divergence(trace, mutated)
+    assert (div.kind, div.index) == ("spans", 5)
+    assert div.fields[0][0] == "flow"
+
+
+def test_truncated_span_list_reports_span_count(trace):
+    shorter = copy.deepcopy(trace)
+    dropped = shorter["spans"].pop()
+    div = first_divergence(trace, shorter)
+    assert div.kind == "span-count"
+    assert div.index == len(shorter["spans"])
+    assert div.fields == (("len(spans)", len(trace["spans"]),
+                           len(shorter["spans"])),)
+    assert div.context_a[-1] == dropped
+    assert "length" in render(div, "A", "B")
+
+
+def test_aggregate_only_divergence(trace):
+    mutated = copy.deepcopy(trace)
+    mutated["counters"] = dict(mutated["counters"],
+                               dropped_commands=999)
+    div = first_divergence(trace, mutated)
+    assert div.kind == "counters"
+    assert div.fields[0][0] == "dropped_commands"
+    text = render(div, "A", "B")
+    assert "span lists identical" in text
+
+    mutated = copy.deepcopy(trace)
+    mutated["attribution"] = dict(mutated["attribution"], dqm_ps=0)
+    assert first_divergence(trace, mutated).kind == "attribution"
+
+
+def test_schema_divergence_short_circuits(trace):
+    other = dict(copy.deepcopy(trace), schema=2)
+    div = first_divergence(trace, other)
+    assert div.kind == "schema"
+    assert div.fields == (("schema", trace["schema"], 2),)
+
+
+def test_divergence_at_origin_has_clipped_context(trace):
+    mutated = copy.deepcopy(trace)
+    mutated["spans"][0]["seq"] += 100
+    div = first_divergence(trace, mutated, context=3)
+    assert div.index == 0 and div.context_start == 0
+    assert len(div.context_a) == 4
+
+
+def test_divergence_is_frozen():
+    with pytest.raises(AttributeError):
+        Divergence(kind="spans").kind = "other"

@@ -1,0 +1,92 @@
+"""Chrome trace-event export and trace extraction from CLI documents."""
+
+import json
+import os
+
+import pytest
+
+from repro.scenarios import Runner
+from repro.trace.export import (
+    export_chrome_trace,
+    extract_traces,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Runner().run("latency-lqd-burst", fast=True, trace=True)
+
+
+@pytest.fixture(scope="module")
+def trace(result):
+    return result.metrics["trace"]
+
+
+def test_extract_from_raw_trace(trace):
+    assert extract_traces(trace) == [("trace", trace)]
+    assert extract_traces(trace, label="x")[0][0] == "x"
+
+
+def test_extract_from_result_and_run_documents(result, trace):
+    d = result.to_dict()
+    assert extract_traces(d) == [("latency-lqd-burst", trace)]
+    doc = {"schema": 1, "runs": [d, d]}
+    assert [label for label, _t in extract_traces(doc)] == \
+        ["latency-lqd-burst"] * 2
+    env = {"schema": 1, "result": d}
+    assert extract_traces(env) == [("latency-lqd-burst", trace)]
+
+
+def test_extract_skips_untraced_runs(result):
+    plain = Runner().run("latency-lqd-burst", fast=True).to_dict()
+    doc = {"schema": 1, "runs": [plain, result.to_dict()]}
+    assert len(extract_traces(doc)) == 1
+    with pytest.raises(ValueError, match="no run in the document"):
+        extract_traces({"schema": 1, "runs": [plain]})
+    with pytest.raises(ValueError, match="carries no trace"):
+        extract_traces(plain)
+
+
+def test_per_load_traces_get_suffixed_labels(trace):
+    fake = {"schema": 1, "scenario": "t5", "engine": "fast",
+            "seed": 1, "budget": "fast", "wall_clock_s": 0.0,
+            "paper_deltas": {}, "blocks": [],
+            "metrics": {"trace": {"load2": trace, "load1": trace}}}
+    labels = [label for label, _t in extract_traces(fake)]
+    assert labels == ["t5/load1", "t5/load2"]
+
+
+def test_chrome_trace_structure(trace):
+    doc = to_chrome_trace(trace, process_name="unit")
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+    assert meta[0]["args"]["name"] == "unit"
+    assert len(spans) == trace["counters"]["spans"]
+    by_id = {s["id"]: s for s in trace["spans"]}
+    for event in spans:
+        span = by_id[event["args"]["id"]]
+        assert event["cat"] == span["stage"]
+        assert event["ts"] == span["begin_ps"] / 1e6
+        assert event["dur"] == (span["end_ps"] - span["begin_ps"]) / 1e6
+        assert event["dur"] >= 0
+        assert event["args"]["begin_ps"] == span["begin_ps"]
+    # one thread lane per stage
+    assert {e["tid"] for e in spans} <= {0, 1, 2}
+    assert doc["otherData"]["counters"] == trace["counters"]
+    assert doc["otherData"]["attribution"] == trace["attribution"]
+
+
+def test_chrome_trace_rejects_invalid_payload(trace):
+    bad = dict(trace, spans=trace["spans"][:-1])  # breaks counters.spans
+    with pytest.raises(ValueError, match="invalid trace payload"):
+        to_chrome_trace(bad)
+
+
+def test_export_writes_loadable_json(trace, tmp_path):
+    path = os.path.join(tmp_path, "chrome.json")
+    doc = export_chrome_trace(trace, path)
+    with open(path, "r", encoding="utf-8") as fh:
+        assert json.load(fh) == doc

@@ -1,0 +1,78 @@
+"""Run-report rendering over every document shape the CLI produces."""
+
+import pytest
+
+from repro.scenarios import Runner
+from repro.trace.report import render_report
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Runner().run("latency-lqd-burst", fast=True, trace=True)
+
+
+def test_single_result_report(result):
+    text = render_report(result.to_dict(), source="run.json")
+    assert text.startswith("report: run.json")
+    assert "== latency-lqd-burst (latency)" in text
+    assert "engine=fast" in text and "budget=fast" in text
+    assert "telemetry: 599 commands, 17 dropped" in text
+    assert "all.e2e" in text and "p99" in text
+    assert "trace: 599 dispatched, 599 completed, 1780 spans" in text
+    assert "attribution: fifo" in text and "dmc+ddr" in text
+    assert "drops: lqd: arriving queue longest=17" in text
+
+
+def test_run_document_with_failures(result):
+    doc = {"schema": 1, "runs": [result.to_dict()],
+           "failures": [{"name": "latency-red-burst", "attempts": 2,
+                         "reason": "ValueError: boom"}]}
+    text = render_report(doc)
+    assert "failures: 1" in text
+    assert "latency-red-burst: ValueError: boom" in text
+
+
+def test_raw_trace_report(result):
+    text = render_report(result.metrics["trace"])
+    assert text.startswith("trace: 599 dispatched")
+    assert "attribution:" in text
+
+
+def test_untraced_result_still_reports(result):
+    plain = Runner().run("overload-taildrop-burst", fast=True)
+    text = render_report(plain.to_dict())
+    assert "== overload-taildrop-burst" in text
+    assert "trace:" not in text
+
+
+def test_per_load_blocks_are_labelled(result):
+    trace = result.metrics["trace"]
+    fake = dict(result.to_dict())
+    fake["metrics"] = {"trace": {"load8": trace, "load2": trace}}
+    text = render_report(fake)
+    assert text.index("[load2]") < text.index("[load8]")
+
+
+def test_checkpoint_run_envelope(result):
+    doc = {"schema": 1, "scenario": "latency-lqd-burst",
+           "engine": "stream",
+           "result": {"dropped_segments": 17, "dequeued_segments": 222},
+           "checkpoints": ["a.json", "b.json"]}
+    text = render_report(doc)
+    assert "== latency-lqd-burst  engine=stream  checkpoints=2" in text
+    assert "counters: dequeued_segments=222  dropped_segments=17" in text
+
+
+def test_truncation_note(result):
+    from repro.trace import TraceSpec
+    capped = Runner().run("latency-lqd-burst", fast=True,
+                          trace=TraceSpec(max_spans=8))
+    text = render_report(capped.to_dict())
+    assert "span retention capped" in text
+
+
+def test_rejects_unrecognized_documents():
+    with pytest.raises(ValueError):
+        render_report({"what": "ever"})
+    with pytest.raises(ValueError):
+        render_report([1, 2, 3])
