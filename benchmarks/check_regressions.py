@@ -12,11 +12,13 @@ Checks applied to the **latest** entry (older entries are context):
 
 * ``bench_table1.speedup``        >= 2.0x
 * ``bench_table5_stream.speedup`` >= 3.0x
-* ``bench_telemetry.off_overhead`` and ``bench_trace.off_overhead``
-  <= 2% -- warnings instead of failures when the entry was recorded
-  with ``--quick`` (CI runners are noisy; the structural-absence
-  asserts inside ``run_benchmarks.py`` are the real detectors there)
-* the stream floor must also hold with telemetry / tracing disabled
+* ``bench_telemetry.off_overhead``, ``bench_trace.off_overhead`` and
+  ``bench_monitor.off_overhead`` <= 2% -- warnings instead of failures
+  when the entry was recorded with ``--quick`` (CI runners are noisy;
+  the structural-absence asserts inside ``run_benchmarks.py`` are the
+  real detectors there)
+* the stream floor must also hold with telemetry / tracing / monitoring
+  disabled
 
 A benchmark absent from the entry is skipped with a note (older
 trajectory entries predate the newer benchmarks).  On top of the hard
@@ -37,6 +39,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 from run_benchmarks import (                                       # noqa: E402
+    MONITOR_OFF_OVERHEAD_CEILING,
     TABLE1_SPEEDUP_FLOOR,
     TABLE5_STREAM_SPEEDUP_FLOOR,
     TELEMETRY_OFF_OVERHEAD_CEILING,
@@ -55,6 +58,8 @@ SPEEDUP_FLOORS = (
      TABLE5_STREAM_SPEEDUP_FLOOR),
     ("bench_trace", "stream_speedup_with_trace_off",
      TABLE5_STREAM_SPEEDUP_FLOOR),
+    ("bench_monitor", "stream_speedup_with_monitor_off",
+     TABLE5_STREAM_SPEEDUP_FLOOR),
 )
 
 #: ``(benchmark, field, ceiling)`` -- fields that must stay <= ceiling
@@ -62,6 +67,7 @@ SPEEDUP_FLOORS = (
 OVERHEAD_CEILINGS = (
     ("bench_telemetry", "off_overhead", TELEMETRY_OFF_OVERHEAD_CEILING),
     ("bench_trace", "off_overhead", TRACE_OFF_OVERHEAD_CEILING),
+    ("bench_monitor", "off_overhead", MONITOR_OFF_OVERHEAD_CEILING),
 )
 
 

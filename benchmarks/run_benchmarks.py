@@ -29,6 +29,13 @@ Benchmarks
   must stay within 2% of the plain run (the stage hooks are
   structurally absent when no probe wants them) and keep the 3x
   stream floor; the trace-on overhead and span count are recorded.
+* ``bench_monitor`` -- the same contract for the operational monitoring
+  layer (``repro.monitor``): with monitoring disabled the full-budget
+  Table 5 stream run must stay within 2% of the plain run and
+  ``repro.monitor`` must never have been imported (structural absence
+  checked against ``sys.modules``); the monitored leg (resource
+  profiling + event sink) records its overhead, event count and the
+  run's rusage profile for the trajectory.
 * ``kernel_events`` -- raw same-time + delay event throughput of the two
   kernel engines.
 
@@ -74,6 +81,11 @@ TELEMETRY_OFF_OVERHEAD_CEILING = 0.02
 #: structurally absent when no probe asks for them, so a trace-off run
 #: must stay within this fraction of the plain run.
 TRACE_OFF_OVERHEAD_CEILING = 0.02
+
+#: And for the monitoring layer: with no event sink and no resource
+#: profiling a run must stay within this fraction of the plain run
+#: (repro.monitor is never even imported -- asserted structurally).
+MONITOR_OFF_OVERHEAD_CEILING = 0.02
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -386,6 +398,99 @@ def bench_trace(quick: bool, repeats: int, table5: dict) -> dict:
     }
 
 
+def _assert_monitor_structurally_absent() -> None:
+    """The monitoring layer's structural-absence check.
+
+    Monitoring is slow-path machinery behind explicit knobs
+    (``Runner(events=...)``, ``resources=True``, journaled pool
+    sweeps); a plain run must not merely skip it but never import it.
+    A stray top-level ``import repro.monitor`` creeping into the
+    runner, the engines or the scenario registry would pass any timing
+    comparison -- this assertion is what fails instead.  It must run
+    before the monitored leg below pulls the module in for real.
+    """
+    Runner().run("table5", engine="fast")
+    offenders = [m for m in sys.modules
+                 if m == "repro.monitor" or m.startswith("repro.monitor.")]
+    if offenders:
+        raise SystemExit(
+            f"bench_monitor: plain run imported {sorted(offenders)} "
+            f"(monitoring must be structurally absent when disabled)")
+
+
+def bench_monitor(quick: bool, repeats: int, table5: dict) -> dict:
+    """Monitoring cost contract on full-budget Table 5 (stream engine).
+
+    Mirrors :func:`bench_telemetry` / :func:`bench_trace` for the
+    monitoring layer: the structural sys.modules check above, an
+    interleaved plain vs monitoring-off A/B (gated at 2%; the two legs
+    are identical invocations, so the gate bounds timer noise plus any
+    disabled-path cost that ever appears), and a monitored leg --
+    resource profiling on, run lifecycle events to a sink -- whose
+    overhead, event count and rusage profile are recorded for the
+    trajectory (not gated).  Monitoring must not perturb simulated
+    results.
+    """
+    _assert_monitor_structurally_absent()
+    runner = Runner()
+    reps = max(3, 1 if quick else repeats)
+    base_s = off_s = float("inf")
+    off_result = None
+    for i in range(reps):
+        for leg in ("base", "off") if i % 2 == 0 else ("off", "base"):
+            t0 = time.perf_counter()
+            result = runner.run("table5", engine="fast")
+            elapsed = time.perf_counter() - t0
+            if leg == "base":
+                base_s = min(base_s, elapsed)
+            else:
+                off_s = min(off_s, elapsed)
+                off_result = result
+
+    import tempfile
+
+    from repro.monitor.events import EventSink, read_events
+    from repro.monitor.resources import validate_resources_dict
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-monitor-") as tmp:
+        events_file = str(Path(tmp) / "events.jsonl")
+        with EventSink(events_file) as sink:
+            monitored = Runner(events=sink)
+            on_s, on_result = _best_of(
+                lambda: monitored.run("table5", engine="fast",
+                                      resources=True), reps)
+        events = read_events(events_file, strict=True)
+    if not any(e.kind == "run" and e.action == "finish" for e in events):
+        raise SystemExit("bench_monitor: monitored run emitted no "
+                         "run.finish event")
+    on_metrics = dict(on_result.metrics)
+    profile = on_metrics.pop("resources")
+    problems = validate_resources_dict(profile)
+    if problems:
+        raise SystemExit(f"bench_monitor: invalid resource profile: "
+                         f"{'; '.join(problems)}")
+    if on_metrics != off_result.metrics:
+        raise SystemExit(
+            "bench_monitor: monitoring perturbed the simulated results")
+    return {
+        "plain_s": round(base_s, 4),
+        "monitor_off_s": round(off_s, 4),
+        "monitor_on_s": round(on_s, 4),
+        "off_overhead": round(off_s / base_s - 1.0, 4),
+        "on_overhead": round(on_s / base_s - 1.0, 4),
+        "stream_speedup_with_monitor_off": round(
+            table5["reference_s"] / off_s, 2),
+        "events": len(events),
+        "resources": {k: profile[k] for k in
+                      ("cpu_user_s", "cpu_sys_s", "cpu_s", "max_rss_kb",
+                       "wall_s")},
+        "structurally_absent_when_disabled": True,
+        "identical_results": True,
+        "budget": "full",
+        "engine": "command-stream machine (repro.engines.StreamMms)",
+    }
+
+
 def bench_kernel_events(quick: bool, repeats: int) -> dict:
     """Raw kernel event throughput: clocked processes with shared edges."""
     procs, steps = (50, 200) if quick else (200, 500)
@@ -458,6 +563,16 @@ def main(argv=None) -> int:
           f"on={tr['trace_on_s']}s "
           f"(overhead {tr['on_overhead'] * 100:+.1f}%, "
           f"{tr['spans']} spans)")
+    results["bench_monitor"] = bench_monitor(
+        args.quick, repeats, results["bench_table5_stream"])
+    mo = results["bench_monitor"]
+    print(f"bench_monitor: off={mo['monitor_off_s']}s "
+          f"(overhead {mo['off_overhead'] * 100:+.1f}%) "
+          f"on={mo['monitor_on_s']}s "
+          f"(overhead {mo['on_overhead'] * 100:+.1f}%, "
+          f"{mo['events']} events, "
+          f"cpu {mo['resources']['cpu_s']:.2f}s, "
+          f"rss {mo['resources']['max_rss_kb'] // 1024}MB)")
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -524,6 +639,24 @@ def main(argv=None) -> int:
     if trace["stream_speedup_with_trace_off"] < TABLE5_STREAM_SPEEDUP_FLOOR:
         print(f"FAIL: stream speedup with tracing disabled "
               f"{trace['stream_speedup_with_trace_off']}x is below the "
+              f"{TABLE5_STREAM_SPEEDUP_FLOOR}x floor", file=sys.stderr)
+        return 1
+    monitor = results["bench_monitor"]
+    if monitor["off_overhead"] > MONITOR_OFF_OVERHEAD_CEILING:
+        msg = (f"monitor-off overhead {monitor['off_overhead'] * 100:.1f}% "
+               f"exceeds the {MONITOR_OFF_OVERHEAD_CEILING * 100:.0f}% "
+               f"ceiling (monitoring must be structurally absent when "
+               f"disabled)")
+        if args.quick:
+            print(f"WARNING: {msg} -- likely runner noise; the structural "
+                  f"check passed", file=sys.stderr)
+        else:
+            print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+    if monitor["stream_speedup_with_monitor_off"] \
+            < TABLE5_STREAM_SPEEDUP_FLOOR:
+        print(f"FAIL: stream speedup with monitoring disabled "
+              f"{monitor['stream_speedup_with_monitor_off']}x is below the "
               f"{TABLE5_STREAM_SPEEDUP_FLOOR}x floor", file=sys.stderr)
         return 1
     return 0

@@ -15,9 +15,15 @@ The CLI is a thin front-end over the scenario registry
         --checkpoint-every 2000000000 --checkpoint-dir ckpts
     repro-experiments checkpoint-run --resume-from ckpts/latency-....json
     repro-experiments run latency-lqd-burst --trace --json run.json
+    repro-experiments run table5 --resources --json run.json  # rusage profile
     repro-experiments trace-export run.json trace.json   # -> ui.perfetto.dev
     repro-experiments trace-diff a.json b.json           # first divergence
     repro-experiments report run.json                    # human summary
+    repro-experiments watch .journal                     # live sweep progress
+    repro-experiments watch --once .journal              # one render, exit
+    repro-experiments sweep-status .journal              # one-shot summary
+    repro-experiments sweep-status .journal --prometheus -  # metrics text
+    repro-experiments report .journal                    # sweep timeline
 
 ``run``/``sweep`` accept ``--engine fast|reference`` and ``--seed N``;
 each scenario honors the knobs it declares (closed-form scenarios have
@@ -36,6 +42,15 @@ interrupted ``run all``/``sweep`` resumes by skipping completed work.
 exit ``128 + signum``; partial failures print a per-scenario table on
 stderr and exit 3.  ``checkpoint-run`` drives a single simulation with
 periodic state checkpoints and can resume one from its JSON file.
+
+Monitoring (:mod:`repro.monitor`): journaled sweeps stream structured
+lifecycle events to ``DIR/events.jsonl``; ``watch`` renders a live (or
+``--once``) per-task progress table from the journal, ``sweep-status``
+prints a one-shot summary with optional JSON / Prometheus-text metrics
+exposition, and ``report DIR`` (or ``report events.jsonl``) renders the
+sweep timeline with per-task wall/CPU and retry provenance.
+``--resources`` profiles each scenario's rusage delta into
+``metrics.resources``.
 
 The pre-scenario invocation style (``repro-experiments table1 --fast``)
 still works as an alias for ``run table1 --fast``.
@@ -201,7 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="persist each finished scenario atomically to "
                             "DIR and skip already-journaled scenarios "
-                            "(crash-safe resume of run all / sweep)")
+                            "(crash-safe resume of run all / sweep); also "
+                            "streams lifecycle events to DIR/events.jsonl "
+                            "for `watch` / `sweep-status`")
+        p.add_argument("--resources", action="store_true",
+                       help="profile each scenario's rusage delta (CPU "
+                            "seconds, max RSS, wall) into "
+                            "metrics.resources of the result")
         p.add_argument("--quiet", action="store_true",
                        help="suppress the rendered tables")
 
@@ -250,6 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="write the run summary as JSON ('-' for "
                              "stdout)")
+    p_ckpt.add_argument("--events", dest="events_path", metavar="PATH",
+                        default=None,
+                        help="append checkpoint lifecycle events "
+                             "(start/progress/finish) to an events.jsonl "
+                             "file at PATH")
     p_ckpt.add_argument("--quiet", action="store_true",
                         help="suppress the result summary")
 
@@ -281,9 +307,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser(
         "report",
-        help="render a human-readable summary (telemetry percentiles, "
-             "cycle attribution, drops) of any results document")
-    p_report.add_argument("input", help="run/result/trace JSON document")
+        help="render a human-readable summary of any results document "
+             "(telemetry percentiles, cycle attribution, drops), or of "
+             "a journal directory / events.jsonl (sweep timeline)")
+    p_report.add_argument("input",
+                          help="run/result/trace JSON document, journal "
+                               "directory, or events.jsonl file")
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live per-task progress table for a journaled sweep "
+             "(reads DIR/events.jsonl; refreshes until the sweep "
+             "finishes)")
+    p_watch.add_argument("journal_dir", metavar="JOURNAL_DIR",
+                         help="the sweep's --journal directory")
+    p_watch.add_argument("--once", action="store_true",
+                         help="render the table once and exit")
+    p_watch.add_argument("--interval", type=_timeout_value, default=2.0,
+                         metavar="SECONDS",
+                         help="refresh period (default: 2)")
+
+    p_status = sub.add_parser(
+        "sweep-status",
+        help="one-shot summary of a journaled sweep, with optional "
+             "metrics exposition")
+    p_status.add_argument("journal_dir", metavar="JOURNAL_DIR",
+                          help="the sweep's --journal directory")
+    p_status.add_argument("--json", dest="json_path", metavar="PATH",
+                          default=None,
+                          help="also write the status + metrics document "
+                               "as JSON ('-' for stdout)")
+    p_status.add_argument("--prometheus", dest="prometheus_path",
+                          metavar="PATH", default=None,
+                          help="also write the metrics in Prometheus "
+                               "text exposition format ('-' for stdout)")
 
     return parser
 
@@ -296,7 +353,8 @@ def _legacy_rewrite(argv: List[str]) -> List[str]:
     subcommands; keep both working as aliases for ``run``.
     """
     if not argv or argv[0] in ("list", "run", "sweep", "checkpoint-run",
-                               "trace-export", "trace-diff", "report"):
+                               "trace-export", "trace-diff", "report",
+                               "watch", "sweep-status"):
         return argv
     legacy = set(scenario_names()) | {"all"}
     if any(token in legacy for token in argv):
@@ -356,10 +414,11 @@ def _run_one_serialized(payload) -> dict:
     path travel with the payload, so a pool run is exactly as
     deterministic as a serial one.
     """
-    paths, name, engine, seed, fast, telemetry, trace = payload
+    paths, name, engine, seed, fast, telemetry, trace, resources = payload
     sys.path[:] = paths
     result = Runner().run(name, engine=engine, seed=seed, fast=fast,
-                          telemetry=telemetry, trace=trace)
+                          telemetry=telemetry, trace=trace,
+                          resources=resources)
     return result.to_dict()
 
 
@@ -367,11 +426,21 @@ def _print_failures(failures) -> None:
     """The per-scenario failure table, on stderr."""
     print("\nFAILED SCENARIOS", file=sys.stderr)
     width = max(len(f.name) for f in failures)
+    profiled = any(getattr(f, "cpu_s", None) is not None
+                   or getattr(f, "max_rss_kb", None) is not None
+                   for f in failures)
     for f in failures:
         wall = getattr(f, "wall_clock_s", None)
         wall_text = "-" if wall is None else f"{wall:.2f}s"
+        usage = ""
+        if profiled:
+            cpu = getattr(f, "cpu_s", None)
+            rss = getattr(f, "max_rss_kb", None)
+            cpu_text = "-" if cpu is None else f"{cpu:.2f}s"
+            rss_text = "-" if not rss else f"{rss / 1024:.0f}MB"
+            usage = f"cpu={cpu_text:<8} rss={rss_text:<7} "
         print(f"  {f.name:<{width}}  attempts={f.attempts}  "
-              f"wall={wall_text:<9}  {f.reason}",
+              f"wall={wall_text:<9} {usage} {f.reason}",
               file=sys.stderr)
 
 
@@ -380,11 +449,13 @@ def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
     from repro.scenarios import RunResult
 
     jobs = getattr(args, "jobs", 1)
+    resources = getattr(args, "resources", False)
     payloads = [(list(sys.path), name, args.engine, args.seed,
                  args.fast or None, args.telemetry or None,
-                 args.trace or None)
+                 args.trace or None, resources)
                 for name in names]
 
+    pool_resources: Dict[str, Any] = {}
     if jobs > 1 and len(names) > 1:
         outcome = run_tasks(
             _run_one_serialized, list(zip(names, payloads)),
@@ -393,11 +464,13 @@ def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
             retries=getattr(args, "retries", 1),
             backoff_s=getattr(args, "backoff", 0.1),
             journal_dir=args.journal_dir,
-            fault_plan=getattr(args, "fault_plan", None))
+            fault_plan=getattr(args, "fault_plan", None),
+            resources=resources)
         results = [None if d is None else RunResult.from_dict(d)
                    for d in outcome.results]
         failures = outcome.failures
         interrupted = outcome.interrupted
+        pool_resources = outcome.resources
     else:
         # serial path: same journal semantics, in-process execution
         results = [None] * len(names)
@@ -417,7 +490,8 @@ def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
                                     seed=args.seed,
                                     fast=args.fast or None,
                                     telemetry=args.telemetry or None,
-                                    trace=args.trace or None)
+                                    trace=args.trace or None,
+                                    resources=resources)
             except KeyboardInterrupt:
                 interrupted = _signal.SIGINT
                 failures.extend(
@@ -451,8 +525,13 @@ def _cmd_run(args: argparse.Namespace, names: List[str]) -> int:
             doc["failures"] = [{"name": f.name, "attempts": f.attempts,
                                 "reason": f.reason,
                                 "wall_clock_s": getattr(f, "wall_clock_s",
-                                                        None)}
+                                                        None),
+                                "cpu_s": getattr(f, "cpu_s", None),
+                                "max_rss_kb": getattr(f, "max_rss_kb",
+                                                      None)}
                                for f in failures]
+        if pool_resources:
+            doc["resources"] = pool_resources
         _write_document(args.json_path, doc)
     if failures:
         _print_failures(failures)
@@ -521,6 +600,10 @@ def _cmd_checkpoint_run(args: argparse.Namespace) -> int:
 
     run, stem = _checkpoint_build(args)
     saved: List[str] = []
+    events = None
+    if args.events_path is not None:
+        from repro.monitor.events import EventSink
+        events = EventSink(args.events_path)
 
     if args.checkpoint_every is not None:
         os.makedirs(args.checkpoint_dir, exist_ok=True)
@@ -531,8 +614,11 @@ def _cmd_checkpoint_run(args: argparse.Namespace) -> int:
             ckpt.save(path)
             saved.append(path)
 
-        run_with_checkpoints(run, args.checkpoint_every, sink)
+        run_with_checkpoints(run, args.checkpoint_every, sink,
+                             events=events)
     result = run.finish()
+    if events is not None:
+        events.close()
 
     counters = result.counters() if hasattr(result, "counters") \
         else dict(result)
@@ -628,6 +714,24 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    # Journal directories and bare event logs get the sweep timeline;
+    # everything else is a results document.
+    if os.path.isdir(args.input) or args.input.endswith(".jsonl"):
+        from repro.monitor.progress import (
+            load_sweep,
+            render_timeline,
+            status_from_events,
+        )
+        try:
+            if os.path.isdir(args.input):
+                status = load_sweep(args.input)
+            else:
+                status = status_from_events(args.input)
+        except (OSError, ValueError) as exc:
+            print(f"{args.input}: {exc}", file=sys.stderr)
+            return 2
+        print(render_timeline(status))
+        return 0
     from repro.trace.report import render_report
     doc, err = _load_json_doc(args.input)
     if err is not None:
@@ -638,6 +742,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"{args.input}: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+# ----------------------------------------------------- live monitoring
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.monitor.progress import load_sweep, render_watch
+
+    first = True
+    while True:
+        try:
+            status = load_sweep(args.journal_dir)
+        except (OSError, ValueError) as exc:
+            print(f"{args.journal_dir}: {exc}", file=sys.stderr)
+            return 2
+        if not first and sys.stdout.isatty():  # pragma: no cover -- tty
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_watch(status))
+        first = False
+        if args.once or status.finished:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover -- interactive
+            return 128 + _signal.SIGINT
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.monitor.progress import (
+        build_registry,
+        load_sweep,
+        render_status,
+    )
+
+    try:
+        status = load_sweep(args.journal_dir)
+    except (OSError, ValueError) as exc:
+        print(f"{args.journal_dir}: {exc}", file=sys.stderr)
+        return 2
+    if args.prometheus_path != "-":   # keep stdout exposition parseable
+        print(render_status(status))
+    registry = build_registry(status)
+    if args.json_path is not None:
+        _write_document(args.json_path, {
+            "schema": DOCUMENT_SCHEMA,
+            "journal_dir": status.journal_dir,
+            "counts": status.counts(),
+            "metrics": registry.to_dict(),
+        })
+    if args.prometheus_path is not None:
+        text = registry.to_prometheus()
+        if args.prometheus_path == "-":
+            sys.stdout.write(text)
+        else:
+            from repro.checkpoint.atomic import write_text_atomic
+            write_text_atomic(args.prometheus_path, text)
     return 0
 
 
@@ -655,6 +817,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace_diff(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "sweep-status":
+        return _cmd_sweep_status(args)
     if args.command == "sweep":
         sweep_names = [s.spec.name for s in scenarios_of_kind("sweep")]
         names = sweep_names if args.scenario == "all" else [args.scenario]

@@ -21,10 +21,17 @@ little throughput bookkeeping for robustness:
   as done; a re-run of an interrupted sweep skips everything already
   journaled (a torn write never passes ``read_json``, so a crash
   mid-write re-runs that task);
-* **heartbeat documents** -- alongside the journal, every task keeps a
-  ``<name>.heartbeat.json`` event log (start/finish/retry/fail with
-  attempt numbers and pool-relative elapsed seconds), so a stalled or
-  crashed sweep can be diagnosed from the journal directory alone;
+* **lifecycle events + heartbeat documents** -- journaled sweeps write
+  every sweep/task transition to a shared ``events.jsonl``
+  (:mod:`repro.monitor.events`) and keep the per-task
+  ``<name>.heartbeat.json`` documents, both through one
+  :class:`~repro.monitor.events.SweepLog` code path, so a stalled or
+  crashed sweep can be diagnosed -- or watched live
+  (``repro-experiments watch``) -- from the journal directory alone;
+* **resource profiles** -- with ``resources=True`` each worker reports
+  its rusage delta (CPU seconds, max RSS, wall) alongside its result;
+  the pool folds profiles into :attr:`PoolOutcome.resources`, finish
+  events and the failure table;
 * **graceful interrupt** -- ``SIGINT``/``SIGTERM`` stop new work,
   terminate what is running, keep every completed result, and report
   which signal ended the sweep (the CLI exits ``128 + signum``).
@@ -44,16 +51,25 @@ import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
 
 from repro.checkpoint.atomic import read_json, write_json_atomic
 from repro.checkpoint.faults import maybe_fault
+
+if TYPE_CHECKING:  # runtime import stays lazy (journaled sweeps only)
+    from repro.monitor.events import SweepLog
 
 #: Main-loop poll interval (seconds).
 _TICK = 0.02
 
 #: Result-document key a worker uses to report a task exception.
 ERROR_KEY = "__error__"
+
+#: Result-document key a profiling worker smuggles its rusage delta
+#: under; the parent pops it back out, so ``PoolOutcome.results``
+#: documents stay byte-identical to unprofiled runs.
+RESOURCES_KEY = "__resources__"
 
 
 @dataclass
@@ -62,24 +78,31 @@ class TaskFailure:
 
     ``wall_clock_s`` is the total time the task spent actually running
     across every attempt; ``None`` when the runner does not measure it
-    (the CLI's serial path) or the task never started."""
+    (the CLI's serial path) or the task never started.  ``cpu_s`` /
+    ``max_rss_kb`` come from the final attempt's resource profile when
+    the sweep ran with ``resources=True`` (and the attempt got far
+    enough to report one)."""
 
     name: str
     attempts: int
     reason: str
     wall_clock_s: Optional[float] = None
+    cpu_s: Optional[float] = None
+    max_rss_kb: Optional[int] = None
 
 
 @dataclass
 class PoolOutcome:
     """What a sweep produced: results by submission order (``None``
     where a task failed), the failure table, the interrupting signal
-    (if any) and how much journaled work was skipped."""
+    (if any), how much journaled work was skipped, and -- under
+    ``resources=True`` -- each task's resource profile by name."""
 
     results: List[Optional[Dict[str, Any]]]
     failures: List[TaskFailure] = field(default_factory=list)
     interrupted: Optional[int] = None
     skipped_from_journal: int = 0
+    resources: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -91,16 +114,27 @@ def _safe_name(name: str) -> str:
 
 
 def _worker(fn: Callable[[Any], Dict[str, Any]], name: str, payload: Any,
-            result_path: str, fault_plan: Optional[str]) -> None:
+            result_path: str, fault_plan: Optional[str],
+            resources: bool = False) -> None:
     """Pool worker body: take any planned fault, run the task, persist
     the result document atomically.  An exception becomes an error
-    document -- distinguishable from a crash, which leaves no file."""
+    document -- distinguishable from a crash, which leaves no file.
+    Under ``resources`` the worker's own rusage delta rides along in
+    the document (the worker process *is* the task, so RUSAGE_SELF is
+    exactly the task's footprint)."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent drives shutdown
+    profiler = None
+    if resources:
+        from repro.monitor.resources import ResourceProfiler
+        profiler = ResourceProfiler()
     maybe_fault(fault_plan, name)
     try:
         doc = fn(payload)
     except BaseException as exc:  # noqa: BLE001 -- report, don't crash
         doc = {ERROR_KEY: f"{type(exc).__name__}: {exc}"}
+    if profiler is not None:
+        doc = dict(doc)
+        doc[RESOURCES_KEY] = profiler.profile()
     write_json_atomic(result_path, doc)
 
 
@@ -111,11 +145,14 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
               retries: int = 1,
               backoff_s: float = 0.1,
               journal_dir: Optional[str] = None,
-              fault_plan: Optional[str] = None) -> PoolOutcome:
+              fault_plan: Optional[str] = None,
+              resources: bool = False) -> PoolOutcome:
     """Run ``fn(payload)`` for every ``(name, payload)`` task across
     ``jobs`` worker processes (see module docstring for the fault
     model).  ``fn`` must be a module-level callable returning a
-    JSON-serializable dict."""
+    JSON-serializable dict.  ``resources=True`` adds per-task rusage
+    profiling (``PoolOutcome.resources``); journaled sweeps always
+    stream lifecycle events to ``journal_dir/events.jsonl``."""
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if timeout_s is not None and timeout_s <= 0:
@@ -151,10 +188,29 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
         if doc is not None and ERROR_KEY in doc:
             doc = None   # journaled failures re-run
         if doc is not None:
+            profile = doc.pop(RESOURCES_KEY, None)
+            if isinstance(profile, dict):
+                outcome.resources[tasks[idx][0]] = profile
             outcome.results[idx] = doc
             outcome.skipped_from_journal += 1
         else:
             pending.append(idx)
+
+    # Journaled sweeps report their lifecycle through one SweepLog:
+    # typed events on the shared events.jsonl plus the per-task
+    # heartbeat documents, derived from the same records.  Un-journaled
+    # throwaway sweeps have nobody to read either, so the monitoring
+    # machinery stays structurally absent (not even imported).
+    log: Optional["SweepLog"] = None
+    if journal_dir is not None:
+        from repro.monitor.events import EventSink, SweepLog, events_path
+        log = SweepLog(EventSink(events_path(result_dir)),
+                       [name for name, _payload in tasks],
+                       heartbeat_paths=hb_paths)
+        log.sweep("start", extra={
+            "tasks": len(tasks), "jobs": jobs,
+            "names": [name for name, _payload in tasks],
+            "skipped_from_journal": outcome.skipped_from_journal})
 
     deferred: List[Tuple[float, int]] = []   # (ready_at, idx)
     running: Dict[int, Tuple[Any, Optional[float]]] = {}
@@ -163,26 +219,35 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
     started = [0.0] * len(tasks)   # monotonic launch instant, per attempt
     spent = [0.0] * len(tasks)     # total running time across attempts
     signals: List[int] = []
-    pool_t0 = time.monotonic()
-    heartbeats: Dict[int, List[Dict[str, Any]]] = {}
 
-    def heartbeat(idx: int, event: str) -> None:
-        """Append one event to the task's heartbeat document (journaled
-        sweeps only -- the throwaway tmpdir case has nobody to read
-        them)."""
-        if journal_dir is None:
-            return
-        events = heartbeats.setdefault(idx, [])
-        events.append({"event": event, "attempt": attempts[idx],
-                       "elapsed_s": round(time.monotonic() - pool_t0, 3)})
-        write_json_atomic(hb_paths[idx], {"schema": 1,
-                                          "name": tasks[idx][0],
-                                          "events": events})
+    def note(idx: int, action: str,
+             extra: Optional[Dict[str, Any]] = None) -> None:
+        """One task lifecycle transition, through the sweep log
+        (journaled sweeps only -- the throwaway tmpdir case has nobody
+        to read events or heartbeats)."""
+        if log is not None:
+            log.task(idx, action, attempts[idx], extra=extra)
 
     def settle(idx: int) -> None:
         """Fold the finished attempt's running time into the task's
         wall-clock total."""
         spent[idx] += time.monotonic() - started[idx]
+
+    def accept(idx: int) -> bool:
+        """Take the task's completed result document if one landed:
+        pop the worker's resource profile, store the clean document,
+        note the finish event."""
+        doc = _journaled(paths[idx])
+        if doc is None or ERROR_KEY in doc:
+            return False
+        profile = doc.pop(RESOURCES_KEY, None)
+        extra = None
+        if isinstance(profile, dict):
+            outcome.resources[tasks[idx][0]] = profile
+            extra = {"resources": profile}
+        outcome.results[idx] = doc
+        note(idx, "finish", extra=extra)
+        return True
 
     def on_signal(signum: int, _frame: Any) -> None:
         signals.append(signum)
@@ -194,27 +259,36 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
         except ValueError:  # pragma: no cover -- non-main thread
             pass
 
-    def fail(idx: int, reason: str) -> None:
+    def fail(idx: int, reason: str,
+             profile: Optional[Dict[str, Any]] = None) -> None:
         last_reason[idx] = reason
         if attempts[idx] <= retries and not signals:
-            heartbeat(idx, "retry")
+            note(idx, "retry", extra={"reason": reason})
             deferred.append(
                 (time.monotonic() + backoff_s * attempts[idx], idx))
         else:
-            heartbeat(idx, "fail")
+            extra: Dict[str, Any] = {"reason": reason}
+            if profile is not None:
+                extra["resources"] = profile
+            note(idx, "fail", extra=extra)
             outcome.failures.append(
                 TaskFailure(name=tasks[idx][0], attempts=attempts[idx],
                             reason=reason,
                             wall_clock_s=round(spent[idx], 3)
-                            if attempts[idx] else None))
+                            if attempts[idx] else None,
+                            cpu_s=profile.get("cpu_s")
+                            if profile else None,
+                            max_rss_kb=profile.get("max_rss_kb")
+                            if profile else None))
 
     def reap(idx: int, proc: Any) -> None:
+        if accept(idx):
+            return
         doc = _journaled(paths[idx])
-        if doc is not None and ERROR_KEY not in doc:
-            outcome.results[idx] = doc
-            heartbeat(idx, "finish")
-        elif doc is not None:
-            fail(idx, doc[ERROR_KEY])
+        if doc is not None and ERROR_KEY in doc:
+            profile = doc.get(RESOURCES_KEY)
+            fail(idx, doc[ERROR_KEY],
+                 profile if isinstance(profile, dict) else None)
         elif proc.exitcode is not None and proc.exitcode < 0:
             fail(idx, "worker killed by signal "
                  f"{signal.Signals(-proc.exitcode).name}")
@@ -242,10 +316,11 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
                     pass
                 proc = ctx.Process(
                     target=_worker,
-                    args=(fn, name, payload, paths[idx], fault_plan))
+                    args=(fn, name, payload, paths[idx], fault_plan,
+                          resources))
                 proc.start()
                 started[idx] = time.monotonic()
-                heartbeat(idx, "start")
+                note(idx, "start")
                 deadline = None if timeout_s is None \
                     else now + timeout_s
                 running[idx] = (proc, deadline)
@@ -263,11 +338,7 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
                     settle(idx)
                     # accept a result that raced the timeout; otherwise
                     # the task is indistinguishable from a hang
-                    doc = _journaled(paths[idx])
-                    if doc is not None and ERROR_KEY not in doc:
-                        outcome.results[idx] = doc
-                        heartbeat(idx, "finish")
-                    else:
+                    if not accept(idx):
                         fail(idx, f"timeout after {timeout_s}s")
 
             if running and not signals:
@@ -279,11 +350,7 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
                 _terminate(proc)
                 settle(idx)
                 # a completed-but-unreaped result still counts
-                doc = _journaled(paths[idx])
-                if doc is not None and ERROR_KEY not in doc:
-                    outcome.results[idx] = doc
-                    heartbeat(idx, "finish")
-                else:
+                if not accept(idx):
                     outcome.failures.append(TaskFailure(
                         name=tasks[idx][0], attempts=attempts[idx],
                         reason="interrupted while running",
@@ -298,6 +365,15 @@ def run_tasks(fn: Callable[[Any], Dict[str, Any]],
                         wall_clock_s=round(spent[idx], 3)
                         if attempts[idx] else None))
     finally:
+        if log is not None:
+            extra = {"done": sum(1 for r in outcome.results
+                                 if r is not None),
+                     "failed": len(outcome.failures)}
+            if outcome.interrupted is not None:
+                extra["interrupted"] = outcome.interrupted
+            log.sweep("finish" if outcome.ok else "fail", extra=extra)
+            if log.sink is not None:
+                log.sink.close()
         for signum, handler in old_handlers.items():
             signal.signal(signum, handler)
         if tmpdir is not None:

@@ -441,21 +441,38 @@ class StreamRun:
 
 def run_with_checkpoints(run: StreamRun, every_ps: int,
                          sink: Callable[[Checkpoint], None],
-                         until_ps: Optional[int] = None) -> int:
+                         until_ps: Optional[int] = None,
+                         events: Optional[Any] = None) -> int:
     """Advance ``run`` to its horizon (or ``until_ps``), invoking
     ``sink`` with a checkpoint at every ``every_ps`` boundary short of
     the end.  Returns the number of checkpoints sunk.  The final state
-    is *not* checkpointed -- the caller holds the finished run."""
+    is *not* checkpointed -- the caller holds the finished run.
+
+    ``events`` is an optional :class:`repro.monitor.events.EventSink`:
+    when present, the drive emits ``checkpoint.start``, one
+    ``checkpoint.progress`` per sunk checkpoint (simulated position and
+    running count in ``extra``) and ``checkpoint.finish`` -- the
+    monitoring view of a long checkpointed run."""
     if every_ps <= 0:
         raise CheckpointError(f"checkpoint period must be positive, "
                               f"got {every_ps}")
     end = run.horizon if until_ps is None else min(until_ps, run.horizon)
     count = 0
     boundary = run.now
+    if events is not None:
+        events.emit("checkpoint", "start", run.workload,
+                    extra={"from_ps": run.now, "until_ps": end,
+                           "every_ps": every_ps})
     while boundary < end:
         boundary = min(boundary + every_ps, end)
         run.run(boundary)
         if boundary < end:
             sink(run.checkpoint())
             count += 1
+            if events is not None:
+                events.emit("checkpoint", "progress", run.workload,
+                            extra={"at_ps": boundary, "count": count})
+    if events is not None:
+        events.emit("checkpoint", "finish", run.workload,
+                    extra={"at_ps": run.now, "count": count})
     return count

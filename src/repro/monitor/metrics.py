@@ -1,0 +1,248 @@
+"""Metrics registry: counters, gauges, windowed rates, exposition.
+
+A :class:`MetricsRegistry` aggregates pool-wide operational state --
+tasks queued/running/retried/done, events per second, cache-ready spec
+hashes -- into named instruments and writes them out in two formats:
+
+* **Prometheus text exposition** (:meth:`MetricsRegistry.to_prometheus`)
+  -- the ``# HELP`` / ``# TYPE`` / sample-line format every scraping
+  stack ingests; :func:`parse_prometheus_text` is the matching strict
+  reader (tests and the CI smoke assert round-trips through it);
+* **JSON** (:meth:`MetricsRegistry.to_dict`) -- the shape the
+  ``sweep-status --json`` document and the future ``repro.serve``
+  daemon expose.
+
+Instruments are deliberately label-free: one registry describes one
+journal directory (= one sweep), and per-task detail lives in the
+event log, not in a metric-label explosion.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Tuple, Union
+
+#: Schema version of the JSON exposition document.
+METRICS_SCHEMA = 1
+
+#: Prometheus metric-name grammar (no labels in this registry).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: One exposition sample line: ``name value``.
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*) (\S+)$")
+
+
+class _Instrument:
+    """Common shape: a name, a help string and a numeric value."""
+
+    kind = ""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid metric name {name!r} (must match "
+                f"[a-zA-Z_:][a-zA-Z0-9_:]*)")
+        self.name = name
+        self.help_text = help_text
+
+    @property
+    def value(self) -> float:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {n})")
+        self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (set freely)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Rate(_Instrument):
+    """Windowed event rate (events/s over the trailing window).
+
+    :meth:`record` takes explicit timestamps -- the registry never
+    reads a clock itself, so replaying a recorded event log yields a
+    deterministic rate.  Exposed as a Prometheus gauge.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "",
+                 window_s: float = 60.0) -> None:
+        super().__init__(name, help_text)
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s}")
+        self.window_s = window_s
+        self._hits: Deque[Tuple[float, float]] = deque()
+        self._now = 0.0
+
+    def record(self, t: float, n: Union[int, float] = 1) -> None:
+        """One batch of ``n`` events at time ``t`` (any consistent
+        clock; call in non-decreasing ``t`` order)."""
+        self._hits.append((t, float(n)))
+        self.observe(t)
+
+    def observe(self, now: float) -> None:
+        """Advance the window edge to ``now`` (drops aged-out hits)."""
+        self._now = max(self._now, now)
+        edge = self._now - self.window_s
+        while self._hits and self._hits[0][0] < edge:
+            self._hits.popleft()
+
+    @property
+    def value(self) -> float:
+        if not self._hits:
+            return 0.0
+        span = min(self.window_s,
+                   max(self._now - self._hits[0][0], 1e-9))
+        return round(sum(n for _t, n in self._hits) / span, 6)
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, cls: type, name: str, help_text: str,
+             **kwargs: Any) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}")
+            return existing
+        instrument = cls(name, help_text, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get(Counter, name, help_text)  # type: ignore[no-any-return]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get(Gauge, name, help_text)  # type: ignore[no-any-return]
+
+    def rate(self, name: str, help_text: str = "",
+             window_s: float = 60.0) -> Rate:
+        return self._get(Rate, name, help_text,  # type: ignore[no-any-return]
+                         window_s=window_s)
+
+    # ------------------------------------------------------- exposition
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON exposition (``sweep-status --json`` payload shape)."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "metrics": {
+                name: {"type": inst.kind, "help": inst.help_text,
+                       "value": inst.value}
+                for name, inst in sorted(self._instruments.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for name, inst in sorted(self._instruments.items()):
+            if inst.help_text:
+                lines.append(f"# HELP {name} {inst.help_text}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+            value = inst.value
+            rendered = repr(value) if value != int(value) else str(
+                int(value))
+            lines.append(f"{name} {rendered}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Strict reader for the exposition this module writes.
+
+    Returns ``{metric_name: value}``; raises :class:`ValueError` on any
+    malformed line, so "the exposition parses" is a real assertion in
+    tests and the CI monitoring smoke.
+    """
+    values: Dict[str, float] = {}
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge"):
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            if not line.startswith("# HELP "):
+                raise ValueError(f"line {lineno}: unknown comment form")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample line "
+                             f"{line!r}")
+        name, raw = m.groups()
+        if name not in typed:
+            raise ValueError(f"line {lineno}: sample {name!r} has no "
+                             f"preceding TYPE line")
+        try:
+            values[name] = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {raw!r}") from None
+    return values
+
+
+def validate_metrics_dict(d: Mapping[str, Any]) -> List[str]:
+    """Schema check of the JSON exposition document."""
+    problems: List[str] = []
+    if not isinstance(d, Mapping):
+        return ["metrics document is not an object"]
+    if d.get("schema") != METRICS_SCHEMA:
+        problems.append(f"schema {d.get('schema')!r} != {METRICS_SCHEMA}")
+    metrics = d.get("metrics")
+    if not isinstance(metrics, Mapping):
+        return problems + ["'metrics' missing or not an object"]
+    for name, m in metrics.items():
+        if not _NAME_RE.match(str(name)):
+            problems.append(f"metric name {name!r} invalid")
+        if not isinstance(m, Mapping):
+            problems.append(f"metrics[{name!r}] not an object")
+            continue
+        if m.get("type") not in ("counter", "gauge"):
+            problems.append(f"metrics[{name!r}].type invalid")
+        if not isinstance(m.get("value"), (int, float)) \
+                or isinstance(m.get("value"), bool):
+            problems.append(f"metrics[{name!r}].value not numeric")
+    return problems

@@ -22,7 +22,18 @@ from repro.trace.spans import TraceSpec
 
 
 class Runner:
-    """Executes registered scenarios (or ad-hoc resolved specs)."""
+    """Executes registered scenarios (or ad-hoc resolved specs).
+
+    ``events`` is an optional :class:`repro.monitor.events.EventSink`:
+    when present, every run emits ``run.start`` / ``run.finish`` /
+    ``run.fail`` lifecycle events to it.  Like every monitoring knob it
+    defaults to off, and the plain path never imports
+    :mod:`repro.monitor` at all (the ``bench_monitor`` gate asserts
+    this structurally).
+    """
+
+    def __init__(self, events=None) -> None:
+        self.events = events
 
     def run(self, name: str, *,
             engine: Optional[str] = None,
@@ -30,7 +41,8 @@ class Runner:
             budget: Optional[str] = None,
             fast: Optional[bool] = None,
             mms: Optional[MmsConfig] = None,
-            telemetry=None, trace=None) -> RunResult:
+            telemetry=None, trace=None,
+            resources: bool = False) -> RunResult:
         """Run one scenario by name with optional knob overrides.
 
         ``fast`` is sugar for ``budget="fast"`` / ``"full"`` and must
@@ -42,6 +54,8 @@ class Runner:
         probed); passing ``False`` is rejected rather than silently
         ignored.  ``trace`` follows the same discipline with
         :class:`TraceSpec`, landing in ``result.metrics["trace"]``.
+        ``resources=True`` profiles the run's rusage delta (CPU
+        seconds, max RSS, wall) into ``result.metrics["resources"]``.
         """
         if fast is not None:
             if budget is not None:
@@ -55,35 +69,68 @@ class Runner:
         spec = scenario.spec.with_options(engine=engine, seed=seed,
                                           budget=budget, mms=mms,
                                           telemetry=telemetry, trace=trace)
-        return self.run_spec(spec)
+        return self.run_spec(spec, resources=resources)
 
-    def run_spec(self, spec: ScenarioSpec) -> RunResult:
+    def run_spec(self, spec: ScenarioSpec, *,
+                 resources: bool = False) -> RunResult:
         """Run an already-resolved spec (must be a registered name)."""
         scenario = get_scenario(spec.name)
+        profiler = None
+        if resources:
+            from repro.monitor.resources import ResourceProfiler
+            profiler = ResourceProfiler()
+        if self.events is not None:
+            self.events.emit("run", "start", spec.name,
+                             scenario=spec.name,
+                             engine=spec.effective_engine,
+                             seed=spec.seed,
+                             extra={"budget": spec.budget})
         t0 = time.perf_counter()
-        outcome = scenario.execute(spec)
+        try:
+            outcome = scenario.execute(spec)
+        except BaseException as exc:
+            if self.events is not None:
+                self.events.emit(
+                    "run", "fail", spec.name, scenario=spec.name,
+                    engine=spec.effective_engine, seed=spec.seed,
+                    extra={"reason": f"{type(exc).__name__}: {exc}"})
+            raise
         wall = time.perf_counter() - t0
-        return RunResult(
+        metrics = jsonify(outcome.metrics)
+        if profiler is not None:
+            metrics["resources"] = profiler.profile()
+        result = RunResult(
             scenario=spec.name,
             kind=spec.kind,
             engine=spec.effective_engine,
             seed=spec.seed,
             budget=spec.budget,
             wall_clock_s=wall,
-            metrics=jsonify(outcome.metrics),
+            metrics=metrics,
             paper_deltas=jsonify(outcome.paper_deltas),
             blocks=outcome.blocks,
         )
+        if self.events is not None:
+            extra = {"wall_clock_s": round(wall, 6)}
+            if profiler is not None:
+                extra["resources"] = metrics["resources"]
+            self.events.emit("run", "finish", spec.name,
+                             scenario=spec.name,
+                             engine=spec.effective_engine,
+                             seed=spec.seed, extra=extra)
+        return result
 
     def run_many(self, names: Optional[Iterable[str]] = None, *,
                  engine: Optional[str] = None,
                  seed: Optional[int] = None,
                  budget: Optional[str] = None,
                  fast: Optional[bool] = None,
-                 telemetry=None, trace=None) -> List[RunResult]:
+                 telemetry=None, trace=None,
+                 resources: bool = False) -> List[RunResult]:
         """Run several scenarios (default: every registered one)."""
         if names is None:
             names = scenario_names()
         return [self.run(n, engine=engine, seed=seed, budget=budget,
-                         fast=fast, telemetry=telemetry, trace=trace)
+                         fast=fast, telemetry=telemetry, trace=trace,
+                         resources=resources)
                 for n in names]

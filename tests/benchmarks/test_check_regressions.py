@@ -1,0 +1,127 @@
+"""The trajectory comparator (``benchmarks/check_regressions.py``):
+floors, quick-entry ceilings, drift warnings and exit codes -- on
+synthetic trajectory files, never by re-timing anything."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
+                                "benchmarks"))
+
+from check_regressions import check_entry, main  # noqa: E402
+
+
+def _entry(quick=False, **overrides):
+    """A trajectory entry that satisfies every floor and ceiling."""
+    benchmarks = {
+        "bench_table1": {"speedup": 4.0},
+        "bench_table5_stream": {"speedup": 6.0},
+        "bench_telemetry": {"off_overhead": 0.01,
+                            "stream_speedup_with_telemetry_off": 6.0},
+        "bench_trace": {"off_overhead": 0.01,
+                        "stream_speedup_with_trace_off": 6.0},
+        "bench_monitor": {"off_overhead": 0.01,
+                          "stream_speedup_with_monitor_off": 6.0},
+    }
+    for name, fields in overrides.items():
+        benchmarks[name].update(fields)
+    return {"quick": quick, "timestamp": "t", "benchmarks": benchmarks}
+
+
+def _kinds(findings):
+    return [severity for severity, _message in findings]
+
+
+def test_clean_entry_has_no_findings():
+    entry = _entry()
+    assert check_entry(entry, [entry]) == []
+
+
+def test_speedup_below_floor_fails():
+    entry = _entry(bench_table1={"speedup": 1.5})
+    (finding,) = check_entry(entry, [entry])
+    assert finding[0] == "fail"
+    assert "bench_table1.speedup" in finding[1] and "2.0x" in finding[1]
+
+
+def test_monitor_floor_and_ceiling_are_gated():
+    entry = _entry(bench_monitor={"off_overhead": 0.05,
+                                  "stream_speedup_with_monitor_off": 2.0})
+    findings = check_entry(entry, [entry])
+    assert _kinds(findings) == ["fail", "fail"]
+    assert any("stream_speedup_with_monitor_off" in m
+               for _s, m in findings)
+    assert any("bench_monitor.off_overhead" in m for _s, m in findings)
+
+
+def test_overhead_ceiling_warns_on_quick_entries():
+    entry = _entry(quick=True, bench_trace={"off_overhead": 0.05})
+    (finding,) = check_entry(entry, [entry])
+    assert finding[0] == "warn" and "quick entry" in finding[1]
+
+
+def test_missing_benchmark_is_a_note_not_a_failure():
+    entry = _entry()
+    del entry["benchmarks"]["bench_monitor"]
+    findings = check_entry(entry, [entry])
+    assert _kinds(findings) == ["note"]
+    assert "bench_monitor" in findings[0][1]
+
+
+def test_drift_vs_best_full_run_warns():
+    best = _entry(bench_table5_stream={"speedup": 10.0})
+    latest = _entry(bench_table5_stream={"speedup": 6.0})
+    findings = check_entry(latest, [best, latest])
+    assert _kinds(findings) == ["warn"]
+    assert "drifted" in findings[0][1]
+    # quick historical entries must not count as the drift baseline
+    quick_best = _entry(quick=True,
+                        bench_table5_stream={"speedup": 10.0})
+    assert check_entry(latest, [quick_best, latest]) == []
+
+
+def _write(tmp_path, doc):
+    path = str(tmp_path / "bench.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    ok = _write(tmp_path, {"runs": [_entry()]})
+    assert main([ok]) == 0
+    assert "floor(s) hold" in capsys.readouterr().out
+
+    bad = _write(tmp_path, {"runs": [_entry(
+        bench_table5_stream={"speedup": 1.0})]})
+    assert main([bad]) == 1
+    assert "FAIL" in capsys.readouterr().err
+
+    assert main([str(tmp_path / "missing.json")]) == 2
+    empty = _write(tmp_path, {"runs": []})
+    assert main([empty]) == 2
+    assert "no recorded runs" in capsys.readouterr().err
+
+
+def test_main_gates_the_real_trajectory(capsys):
+    """The repo's own BENCH_1.json must pass its own gate."""
+    assert main([]) == 0
+    assert "floor(s) hold" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("field", [
+    "stream_speedup_with_telemetry_off",
+    "stream_speedup_with_trace_off",
+    "stream_speedup_with_monitor_off",
+])
+def test_instrumentation_off_floors_apply(field):
+    bench = {"bench_telemetry": "stream_speedup_with_telemetry_off",
+             "bench_trace": "stream_speedup_with_trace_off",
+             "bench_monitor": "stream_speedup_with_monitor_off"}
+    name = next(k for k, v in bench.items() if v == field)
+    entry = _entry(**{name: {field: 1.0}})
+    (finding,) = check_entry(entry, [entry])
+    assert finding[0] == "fail" and field in finding[1]

@@ -1,0 +1,133 @@
+"""Pool x monitor integration: the event log a journaled sweep writes,
+resource profiles, and structural absence on plain sweeps."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.checkpoint.faults import write_plan
+from repro.checkpoint.pool import RESOURCES_KEY, run_tasks
+from repro.monitor.events import events_path, read_events, validate_event_dict
+from repro.monitor.resources import validate_resources_dict
+
+from .test_pool import TASKS, WANT, _double, _explode
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def test_journaled_sweep_writes_a_schema_valid_event_log(tmp_path):
+    out = run_tasks(_double, TASKS[:3], jobs=2,
+                    journal_dir=str(tmp_path))
+    assert out.ok
+
+    path = events_path(str(tmp_path))
+    events = read_events(path, strict=True)
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            assert validate_event_dict(json.loads(line)) == []
+
+    start = events[0]
+    assert (start.kind, start.action) == ("sweep", "start")
+    assert start.extra["jobs"] == 2
+    assert start.extra["names"] == ["t0", "t1", "t2"]
+    assert start.extra["skipped_from_journal"] == 0
+
+    finish = events[-1]
+    assert (finish.kind, finish.action) == ("sweep", "finish")
+    assert finish.extra == {"done": 3, "failed": 0}
+
+    task_events = [e for e in events if e.kind == "task"]
+    assert {e.name for e in task_events} == {"t0", "t1", "t2"}
+    for name in ("t0", "t1", "t2"):
+        actions = [e.action for e in task_events if e.name == name]
+        assert actions == ["start", "finish"]
+
+
+def test_retry_and_fail_events_carry_reasons(tmp_path):
+    journal = tmp_path / "journal"
+    journal.mkdir()
+    plan = str(tmp_path / "plan.json")
+    write_plan(plan, kill={"t1": 1})
+    run_tasks(_double, TASKS[:2], jobs=1, retries=2, backoff_s=0.0,
+              fault_plan=plan, journal_dir=str(journal))
+    events = read_events(events_path(str(journal)), strict=True)
+    retries = [e for e in events
+               if (e.kind, e.action) == ("task", "retry")]
+    assert retries and retries[0].name == "t1"
+    assert "signal" in retries[0].extra["reason"]
+    assert retries[0].attempt == 1
+
+    out = run_tasks(_explode, [("bad", 0)], jobs=1, retries=0,
+                    journal_dir=str(tmp_path / "j2"))
+    events = read_events(events_path(str(tmp_path / "j2")), strict=True)
+    fail = [e for e in events if (e.kind, e.action) == ("task", "fail")]
+    assert fail and "boom" in fail[0].extra["reason"]
+    assert events[-1].extra == {"done": 0, "failed": 1}
+    assert not out.ok
+
+
+def test_resource_profiles_do_not_perturb_results(tmp_path):
+    profiled = run_tasks(_double, TASKS, jobs=4, resources=True,
+                         journal_dir=str(tmp_path))
+    assert profiled.results == WANT
+
+    assert set(profiled.resources) == {t[0] for t in TASKS}
+    for profile in profiled.resources.values():
+        assert validate_resources_dict(profile) == []
+
+    # the journal doc carries the profile (that is how a resumed sweep
+    # recovers it) but the in-memory result is the clean task document
+    for idx, (name, payload) in enumerate(TASKS):
+        with open(tmp_path / f"{name}.json", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_resources_dict(doc.pop(RESOURCES_KEY)) == []
+        assert doc == profiled.results[idx] == {"value": payload * 2}
+
+    # finish events carry the profile for the live watcher
+    finishes = [e for e in read_events(events_path(str(tmp_path)))
+                if (e.kind, e.action) == ("task", "finish")]
+    assert all(validate_resources_dict(e.extra["resources"]) == []
+               for e in finishes)
+
+
+def test_unprofiled_sweep_reports_no_resources():
+    out = run_tasks(_double, TASKS[:2], jobs=2)
+    assert out.resources == {}
+
+
+def test_failures_carry_cpu_and_rss_when_profiled():
+    out = run_tasks(_explode, [("bad", 0)], jobs=1, retries=0,
+                    resources=True)
+    (failure,) = out.failures
+    assert failure.cpu_s is not None and failure.cpu_s >= 0
+    assert failure.max_rss_kb is not None and failure.max_rss_kb > 0
+
+
+def test_resumed_sweep_recovers_journaled_profiles(tmp_path):
+    first = run_tasks(_double, TASKS[:2], jobs=1, resources=True,
+                      journal_dir=str(tmp_path))
+    assert set(first.resources) == {"t0", "t1"}
+    resumed = run_tasks(_double, TASKS[:3], jobs=1, resources=True,
+                        journal_dir=str(tmp_path))
+    assert resumed.skipped_from_journal == 2
+    assert resumed.results == WANT[:3]
+    assert set(resumed.resources) == {"t0", "t1", "t2"}
+
+
+def test_plain_sweep_never_imports_the_monitor():
+    """Structural absence: an un-journaled sweep must not even load
+    ``repro.monitor`` (overhead-by-construction, not by measurement)."""
+    code = (
+        "import sys\n"
+        "from repro.checkpoint.pool import run_tasks\n"
+        "def work(p):\n"
+        "    return {'value': p}\n"
+        "out = run_tasks(work, [('t0', 1)], jobs=1)\n"
+        "assert out.ok\n"
+        "loaded = [m for m in sys.modules if m == 'repro.monitor'\n"
+        "          or m.startswith('repro.monitor.')]\n"
+        "assert not loaded, loaded\n"
+    )
+    env = dict(os.environ, PYTHONPATH=SRC)
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)

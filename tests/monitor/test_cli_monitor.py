@@ -1,0 +1,121 @@
+"""Monitoring through the CLI end to end: a journaled fault-injected
+sweep, then watch / sweep-status / report over its journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.checkpoint.faults import write_plan
+from repro.monitor.events import read_events, validate_event_dict
+from repro.monitor.metrics import parse_prometheus_text, validate_metrics_dict
+from repro.monitor.resources import validate_resources_dict
+
+
+@pytest.fixture(scope="module")
+def journal(tmp_path_factory):
+    """One fault-injected, resource-profiled ``sweep all`` journal
+    shared by every test in the module."""
+    root = tmp_path_factory.mktemp("monitor-cli")
+    journal_dir = str(root / "journal")
+    plan = str(root / "faults.json")
+    write_plan(plan, kill={"sweep-npu-rate-clock": 1})
+    rc = main(["sweep", "all", "--fast", "--quiet", "--jobs", "2",
+               "--retries", "2", "--backoff", "0",
+               "--fault-plan", plan, "--journal", journal_dir,
+               "--resources", "--json", str(root / "sweep.json")])
+    assert rc == 0
+    return journal_dir
+
+
+def test_sweep_event_log_is_schema_valid(journal):
+    path = os.path.join(journal, "events.jsonl")
+    events = read_events(path, strict=True)
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            assert validate_event_dict(json.loads(line)) == []
+    assert [(e.kind, e.action) for e in events[:1]] == [("sweep", "start")]
+    assert events[-1].extra["failed"] == 0
+    # the injected kill shows up as a retry with its reason
+    retries = [e for e in events
+               if (e.kind, e.action) == ("task", "retry")]
+    assert retries and retries[0].name == "sweep-npu-rate-clock"
+    assert "signal" in retries[0].extra["reason"]
+
+
+def test_watch_once_renders_every_terminal_state(journal, capsys):
+    assert main(["watch", "--once", journal]) == 0
+    out = capsys.readouterr().out
+    for name in ("sweep-ddr-loss-banks", "sweep-ixp-cycles-closed-form",
+                 "sweep-ixp-rate-queues", "sweep-mms-delay-load",
+                 "sweep-npu-rate-clock"):
+        assert name in out
+    assert "5 done" in out
+    assert "queued" not in out and "running" not in out
+
+
+def test_watch_rejects_an_unmonitored_directory(tmp_path, capsys):
+    assert main(["watch", "--once", str(tmp_path)]) == 2
+    assert "not a monitored journal" in capsys.readouterr().err
+
+
+def test_sweep_status_json_and_prometheus(journal, tmp_path, capsys):
+    doc_path = str(tmp_path / "status.json")
+    assert main(["sweep-status", journal, "--json", doc_path]) == 0
+    assert "cache-ready specs: 5" in capsys.readouterr().out
+    with open(doc_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["counts"]["done"] == 5
+    assert validate_metrics_dict(doc["metrics"]) == []
+
+    assert main(["sweep-status", journal, "--prometheus", "-"]) == 0
+    values = parse_prometheus_text(capsys.readouterr().out)
+    assert values["repro_sweep_tasks_done"] == 5
+    assert values["repro_sweep_retries_total"] == 1
+    assert values["repro_sweep_cpu_seconds_total"] > 0
+
+
+def test_report_renders_the_journal_timeline(journal, capsys):
+    assert main(["report", journal]) == 0
+    out = capsys.readouterr().out
+    assert "sweep.start" in out and "sweep.finish" in out
+    assert "sweep-npu-rate-clock" in out
+    assert "attempt 2" in out            # the post-kill retry ran
+
+    # a bare events file reports too
+    assert main(["report", os.path.join(journal, "events.jsonl")]) == 0
+    assert "task.finish" in capsys.readouterr().out
+
+
+def test_run_resources_lands_in_the_result_document(tmp_path):
+    path = str(tmp_path / "run.json")
+    assert main(["run", "table4", "--fast", "--quiet", "--resources",
+                 "--json", path]) == 0
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    profile = doc["runs"][0]["metrics"]["resources"]
+    assert validate_resources_dict(profile) == []
+
+
+def test_run_without_resources_stays_clean(tmp_path):
+    path = str(tmp_path / "run.json")
+    assert main(["run", "table4", "--fast", "--quiet",
+                 "--json", path]) == 0
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert "resources" not in doc["runs"][0]["metrics"]
+    assert "resources" not in doc
+
+
+def test_checkpoint_run_streams_events(tmp_path):
+    events_file = str(tmp_path / "ckpt-events.jsonl")
+    assert main(["checkpoint-run", "latency-lqd-burst", "--fast",
+                 "--quiet", "--checkpoint-every", "400000000",
+                 "--checkpoint-dir", str(tmp_path / "ckpts"),
+                 "--events", events_file]) == 0
+    events = read_events(events_file, strict=True)
+    assert events[0].kind == "checkpoint" and events[0].action == "start"
+    assert any(e.action == "progress" for e in events)
+    assert events[-1].action == "finish"
+    assert events[-1].extra["count"] >= 1

@@ -1,0 +1,132 @@
+"""The metrics registry: instruments, exposition, strict parsing."""
+
+import pytest
+
+from repro.monitor.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Rate,
+    parse_prometheus_text,
+    validate_metrics_dict,
+)
+
+# -------------------------------------------------------- instruments
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    c = Counter("jobs_total", "jobs seen")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_gauge_sets_freely():
+    g = Gauge("queue_depth")
+    g.set(7)
+    g.set(2.5)
+    assert g.value == 2.5
+
+
+def test_invalid_metric_name_rejected():
+    with pytest.raises(ValueError, match="invalid metric name"):
+        Counter("7-bad-name")
+
+
+def test_rate_is_windowed_and_clock_free():
+    r = Rate("events_per_second", window_s=10.0)
+    for t in (100.0, 101.0, 102.0, 103.0):
+        r.record(t)
+    # 4 events over the 3s span between first and last hit
+    assert r.value == pytest.approx(4 / 3, rel=1e-6)
+    r.observe(111.5)   # hits at 100 and 101 age out of the 10s window
+    assert r.value == pytest.approx(2 / 9.5, rel=1e-4)
+    r.observe(200.0)   # everything aged out
+    assert r.value == 0.0
+
+
+def test_rate_replay_is_deterministic():
+    """Same recorded timestamps -> same value, every time (no ambient
+    clock reads)."""
+    def build():
+        r = Rate("r", window_s=60.0)
+        for t in (5.0, 6.0, 9.0):
+            r.record(t)
+        return r.value
+    assert build() == build()
+
+
+def test_rate_rejects_nonpositive_window():
+    with pytest.raises(ValueError, match="window"):
+        Rate("r", window_s=0)
+
+
+# ----------------------------------------------------------- registry
+
+
+def test_registry_get_or_create_and_type_conflict():
+    reg = MetricsRegistry()
+    c = reg.counter("n", "help")
+    assert reg.counter("n") is c
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("n")
+    assert isinstance(reg.rate("r", window_s=5.0), Rate)
+
+
+def test_json_exposition_round_trips_the_validator():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "things").inc(3)
+    reg.gauge("b", "level").set(1.5)
+    reg.rate("c_rate").record(10.0)
+    doc = reg.to_dict()
+    assert validate_metrics_dict(doc) == []
+    assert doc["metrics"]["a_total"] == {"type": "counter",
+                                         "help": "things", "value": 3}
+    assert doc["metrics"]["c_rate"]["type"] == "gauge"
+
+
+def test_validate_metrics_dict_names_problems():
+    problems = "; ".join(validate_metrics_dict(
+        {"schema": 0,
+         "metrics": {"bad name": {"type": "histogram", "value": "x"},
+                     "ok": "not-an-object"}}))
+    for fragment in ("schema", "bad name", "type", "value", "ok"):
+        assert fragment in problems
+
+
+# --------------------------------------------------------- prometheus
+
+
+def test_prometheus_exposition_parses_back_exactly():
+    reg = MetricsRegistry()
+    reg.counter("repro_tasks_total", "tasks seen").inc(12)
+    reg.gauge("repro_rss_kb", "rss high water").set(19828)
+    reg.rate("repro_eps", "event rate").record(1.0)
+    reg.rate("repro_eps").record(4.0)
+    text = reg.to_prometheus()
+    assert "# HELP repro_tasks_total tasks seen" in text
+    assert "# TYPE repro_tasks_total counter" in text
+    assert "\nrepro_tasks_total 12\n" in text   # ints render undecorated
+    values = parse_prometheus_text(text)
+    assert values["repro_tasks_total"] == 12
+    assert values["repro_rss_kb"] == 19828
+    assert values["repro_eps"] == pytest.approx(2 / 3, rel=1e-4)
+
+
+@pytest.mark.parametrize("text, fragment", [
+    ("# TYPE a histogram\na 1\n", "malformed TYPE"),
+    ("a 1\n", "no preceding TYPE"),
+    ("# TYPE a counter\na one\n", "non-numeric"),
+    ("# COMMENT nope\n", "unknown comment"),
+    ("# TYPE a counter\na 1 2 3\n", "malformed sample"),
+])
+def test_parser_is_strict(text, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        parse_prometheus_text(text)
+
+
+def test_parser_accepts_blank_lines():
+    assert parse_prometheus_text("\n# TYPE a gauge\n\na 2.5\n") \
+        == {"a": 2.5}

@@ -1,0 +1,59 @@
+"""Resource profiling: rusage deltas, strides, schema validation."""
+
+import pytest
+
+from repro.monitor.resources import (
+    RESOURCES_SCHEMA,
+    ResourceProfiler,
+    validate_resources_dict,
+)
+
+
+def _burn(n: int = 50_000) -> int:
+    return sum(i * i for i in range(n))
+
+
+def test_profile_reports_the_delta_fields():
+    profiler = ResourceProfiler()
+    _burn()
+    profile = profiler.profile()
+    assert profile["schema"] == RESOURCES_SCHEMA
+    for key in ("cpu_user_s", "cpu_sys_s", "cpu_s", "max_rss_kb",
+                "wall_s"):
+        assert key in profile
+        assert profile[key] >= 0
+    assert profile["cpu_s"] == pytest.approx(
+        profile["cpu_user_s"] + profile["cpu_sys_s"], abs=1e-6)
+    assert profile["max_rss_kb"] > 0      # the high-water mark, not a delta
+    assert "strides" not in profile       # none recorded
+    assert validate_resources_dict(profile) == []
+
+
+def test_strides_are_cumulative_and_labelled():
+    profiler = ResourceProfiler()
+    _burn()
+    first = profiler.tick("warmup")
+    _burn()
+    second = profiler.tick("volley-2")
+    profile = profiler.profile()
+    assert [s["at"] for s in profile["strides"]] == ["warmup", "volley-2"]
+    assert first["wall_s"] <= second["wall_s"] <= profile["wall_s"]
+    assert first["cpu_s"] <= second["cpu_s"]
+    assert validate_resources_dict(profile) == []
+
+
+def test_validate_names_missing_and_negative_fields():
+    problems = "; ".join(validate_resources_dict(
+        {"schema": 0, "cpu_user_s": -1.0, "cpu_s": "lots",
+         "strides": "nope"}))
+    for fragment in ("schema", "cpu_user_s", "cpu_sys_s", "cpu_s",
+                     "max_rss_kb", "wall_s", "strides"):
+        assert fragment in problems
+    assert validate_resources_dict(42) == ["resources is not an object"]
+
+
+def test_validate_flags_malformed_stride_entries():
+    profile = ResourceProfiler().profile()
+    profile["strides"] = [{"cpu_user_s": 0.0}]
+    assert any("strides[0]" in p
+               for p in validate_resources_dict(profile))
