@@ -19,6 +19,8 @@ Checks applied to the **latest** entry (older entries are context):
   real detectors there)
 * the stream floor must also hold with telemetry / tracing / monitoring
   disabled
+* ``bench_serve.cached_requests_per_s`` >= 20 req/s -- a daemon cache
+  hit must stay O(lookup), never a re-simulation
 
 A benchmark absent from the entry is skipped with a note (older
 trajectory entries predate the newer benchmarks).  On top of the hard
@@ -40,6 +42,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 from run_benchmarks import (                                       # noqa: E402
     MONITOR_OFF_OVERHEAD_CEILING,
+    SERVE_CACHED_RPS_FLOOR,
     TABLE1_SPEEDUP_FLOOR,
     TABLE5_STREAM_SPEEDUP_FLOOR,
     TELEMETRY_OFF_OVERHEAD_CEILING,
@@ -50,16 +53,19 @@ from run_benchmarks import (                                       # noqa: E402
 #: flagged (as a warning) even while the hard floor still holds.
 DRIFT_WARNING_FRACTION = 0.30
 
-#: ``(benchmark, field, floor)`` -- fields that must stay >= floor.
+#: ``(benchmark, field, floor, unit)`` -- fields that must stay
+#: >= floor; *unit* only decorates the finding message.
 SPEEDUP_FLOORS = (
-    ("bench_table1", "speedup", TABLE1_SPEEDUP_FLOOR),
-    ("bench_table5_stream", "speedup", TABLE5_STREAM_SPEEDUP_FLOOR),
+    ("bench_table1", "speedup", TABLE1_SPEEDUP_FLOOR, "x"),
+    ("bench_table5_stream", "speedup", TABLE5_STREAM_SPEEDUP_FLOOR, "x"),
     ("bench_telemetry", "stream_speedup_with_telemetry_off",
-     TABLE5_STREAM_SPEEDUP_FLOOR),
+     TABLE5_STREAM_SPEEDUP_FLOOR, "x"),
     ("bench_trace", "stream_speedup_with_trace_off",
-     TABLE5_STREAM_SPEEDUP_FLOOR),
+     TABLE5_STREAM_SPEEDUP_FLOOR, "x"),
     ("bench_monitor", "stream_speedup_with_monitor_off",
-     TABLE5_STREAM_SPEEDUP_FLOOR),
+     TABLE5_STREAM_SPEEDUP_FLOOR, "x"),
+    ("bench_serve", "cached_requests_per_s",
+     SERVE_CACHED_RPS_FLOOR, " req/s"),
 )
 
 #: ``(benchmark, field, ceiling)`` -- fields that must stay <= ceiling
@@ -81,15 +87,16 @@ def check_entry(entry: dict, history: list) -> list:
     benches = entry.get("benchmarks", {})
     quick = bool(entry.get("quick"))
 
-    for name, field, floor in SPEEDUP_FLOORS:
+    for name, field, floor, unit in SPEEDUP_FLOORS:
         bench = benches.get(name)
         if bench is None:
             findings.append(("note", f"{name}: not in this entry, skipped"))
             continue
         value = bench[field]
         if value < floor:
-            findings.append(("fail", f"{name}.{field} = {value}x is below "
-                                     f"the {floor}x floor"))
+            findings.append(("fail",
+                             f"{name}.{field} = {value}{unit} is below "
+                             f"the {floor}{unit} floor"))
 
     for name, field, ceiling in OVERHEAD_CEILINGS:
         bench = benches.get(name)
@@ -156,7 +163,7 @@ def main(argv=None) -> int:
             print(message)
     if failed:
         return 1
-    checked = sum(1 for name, _f, _c in SPEEDUP_FLOORS
+    checked = sum(1 for name, _f, _c, _u in SPEEDUP_FLOORS
                   if name in entry.get("benchmarks", {}))
     print(f"ok: {checked} floor(s) hold")
     return 0

@@ -87,6 +87,11 @@ TRACE_OFF_OVERHEAD_CEILING = 0.02
 #: (repro.monitor is never even imported -- asserted structurally).
 MONITOR_OFF_OVERHEAD_CEILING = 0.02
 
+#: Serving floor: the daemon must sustain at least this many *cached*
+#: requests per second end-to-end over HTTP (submit + result fetch --
+#: a cache hit must stay O(lookup), never a re-simulation).
+SERVE_CACHED_RPS_FLOOR = 20.0
+
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
     best = float("inf")
@@ -524,6 +529,100 @@ def bench_kernel_events(quick: bool, repeats: int) -> dict:
     }
 
 
+def bench_serve(quick: bool, repeats: int) -> dict:
+    """Serving-path cost on a live daemon: cached vs uncached requests.
+
+    Boots a real :class:`~repro.serve.ServeServer` on an ephemeral
+    port, runs ``latency-lqd-burst`` (fast budget) once uncached while
+    consuming its frame stream, then hammers the content-addressed
+    cache with resubmits -- each one a full submit + result-fetch HTTP
+    round trip.  Gated: a cache hit must stay O(lookup), so the daemon
+    has to sustain ``SERVE_CACHED_RPS_FLOOR`` cached requests/s.  Also
+    proves the cache contract end to end: the cached ``RunResult``
+    JSON must be byte-identical to a fresh run of the same
+    (spec, seed, engine) executed by a second service with a cold
+    cache.
+    """
+    import asyncio
+    import tempfile
+    import threading
+
+    from repro.monitor.metrics import parse_prometheus_text
+    from repro.serve import ScenarioService, ServeClient, ServeServer
+
+    resubmits = 20 if quick else 50
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        service = ScenarioService(str(Path(tmp) / "spool"),
+                                  cache_dir=str(Path(tmp) / "cache"))
+        server = ServeServer(service, port=0, jobs=2)
+        ready = threading.Event()
+
+        def _loop():
+            async def _main():
+                await server.start()
+                ready.set()
+                await server.serve_until_shutdown()
+            asyncio.run(_main())
+
+        thread = threading.Thread(target=_loop, daemon=True)
+        thread.start()
+        if not ready.wait(30):
+            raise SystemExit("bench_serve: daemon did not start")
+        client = ServeClient("127.0.0.1", server.port, timeout_s=300.0)
+
+        t0 = time.perf_counter()
+        fresh, frames = client.run_and_wait("latency-lqd-burst",
+                                            budget="fast")
+        uncached_s = time.perf_counter() - t0
+        if not frames or frames[-1]["type"] != "done":
+            raise SystemExit("bench_serve: stream delivered no done frame")
+
+        cached = None
+        t0 = time.perf_counter()
+        for _ in range(resubmits):
+            summary = client.submit("latency-lqd-burst", budget="fast")
+            if not summary["cached"]:
+                raise SystemExit("bench_serve: a resubmit missed the cache")
+            cached = client.result(summary["run_id"])
+        cached_elapsed = time.perf_counter() - t0
+        if json.dumps(cached, sort_keys=True) != \
+                json.dumps(fresh, sort_keys=True):
+            raise SystemExit(
+                "bench_serve: cached result diverged from the fresh run")
+
+        values = parse_prometheus_text(client.metrics_text())
+        hits = values["repro_serve_cache_hits_total"]
+        misses = values["repro_serve_cache_misses_total"]
+        client.shutdown()
+        thread.join(60)
+        if thread.is_alive():
+            raise SystemExit("bench_serve: daemon did not shut down")
+
+        # byte-identity against a genuinely fresh run: a second service
+        # with a cold cache must reproduce the exact same JSON
+        cold = ScenarioService(str(Path(tmp) / "spool2"),
+                               cache_dir=str(Path(tmp) / "cache2"))
+        record = cold.submit("latency-lqd-burst", budget="fast")
+        cold.execute(record.run_id)
+        refreshed = cold.result(record.run_id)
+        if json.dumps(refreshed, sort_keys=True) != \
+                json.dumps(fresh, sort_keys=True):
+            raise SystemExit("bench_serve: a cold-cache rerun did not "
+                             "reproduce the served result byte for byte")
+
+    return {
+        "uncached_run_s": round(uncached_s, 4),
+        "uncached_requests_per_s": round(1.0 / uncached_s, 2),
+        "cached_requests_per_s": round(resubmits / cached_elapsed, 2),
+        "cached_request_s": round(cached_elapsed / resubmits, 5),
+        "resubmits": resubmits,
+        "cache_hit_rate": round(hits / (hits + misses), 4),
+        "stream_frames": len(frames),
+        "byte_identical_cached_vs_fresh": True,
+        "scenario": "latency-lqd-burst (fast budget)",
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--output", default=str(REPO_ROOT / "BENCH_1.json"),
@@ -573,6 +672,12 @@ def main(argv=None) -> int:
           f"{mo['events']} events, "
           f"cpu {mo['resources']['cpu_s']:.2f}s, "
           f"rss {mo['resources']['max_rss_kb'] // 1024}MB)")
+    results["bench_serve"] = bench_serve(args.quick, repeats)
+    sv = results["bench_serve"]
+    print(f"bench_serve: uncached={sv['uncached_run_s']}s "
+          f"cached={sv['cached_requests_per_s']} req/s "
+          f"(hit rate {sv['cache_hit_rate'] * 100:.0f}%, "
+          f"{sv['stream_frames']} frames streamed)")
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -658,6 +763,13 @@ def main(argv=None) -> int:
         print(f"FAIL: stream speedup with monitoring disabled "
               f"{monitor['stream_speedup_with_monitor_off']}x is below the "
               f"{TABLE5_STREAM_SPEEDUP_FLOOR}x floor", file=sys.stderr)
+        return 1
+    serve_rps = results["bench_serve"]["cached_requests_per_s"]
+    if serve_rps < SERVE_CACHED_RPS_FLOOR:
+        print(f"FAIL: bench_serve cached throughput {serve_rps} req/s is "
+              f"below the {SERVE_CACHED_RPS_FLOOR} req/s floor (a cache "
+              f"hit must stay O(lookup), never a re-simulation)",
+              file=sys.stderr)
         return 1
     return 0
 

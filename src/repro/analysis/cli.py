@@ -342,6 +342,45 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the metrics in Prometheus "
                                "text exposition format ('-' for stdout)")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running scenario-serving daemon: POST /runs, live "
+             "chunked frame streaming at /runs/<id>/stream, Prometheus "
+             "/metrics, content-addressed result cache")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="bind port; 0 picks an ephemeral one "
+                              "(default: 8787)")
+    p_serve.add_argument("--jobs", type=_jobs_value, default=2,
+                         metavar="N",
+                         help="concurrently executing runs (each run "
+                              "still gets its own fault-isolated worker "
+                              "process; default: 2)")
+    p_serve.add_argument("--spool-dir", metavar="DIR", default=None,
+                         help="per-run journal/frames directory "
+                              "(default: a fresh temporary directory)")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="content-addressed result cache location "
+                              "(default: SPOOL_DIR/cache; point at a "
+                              "persistent path to reuse results across "
+                              "daemon restarts)")
+    p_serve.add_argument("--publish-every", type=_jobs_value,
+                         metavar="N", default=None,
+                         help="worker publishes a telemetry frame every "
+                              "N dispatched commands (default: 256)")
+    p_serve.add_argument("--timeout", type=_timeout_value, default=None,
+                         metavar="SECONDS",
+                         help="per-run wall-clock budget; an exceeding "
+                              "run is terminated and retried "
+                              "(default: none)")
+    p_serve.add_argument("--retries", type=_retries_value, default=1,
+                         metavar="N",
+                         help="re-run a crashed/timed-out run up to N "
+                              "more times (default: 1)")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress the listening/shutdown banner")
+
     return parser
 
 
@@ -354,7 +393,7 @@ def _legacy_rewrite(argv: List[str]) -> List[str]:
     """
     if not argv or argv[0] in ("list", "run", "sweep", "checkpoint-run",
                                "trace-export", "trace-diff", "report",
-                               "watch", "sweep-status"):
+                               "watch", "sweep-status", "serve"):
         return argv
     legacy = set(scenario_names()) | {"all"}
     if any(token in legacy for token in argv):
@@ -803,6 +842,26 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.serve.server import serve_forever
+    from repro.serve.service import ScenarioService
+
+    spool_dir = args.spool_dir
+    if spool_dir is None:
+        spool_dir = tempfile.mkdtemp(prefix="repro-serve-")
+    kwargs: Dict[str, Any] = {
+        "timeout_s": args.timeout,
+        "retries": args.retries,
+    }
+    if args.publish_every is not None:
+        kwargs["publish_every"] = args.publish_every
+    service = ScenarioService(spool_dir, args.cache_dir, **kwargs)
+    return serve_forever(service, args.host, args.port,
+                         jobs=args.jobs, quiet=args.quiet)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -821,6 +880,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_watch(args)
     if args.command == "sweep-status":
         return _cmd_sweep_status(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "sweep":
         sweep_names = [s.spec.name for s in scenarios_of_kind("sweep")]
         names = sweep_names if args.scenario == "all" else [args.scenario]

@@ -57,6 +57,7 @@ from repro.scenarios.spec import (
 )
 from repro.telemetry import (MmsTelemetry, ProbeChain, TelemetrySnapshot,
                              TelemetrySpec)
+from repro.telemetry import publish
 from repro.trace.spans import TraceCollector
 
 #: Moderate MMS configuration: full results, minutes-not-hours runtime.
@@ -81,6 +82,13 @@ def _probes(spec: ScenarioSpec, default_telemetry=None):
     tele = MmsTelemetry(tele_spec) if tele_spec else None
     tracer = TraceCollector(spec.trace) if spec.trace else None
     children = [p for p in (tele, tracer) if p is not None]
+    # A serving worker may have activated a frame publisher for this
+    # process; it rides last so each frame sees the collector's
+    # post-update state.  None (the overwhelmingly common case) keeps
+    # plain runs' probe chains exactly as before.
+    publisher_probe = publish.active_probe(tele)
+    if publisher_probe is not None:
+        children.append(publisher_probe)
     if not children:
         return None, None, None
     probe = children[0] if len(children) == 1 else ProbeChain(children)

@@ -19,8 +19,10 @@ spec's ``budget``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple, TypeVar
+from typing import Any, FrozenSet, Optional, Tuple, TypeVar
 
 from repro.core.mms import MmsConfig
 from repro.mem.timing import DdrTiming
@@ -63,6 +65,35 @@ _T = TypeVar("_T")
 
 #: A run-length knob: ``(full_value, fast_value)``.
 Budgeted = Tuple[_T, _T]
+
+
+def canonical_value(value: Any) -> Any:
+    """Normalize a spec field value to a canonical JSON shape.
+
+    Dataclasses become ``{"__type__": ClassName, <fields>}`` objects (so
+    two structurally-equal payloads of *different* spec types can never
+    alias), tuples become lists, frozensets become sorted lists, and
+    enums collapse to their values.  Dict key order is irrelevant by
+    construction: :meth:`ScenarioSpec.spec_hash` serializes with
+    ``sort_keys=True``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        d: dict = {"__type__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            d[f.name] = canonical_value(getattr(value, f.name))
+        return d
+    if isinstance(value, dict):
+        return {str(k): canonical_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    if isinstance(value, (frozenset, set)):
+        return sorted(str(v) for v in value)
+    if hasattr(value, "value") and type(value).__module__ != "builtins":
+        return canonical_value(value.value)  # enum member
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"spec field value {value!r} has no canonical JSON form")
 
 
 @dataclass(frozen=True)
@@ -283,3 +314,23 @@ class ScenarioSpec:
         """The engine label results should carry: the selected engine
         for simulation scenarios, ``"n/a"`` for closed-form ones."""
         return self.engine if "engine" in self.supports else "n/a"
+
+    def canonical_dict(self) -> dict:
+        """The spec as a canonical JSON-ready object (every field,
+        nested sub-specs included, via :func:`canonical_value`)."""
+        return canonical_value(self)  # type: ignore[no-any-return]
+
+    def spec_hash(self) -> str:
+        """Stable content hash of this resolved spec (hex SHA-256).
+
+        The cache-key primitive of :mod:`repro.serve`: two specs hash
+        equal iff every field (engine, seed, budget, traffic, memory,
+        scheduler, policy, telemetry, trace, ...) is equal, and the
+        hash is insensitive to dict/set ordering (canonical JSON with
+        sorted keys).  Any field change -- however deep -- changes the
+        hash, so a cached result can never be served for a different
+        experiment.
+        """
+        text = json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()

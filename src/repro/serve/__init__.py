@@ -1,0 +1,46 @@
+"""``repro.serve``: the scenario-serving daemon.
+
+Every CLI invocation pays interpreter start + registry build before a
+single simulated command runs, and the observability the repo grew in
+earlier PRs (telemetry histograms, span traces, monitor events) is
+only visible after the fact.  This package turns the scenario suite
+into a long-running service whose *product* is live observability:
+
+* :class:`ScenarioService` -- the HTTP-independent core: submits
+  :class:`~repro.scenarios.ScenarioSpec` runs onto the fault-tolerant
+  process-per-task pool (:func:`repro.checkpoint.pool.run_tasks`),
+  maintains the content-addressed :class:`ResultCache`, and feeds a
+  service-level :class:`~repro.monitor.metrics.MetricsRegistry`.
+* :class:`ServeServer` -- the asyncio HTTP/JSON front end (stdlib
+  streams, no dependencies): ``POST /runs``, ``GET /runs/<id>``,
+  chunked ``GET /runs/<id>/stream`` frame streaming while a run is in
+  flight, Prometheus ``GET /metrics``, graceful ``POST /shutdown``.
+* :class:`ServeClient` -- the stdlib ``http.client`` companion used by
+  tests, benchmarks and the CI smoke job.
+
+Layering: ``repro.serve`` sits in its own topmost lint layer -- it may
+import everything, nothing else may import it -- so the hot path (and
+every other subsystem) stays structurally free of the daemon.
+"""
+
+from repro.serve.cache import (
+    ResultCache,
+    cache_key,
+    canonical_result_dict,
+    code_version,
+)
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ServeServer
+from repro.serve.service import RunRecord, ScenarioService
+
+__all__ = [
+    "ResultCache",
+    "RunRecord",
+    "ScenarioService",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "cache_key",
+    "canonical_result_dict",
+    "code_version",
+]

@@ -1,0 +1,159 @@
+"""Stdlib client for the serving daemon.
+
+``http.client`` only -- the tests, the benchmark and the CI smoke job
+drive the daemon through this class, and a user script can too:
+
+    client = ServeClient("127.0.0.1", 8787)
+    summary = client.submit("latency-lqd-burst", budget="fast")
+    for frame in client.stream(summary["run_id"]):
+        ...  # live TelemetrySnapshot progress frames
+    result = client.result(summary["run_id"])
+
+``stream()`` yields each frame as soon as its line arrives --
+``http.client`` decodes the chunked transfer-encoding, and the server
+only ever emits complete lines, so iteration never sees a torn frame.
+Streaming a run doubles as *waiting* for it: the stream ends exactly
+when the run reaches a terminal state, which keeps this module free of
+clocks and poll loops.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class ServeError(RuntimeError):
+    """An HTTP error answer from the daemon."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """One daemon endpoint; a fresh connection per request (the server
+    is ``Connection: close``)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787, *,
+                 timeout_s: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 ) -> Tuple[int, bytes]:
+        conn = self._connect()
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            headers = ({"Content-Type": "application/json"}
+                       if payload is not None else {})
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None,
+              ok: Tuple[int, ...] = (200,)) -> Any:
+        status, raw = self._request(method, path, body)
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            doc = raw.decode("utf-8", "replace")
+        if status not in ok:
+            raise ServeError(status, doc)
+        return doc
+
+    # -------------------------------------------------------------- routes
+
+    def healthz(self) -> Dict[str, Any]:
+        doc = self._json("GET", "/healthz")
+        assert isinstance(doc, dict)
+        return doc
+
+    def submit(self, scenario: str, *,
+               engine: Optional[str] = None,
+               seed: Optional[int] = None,
+               budget: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /runs``; the summary dict (``state`` is ``"done"``
+        with ``cached=True`` on a cache hit, else ``"pending"``)."""
+        body: Dict[str, Any] = {"scenario": scenario}
+        if engine is not None:
+            body["engine"] = engine
+        if seed is not None:
+            body["seed"] = seed
+        if budget is not None:
+            body["budget"] = budget
+        doc = self._json("POST", "/runs", body, ok=(200, 202))
+        assert isinstance(doc, dict)
+        return doc
+
+    def runs(self) -> List[Dict[str, Any]]:
+        doc = self._json("GET", "/runs")
+        return list(doc["runs"])
+
+    def status(self, run_id: str) -> Dict[str, Any]:
+        """The run summary regardless of state (follows the /runs/<id>
+        status-code convention: 200 done, 202 in flight, 500 failed)."""
+        doc = self._json("GET", f"/runs/{run_id}", ok=(200, 202, 500))
+        assert isinstance(doc, dict)
+        return doc
+
+    def result(self, run_id: str) -> Dict[str, Any]:
+        """The finished run's exact ``RunResult`` document (raises
+        :class:`ServeError` while in flight or failed)."""
+        doc = self._json("GET", f"/runs/{run_id}")
+        assert isinstance(doc, dict)
+        return doc
+
+    def stream(self, run_id: str) -> Iterator[Dict[str, Any]]:
+        """Iterate the run's frames live; ends when the run does."""
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/runs/{run_id}/stream")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raise ServeError(resp.status,
+                                 resp.read().decode("utf-8", "replace"))
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def run_and_wait(self, scenario: str, *,
+                     engine: Optional[str] = None,
+                     seed: Optional[int] = None,
+                     budget: Optional[str] = None,
+                     ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+        """Submit, consume the whole stream, fetch the result:
+        ``(result document, frames)``."""
+        summary = self.submit(scenario, engine=engine, seed=seed,
+                              budget=budget)
+        frames = list(self.stream(summary["run_id"]))
+        return self.result(summary["run_id"]), frames
+
+    def metrics_text(self) -> str:
+        status, raw = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    def shutdown(self) -> Dict[str, Any]:
+        doc = self._json("POST", "/shutdown")
+        assert isinstance(doc, dict)
+        return doc

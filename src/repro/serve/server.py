@@ -1,0 +1,359 @@
+"""The asyncio HTTP/1.1 front end of the serving daemon.
+
+Stdlib ``asyncio`` streams only -- no frameworks, no dependencies --
+handling one request per connection (``Connection: close``), which
+keeps the parser honest and the shutdown path trivial.  Routes:
+
+* ``POST /runs`` -- submit ``{"scenario": ..., "engine"?, "seed"?,
+  "budget"?}``; answers the run summary (``202`` pending, ``200`` on a
+  cache hit) and schedules execution on the service's thread pool
+  (each thread drives one fault-tolerant forked worker).
+* ``GET /runs`` -- every known run's summary.
+* ``GET /runs/<id>`` -- the exact canonical ``RunResult`` JSON once
+  done; ``202`` + summary while in flight; ``500`` + summary if failed.
+* ``GET /runs/<id>/stream`` -- chunked JSONL: tails the run's
+  ``frames.jsonl``, forwarding each *complete* frame line as one chunk
+  the moment it lands (mid-run progress snapshots, then the terminal
+  ``done`` frame).  Only whole lines are forwarded, so a client never
+  sees a torn frame regardless of when it connects.
+* ``GET /metrics`` -- the service registry in Prometheus 0.0.4 text.
+* ``GET /healthz`` -- liveness.
+* ``POST /shutdown`` -- graceful: stop accepting, drain in-flight
+  runs, then exit the serve loop (the CLI exits 0).
+
+The server owns the only wall-clock reads in the package
+(``time.monotonic`` feeding the request-rate metric and the stream
+poll cadence); the service core and client are clock-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.serve.service import ScenarioService
+from repro.telemetry.publish import validate_frame_dict
+
+#: How often the stream endpoint re-polls frames.jsonl for new bytes.
+STREAM_POLL_S = 0.05
+
+#: Upper bound on request head + body we are willing to buffer.
+MAX_REQUEST_BYTES = 1 << 20
+
+_JSON = "application/json"
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 405: "Method Not Allowed",
+                500: "Internal Server Error"}
+
+
+class ServeServer:
+    """One :class:`ScenarioService` behind an asyncio socket server."""
+
+    def __init__(self, service: ScenarioService,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 jobs: int = 2) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor = ThreadPoolExecutor(max_workers=jobs)
+        self._pending: Set[asyncio.Future] = set()
+        self._shutdown = asyncio.Event()
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves ``self.port`` when the
+        caller asked for an ephemeral one (port 0)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Accept until ``POST /shutdown`` (or SIGINT/SIGTERM), then
+        drain in-flight runs and close."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self._shutdown.set)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # non-main thread or unsupported platform
+        await self._shutdown.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, wait for every scheduled run, release the
+        worker threads."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pending:
+            await asyncio.gather(*self._pending, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    # ------------------------------------------------------------- plumbing
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                await self._respond(writer, 400,
+                                    {"error": "malformed request"})
+                return
+            method, path, body = request
+            self.service.record_request(now=time.monotonic())
+            await self._route(writer, method, path, body)
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        """Parse ``METHOD /path HTTP/1.1`` + headers + Content-Length
+        body.  Returns None on anything malformed."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        if len(head) > MAX_REQUEST_BYTES:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                return None
+            if n < 0 or n > MAX_REQUEST_BYTES:
+                return None
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                return None
+        return method, path, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Any, content_type: str = _JSON) -> None:
+        if isinstance(payload, bytes):
+            body = payload
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # --------------------------------------------------------------- routes
+
+    async def _route(self, writer: asyncio.StreamWriter, method: str,
+                     path: str, body: bytes) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._respond(writer, 200, {"ok": True})
+        elif path == "/metrics" and method == "GET":
+            await self._respond(
+                writer, 200, self.service.metrics_text(),
+                content_type="text/plain; version=0.0.4")
+        elif path == "/runs" and method == "POST":
+            await self._post_run(writer, body)
+        elif path == "/runs" and method == "GET":
+            await self._respond(writer, 200,
+                                {"runs": self.service.runs()})
+        elif path == "/shutdown" and method == "POST":
+            await self._respond(writer, 200, {"ok": True,
+                                              "shutting_down": True})
+            self.request_shutdown()
+        elif path.startswith("/runs/"):
+            await self._run_routes(writer, method, path)
+        else:
+            await self._respond(writer, 404,
+                                {"error": f"no route {method} {path}"})
+
+    async def _post_run(self, writer: asyncio.StreamWriter,
+                        body: bytes) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            await self._respond(writer, 400,
+                                {"error": "body is not JSON"})
+            return
+        if not isinstance(doc, dict) or not isinstance(
+                doc.get("scenario"), str):
+            await self._respond(
+                writer, 400,
+                {"error": "body must be {\"scenario\": <name>, ...}"})
+            return
+        try:
+            record = self.service.submit(
+                doc["scenario"], engine=doc.get("engine"),
+                seed=doc.get("seed"), budget=doc.get("budget"))
+        except (KeyError, ValueError, TypeError) as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        if record.state == "pending":
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(
+                self._executor, self.service.execute, record.run_id)
+            self._pending.add(future)
+            future.add_done_callback(self._pending.discard)
+        status = 200 if record.cached else 202
+        await self._respond(writer, status, record.summary())
+
+    async def _run_routes(self, writer: asyncio.StreamWriter,
+                          method: str, path: str) -> None:
+        parts = path.strip("/").split("/")
+        run_id = parts[1] if len(parts) > 1 else ""
+        try:
+            record = self.service.get(run_id)
+        except KeyError:
+            await self._respond(writer, 404,
+                                {"error": f"unknown run {run_id!r}"})
+            return
+        if len(parts) == 2 and method == "GET":
+            if record.state == "done" and record.result is not None:
+                text = json.dumps(record.result) + "\n"
+                await self._respond(writer, 200, text)
+            elif record.state == "failed":
+                await self._respond(writer, 500, record.summary())
+            else:
+                await self._respond(writer, 202, record.summary())
+        elif len(parts) == 3 and parts[2] == "stream" and method == "GET":
+            await self._stream(writer, record)
+        else:
+            await self._respond(writer, 405,
+                                {"error": f"no route {method} {path}"})
+
+    # ------------------------------------------------------------ streaming
+
+    async def _stream(self, writer: asyncio.StreamWriter,
+                      record: Any) -> None:
+        """Tail the run's frames.jsonl as a chunked JSONL response.
+
+        Forwards *complete* lines only (the publisher appends each
+        frame in one line-atomic write, so a partial read can only be
+        the in-progress tail -- buffered here until its newline
+        arrives).  Terminates after the ``done`` frame, or once the
+        run reaches a terminal state with no more bytes pending (a
+        failed run closes the stream without a ``done`` frame)."""
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/jsonl\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        offset = 0
+        tail = b""
+        sent = 0
+        finished = False
+        while not finished:
+            # Sample the lifecycle state BEFORE reading: if it is
+            # already terminal, every frame the worker will ever write
+            # is on disk, so one empty read after this point really is
+            # the end (no done-frame-after-our-read race).
+            terminal = record.state in ("done", "failed")
+            data = b""
+            if os.path.exists(record.frames_path):
+                with open(record.frames_path, "rb") as fh:
+                    fh.seek(offset)
+                    data = fh.read()
+                offset += len(data)
+            tail += data
+            while b"\n" in tail:
+                line, tail = tail.split(b"\n", 1)
+                try:
+                    frame = json.loads(line)
+                except ValueError:
+                    continue  # defensive: skip a corrupt line
+                if validate_frame_dict(frame):
+                    continue
+                await self._write_chunk(writer, line + b"\n")
+                sent += 1
+                if frame.get("type") == "done":
+                    finished = True
+                    break
+            if finished:
+                break
+            if not data and terminal:
+                # terminal before the read and nothing new arrived: a
+                # failed run ends here (no done frame will ever come)
+                break
+            if not data:
+                await asyncio.sleep(STREAM_POLL_S)
+        # The done frame is written by the worker moments before the
+        # pool hands the result back to the service; hold the stream
+        # open until the record itself is terminal so "consume the
+        # stream" doubles as "wait for the run".  Only an actively
+        # executing record can still become terminal -- and the wait is
+        # bounded anyway, so a wedged state cannot hang the client.
+        for _ in range(100):
+            if record.state != "running":
+                break
+            await asyncio.sleep(STREAM_POLL_S)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        self.service.record_stream_frames(sent)
+
+    async def _write_chunk(self, writer: asyncio.StreamWriter,
+                           payload: bytes) -> None:
+        writer.write(f"{len(payload):x}\r\n".encode("latin-1")
+                     + payload + b"\r\n")
+        await writer.drain()
+
+
+def serve_forever(service: ScenarioService, host: str, port: int, *,
+                  jobs: int = 2, quiet: bool = False) -> int:
+    """Blocking entry point for the CLI: serve until shutdown, exit 0
+    on a graceful stop."""
+    server = ServeServer(service, host, port, jobs=jobs)
+
+    async def _main() -> None:
+        await server.start()
+        if not quiet:
+            print(f"repro-serve listening on "
+                  f"http://{server.host}:{server.port}", flush=True)
+        await server.serve_until_shutdown()
+
+    asyncio.run(_main())
+    if not quiet:
+        print("repro-serve: graceful shutdown complete", flush=True)
+    return 0

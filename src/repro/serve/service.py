@@ -1,0 +1,332 @@
+"""The HTTP-independent serving core: submit, execute, cache, meter.
+
+:class:`ScenarioService` owns everything the daemon does *except*
+sockets, so the whole behavior is testable synchronously:
+
+* ``submit()`` resolves the requested knobs against the registered
+  spec exactly as :meth:`Runner.run` would, derives the content
+  address (spec hash + code version), and either answers from the
+  :class:`~repro.serve.cache.ResultCache` or creates a pending
+  :class:`RunRecord`;
+* ``execute()`` runs one pending record to completion on the
+  fault-tolerant process-per-task pool
+  (:func:`repro.checkpoint.pool.run_tasks` -- timeouts, retries,
+  journaled lifecycle events and rusage profiling all reused intact).
+  The forked worker activates a
+  :class:`~repro.telemetry.publish.FramePublisher` before running, so
+  progress frames appear in the record's ``frames.jsonl`` *while the
+  scenario executes* and the stream endpoint can tail them live;
+* the service-level :class:`~repro.monitor.metrics.MetricsRegistry`
+  (requests + windowed rate, in-flight gauge, done/failed/cache
+  counters, per-scenario wall/CPU totals) backs ``GET /metrics``.
+
+The service itself never reads a clock: callers pass ``now`` into
+:meth:`record_request` (the server supplies ``time.monotonic()``), so
+rate metrics stay replay-deterministic under test.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.checkpoint.pool import run_tasks
+from repro.monitor.metrics import MetricsRegistry
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.spec import ENGINES
+from repro.serve.cache import ResultCache, cache_key, canonical_result_dict
+from repro.telemetry.publish import (
+    DEFAULT_PUBLISH_EVERY,
+    FRAMES_FILENAME,
+    FramePublisher,
+)
+
+#: Lifecycle states of one served run.
+RUN_STATES = ("pending", "running", "done", "failed")
+
+
+def _serve_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool worker body for one served run (module-level: the pool
+    forks and calls it in a child process).
+
+    Activates a frame publisher so the scenario's probe chain streams
+    progress frames, runs the scenario, then appends the terminal
+    ``done`` frame carrying the final telemetry payload -- taken from
+    the finished result document itself, so the last streamed frame is
+    byte-identical to ``metrics["telemetry"]`` by construction.
+    """
+    from repro.scenarios.runner import Runner
+    from repro.telemetry import publish
+
+    publisher = FramePublisher(payload["frames_path"],
+                               every=payload["publish_every"])
+    publish.activate(publisher)
+    try:
+        result = Runner().run(payload["scenario"],
+                              engine=payload["engine"],
+                              seed=payload["seed"],
+                              budget=payload["budget"])
+    finally:
+        publish.deactivate()
+    doc = canonical_result_dict(result.to_dict())
+    telemetry = doc["metrics"].get("telemetry")
+    commands = (telemetry["counters"]["commands"]
+                if telemetry is not None else None)
+    publisher.publish_done(doc["scenario"], commands, telemetry)
+    publisher.close()
+    return doc
+
+
+@dataclass
+class RunRecord:
+    """One submitted run: identity, content address, lifecycle."""
+
+    run_id: str
+    scenario: str
+    engine: str
+    seed: int
+    budget: str
+    spec_hash: str
+    cache_key: str
+    dir: str
+    state: str = "pending"
+    cached: bool = False
+    error: Optional[str] = None
+    attempts: int = 0
+    result: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    @property
+    def frames_path(self) -> str:
+        return os.path.join(self.dir, FRAMES_FILENAME)
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON shape ``POST /runs`` / ``GET /runs`` answer with."""
+        doc: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "seed": self.seed,
+            "budget": self.budget,
+            "spec_hash": self.spec_hash,
+            "state": self.state,
+            "cached": self.cached,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class ScenarioService:
+    """Submission, execution, caching and metering of served runs."""
+
+    def __init__(self, spool_dir: str,
+                 cache_dir: Optional[str] = None, *,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 backoff_s: float = 0.1,
+                 publish_every: int = DEFAULT_PUBLISH_EVERY,
+                 fault_plan: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.spool_dir = os.fspath(spool_dir)
+        os.makedirs(self.spool_dir, exist_ok=True)
+        self.cache = ResultCache(cache_dir if cache_dir is not None
+                                 else os.path.join(self.spool_dir,
+                                                   "cache"))
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.publish_every = publish_every
+        #: Deterministic worker-fault injection (tests / recovery
+        #: smoke; see :mod:`repro.checkpoint.faults`).
+        self.fault_plan = fault_plan
+        self.registry = registry if registry is not None else (
+            MetricsRegistry())
+        self._runs: Dict[str, RunRecord] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._inflight = 0
+
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro_serve_requests_total", "HTTP requests handled")
+        self._m_rate = reg.rate(
+            "repro_serve_requests_per_second",
+            "request rate over the trailing 60s window")
+        self._m_inflight = reg.gauge(
+            "repro_serve_runs_inflight", "runs currently executing")
+        self._m_submitted = reg.counter(
+            "repro_serve_runs_submitted_total", "runs submitted")
+        self._m_done = reg.counter(
+            "repro_serve_runs_done_total", "runs finished successfully")
+        self._m_failed = reg.counter(
+            "repro_serve_runs_failed_total",
+            "runs that exhausted their retry budget")
+        self._m_hits = reg.counter(
+            "repro_serve_cache_hits_total",
+            "submissions answered from the result cache")
+        self._m_misses = reg.counter(
+            "repro_serve_cache_misses_total",
+            "submissions that required execution")
+        self._m_frames = reg.counter(
+            "repro_serve_stream_frames_total",
+            "frames delivered over /runs/<id>/stream")
+
+    # ---------------------------------------------------------- metering
+
+    def record_request(self, now: Optional[float] = None) -> None:
+        """Count one HTTP request (``now``: the caller's monotonic
+        timestamp, feeding the windowed rate)."""
+        self._m_requests.inc()
+        if now is not None:
+            self._m_rate.record(now)
+
+    def record_stream_frames(self, n: int) -> None:
+        self._m_frames.inc(n)
+
+    def metrics_text(self) -> str:
+        return self.registry.to_prometheus()
+
+    # -------------------------------------------------------- submission
+
+    def submit(self, scenario: str, *,
+               engine: Optional[str] = None,
+               seed: Optional[int] = None,
+               budget: Optional[str] = None) -> RunRecord:
+        """Resolve, content-address and register one run.
+
+        A cache hit comes back already ``done`` (with the cached
+        document attached and the terminal frame materialized, so
+        streaming a cached run yields a well-formed one-frame stream);
+        a miss comes back ``pending`` for :meth:`execute`.
+        """
+        if scenario not in scenario_names():
+            raise KeyError(f"unknown scenario {scenario!r}")
+        spec = get_scenario(scenario).spec.with_options(
+            engine=engine, seed=seed, budget=budget)
+        spec_hash = spec.spec_hash()
+        key = cache_key(spec_hash, engine=spec.effective_engine,
+                        seed=spec.seed, budget=spec.budget)
+        with self._lock:
+            run_id = f"run-{next(self._ids):06d}"
+            record = RunRecord(
+                run_id=run_id, scenario=scenario,
+                engine=spec.effective_engine, seed=spec.seed,
+                budget=spec.budget, spec_hash=spec_hash, cache_key=key,
+                dir=os.path.join(self.spool_dir, run_id))
+            self._runs[run_id] = record
+        os.makedirs(record.dir, exist_ok=True)
+        self._m_submitted.inc()
+        cached = self.cache.get(key)
+        if cached is not None:
+            record.result = cached
+            record.cached = True
+            record.state = "done"
+            self._m_hits.inc()
+            self._materialize_done_frame(record)
+        else:
+            self._m_misses.inc()
+        return record
+
+    def _materialize_done_frame(self, record: RunRecord) -> None:
+        """Write the terminal frame for a cache-served run, so the
+        stream endpoint serves cached and fresh runs identically."""
+        assert record.result is not None
+        telemetry = record.result["metrics"].get("telemetry")
+        commands = (telemetry["counters"]["commands"]
+                    if telemetry is not None else None)
+        with FramePublisher(record.frames_path) as publisher:
+            publisher.publish_done(record.scenario, commands, telemetry)
+
+    # --------------------------------------------------------- execution
+
+    def execute(self, run_id: str) -> RunRecord:
+        """Run one pending record to completion (blocking; the server
+        calls this from its worker thread pool).  No-op for records
+        already past ``pending`` (cached hits, duplicates)."""
+        record = self.get(run_id)
+        with self._lock:
+            if record.state != "pending":
+                return record
+            record.state = "running"
+            self._inflight += 1
+            self._m_inflight.set(self._inflight)
+        payload = {
+            "scenario": record.scenario,
+            # closed-form scenarios resolve to engine "n/a", which is
+            # a result stamp, not a requestable engine -- the worker
+            # passes no override and lets the spec decide
+            "engine": record.engine if record.engine in ENGINES else None,
+            "seed": record.seed,
+            "budget": record.budget,
+            "frames_path": record.frames_path,
+            "publish_every": self.publish_every,
+        }
+        try:
+            outcome = run_tasks(
+                _serve_worker, [(record.run_id, payload)], jobs=1,
+                timeout_s=self.timeout_s, retries=self.retries,
+                backoff_s=self.backoff_s, journal_dir=record.dir,
+                fault_plan=self.fault_plan, resources=True)
+            doc = outcome.results[0]
+            if doc is not None:
+                self.cache.put(record.cache_key, doc)
+                record.result = canonical_result_dict(doc)
+                record.state = "done"
+                self._m_done.inc()
+                self._record_profile(record.scenario,
+                                     outcome.resources.get(
+                                         record.run_id))
+            else:
+                failure = (outcome.failures[0] if outcome.failures
+                           else None)
+                record.error = (failure.reason if failure is not None
+                                else "interrupted")
+                record.attempts = (failure.attempts
+                                   if failure is not None else 0)
+                record.state = "failed"
+                self._m_failed.inc()
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                self._m_inflight.set(self._inflight)
+        return record
+
+    def _record_profile(self, scenario: str,
+                        profile: Optional[Dict[str, Any]]) -> None:
+        """Fold one run's rusage profile into the per-scenario wall /
+        CPU totals (metric names carry the scenario, mangled to the
+        Prometheus alphabet)."""
+        if not profile:
+            return
+        slug = scenario.replace("-", "_").replace(".", "_")
+        self.registry.counter(
+            f"repro_serve_scenario_{slug}_wall_seconds_total",
+            f"wall-clock seconds spent executing {scenario}",
+        ).inc(round(float(profile.get("wall_s", 0.0)), 6))
+        cpu = float(profile.get("cpu_s", 0.0))
+        self.registry.counter(
+            f"repro_serve_scenario_{slug}_cpu_seconds_total",
+            f"CPU seconds spent executing {scenario}",
+        ).inc(round(cpu, 6))
+
+    # ------------------------------------------------------------ lookup
+
+    def get(self, run_id: str) -> RunRecord:
+        with self._lock:
+            record = self._runs.get(run_id)
+        if record is None:
+            raise KeyError(f"unknown run {run_id!r}")
+        return record
+
+    def runs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            records = list(self._runs.values())
+        return [r.summary() for r in records]
+
+    def result(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """The finished run's canonical :class:`RunResult` document
+        (None while pending/running/failed)."""
+        return self.get(run_id).result

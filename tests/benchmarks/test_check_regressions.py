@@ -25,6 +25,7 @@ def _entry(quick=False, **overrides):
                         "stream_speedup_with_trace_off": 6.0},
         "bench_monitor": {"off_overhead": 0.01,
                           "stream_speedup_with_monitor_off": 6.0},
+        "bench_serve": {"cached_requests_per_s": 40.0},
     }
     for name, fields in overrides.items():
         benchmarks[name].update(fields)
@@ -55,6 +56,14 @@ def test_monitor_floor_and_ceiling_are_gated():
     assert any("stream_speedup_with_monitor_off" in m
                for _s, m in findings)
     assert any("bench_monitor.off_overhead" in m for _s, m in findings)
+
+
+def test_serve_cached_throughput_floor_fails_in_req_per_s():
+    entry = _entry(bench_serve={"cached_requests_per_s": 3.0})
+    (finding,) = check_entry(entry, [entry])
+    assert finding[0] == "fail"
+    assert "bench_serve.cached_requests_per_s" in finding[1]
+    assert "req/s" in finding[1] and "3.0x" not in finding[1]
 
 
 def test_overhead_ceiling_warns_on_quick_entries():

@@ -1,0 +1,112 @@
+"""EventSink under genuinely concurrent writers.
+
+The sink's contract is that one ``os.write`` on an ``O_APPEND``
+descriptor makes concurrent appends interleave at line granularity:
+two processes hammering one ``events.jsonl`` must produce a file where
+*every* line is an intact, schema-valid event and each writer's own
+events appear in its emission order.  The stress test here runs two
+real processes; the torn-line tests then check the reader's crash
+contract (drop a torn final line, ``strict=True`` refuses).
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.monitor.events import EventSink, read_events, validate_event_dict
+
+EVENTS_PER_WRITER = 300
+
+
+def _writer(path: str, writer_id: int, count: int,
+            barrier) -> None:
+    """One stress-test writer process: emit ``count`` sequenced events
+    as fast as possible (module-level for spawn-context safety)."""
+    with EventSink(path) as sink:
+        barrier.wait()  # maximize interleaving: start together
+        for seq in range(count):
+            sink.emit("task", "progress", f"w{writer_id}",
+                      extra={"writer": writer_id, "seq": seq})
+
+
+def test_two_process_writers_interleave_at_line_granularity(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(2)
+    procs = [ctx.Process(target=_writer,
+                         args=(path, wid, EVENTS_PER_WRITER, barrier))
+             for wid in (0, 1)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(60)
+        assert p.exitcode == 0
+
+    # every single line is intact -- strict mode would raise otherwise
+    events = read_events(path, strict=True)
+    assert len(events) == 2 * EVENTS_PER_WRITER
+    for event in events:
+        assert validate_event_dict(event.to_dict()) == []
+
+    # each writer's events arrive in its own emission order, complete
+    for wid in (0, 1):
+        seqs = [e.extra["seq"] for e in events
+                if e.extra["writer"] == wid]
+        assert seqs == list(range(EVENTS_PER_WRITER)), f"writer {wid}"
+
+    # and the raw file really is one JSON document per line
+    with open(path, encoding="utf-8") as fh:
+        raw_lines = fh.read().splitlines()
+    assert len(raw_lines) == 2 * EVENTS_PER_WRITER
+    for line in raw_lines:
+        json.loads(line)
+
+
+def test_reader_recovers_every_intact_line_around_a_torn_tail(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with EventSink(path) as sink:
+        for seq in range(5):
+            sink.emit("task", "progress", "w0", extra={"seq": seq})
+    # a writer dies mid-append: the final line is deliberately torn
+    with open(path, "r+", encoding="utf-8") as fh:
+        text = fh.read()
+        fh.seek(0)
+        fh.truncate()
+        fh.write(text[:-25])  # chop through the last record
+    events = read_events(path)
+    assert [e.extra["seq"] for e in events] == [0, 1, 2, 3]
+
+
+def test_strict_refuses_a_torn_final_line(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with EventSink(path) as sink:
+        sink.emit("task", "start", "w0")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"schema": 1, "kind": "task", "act')  # torn append
+    assert len(read_events(path)) == 1  # tolerant mode drops it
+    with pytest.raises(ValueError, match="invalid event line"):
+        read_events(path, strict=True)
+
+
+def test_concurrent_writers_then_torn_tail_end_to_end(tmp_path):
+    """The full crash story: two processes interleave, then the file
+    gains a torn tail -- the reader keeps every intact line from both
+    writers and only strict mode complains."""
+    path = str(tmp_path / "events.jsonl")
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(2)
+    procs = [ctx.Process(target=_writer, args=(path, wid, 50, barrier))
+             for wid in (0, 1)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(60)
+        assert p.exitcode == 0
+    with open(path, "ab") as fh:
+        fh.write(b'{"schema": 1, "kind": "ta')
+    events = read_events(path)
+    assert len(events) == 100
+    with pytest.raises(ValueError, match="invalid event line"):
+        read_events(path, strict=True)

@@ -1,0 +1,93 @@
+"""The content-addressed result cache: key derivation, canonical
+scrubbing, atomic persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.cache import (
+    ResultCache,
+    cache_key,
+    canonical_result_dict,
+    code_version,
+)
+
+
+def test_code_version_is_stable_hex():
+    first = code_version()
+    assert first == code_version()
+    assert len(first) == 64
+    assert set(first) <= set("0123456789abcdef")
+
+
+def test_cache_key_sensitive_to_every_component():
+    base = dict(engine="fast", seed=2005, budget="full", version="v1")
+    key = cache_key("h" * 64, **base)
+    assert key != cache_key("a" * 64, **base)
+    for field, value in [("engine", "reference"), ("seed", 7),
+                         ("budget", "fast"), ("version", "v2")]:
+        assert key != cache_key("h" * 64, **{**base, field: value}), field
+    assert key == cache_key("h" * 64, **base)  # deterministic
+
+
+def test_cache_key_defaults_to_live_code_version():
+    explicit = cache_key("h" * 64, engine="fast", seed=1, budget="full",
+                         version=code_version())
+    implicit = cache_key("h" * 64, engine="fast", seed=1, budget="full")
+    assert explicit == implicit
+
+
+def test_canonical_result_dict_scrubs_nonreproducible_fields():
+    doc = {"scenario": "table5", "wall_clock_s": 1.25,
+           "metrics": {"gbps": 10.0,
+                       "resources": {"cpu_s": 1.0}}}
+    canon = canonical_result_dict(doc)
+    assert canon["wall_clock_s"] == 0.0
+    assert "resources" not in canon["metrics"]
+    assert canon["metrics"]["gbps"] == 10.0
+    # the input document is left untouched
+    assert doc["wall_clock_s"] == 1.25
+    assert "resources" in doc["metrics"]
+
+
+def test_canonical_result_dict_is_idempotent():
+    doc = {"scenario": "x", "wall_clock_s": 3.0, "metrics": {"m": 1}}
+    once = canonical_result_dict(doc)
+    assert canonical_result_dict(once) == once
+
+
+def test_cache_round_trip(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = cache_key("b" * 64, engine="fast", seed=1, budget="fast",
+                    version="v")
+    assert cache.get(key) is None
+    assert key not in cache
+    doc = {"scenario": "table5", "wall_clock_s": 9.0, "metrics": {}}
+    cache.put(key, doc)
+    assert key in cache
+    assert len(cache) == 1
+    got = cache.get(key)
+    assert got == canonical_result_dict(doc)
+    # stored canonically: a re-put of the fetched doc is byte-stable
+    cache.put(key, got)
+    assert cache.get(key) == got
+
+
+def test_cache_rejects_malformed_keys(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    for bad in ("", "../escape", "UPPER", "zz/.."):
+        with pytest.raises(ValueError, match="malformed cache key"):
+            cache.get(bad)
+
+
+def test_cache_entries_are_valid_json_files(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache_key("c" * 64, engine="n/a", seed=0, budget="full",
+                    version="v")
+    cache.put(key, {"scenario": "t", "wall_clock_s": 0.0,
+                    "metrics": {}})
+    path = os.path.join(str(tmp_path), key + ".json")
+    assert os.path.exists(path)
+    with open(path, encoding="utf-8") as fh:
+        assert json.load(fh)["scenario"] == "t"

@@ -1,0 +1,231 @@
+"""The asyncio HTTP front end, driven over real sockets: routes,
+chunked frame streaming (mid-run prefix consistency, final-frame
+identity on both engines), cache round trips, metrics, shutdown."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.monitor.metrics import parse_prometheus_text
+from repro.serve import ScenarioService, ServeClient, ServeError, ServeServer
+from repro.telemetry.publish import validate_frame_dict
+
+
+def _start(service, jobs=2):
+    """Run a ServeServer on an ephemeral port in a daemon thread;
+    returns (server, client, thread)."""
+    import asyncio
+
+    server = ServeServer(service, port=0, jobs=jobs)
+    ready = threading.Event()
+
+    def _loop():
+        async def _main():
+            await server.start()
+            ready.set()
+            await server.serve_until_shutdown()
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_loop, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not start"
+    client = ServeClient("127.0.0.1", server.port, timeout_s=300.0)
+    return server, client, thread
+
+
+@pytest.fixture
+def served(tmp_path):
+    service = ScenarioService(str(tmp_path / "spool"))
+    server, client, thread = _start(service)
+    yield service, client
+    try:
+        client.shutdown()
+    except (ServeError, OSError):
+        pass
+    thread.join(30)
+    assert not thread.is_alive(), "server thread did not exit"
+
+
+def test_healthz_and_404s(served):
+    _service, client = served
+    assert client.healthz() == {"ok": True}
+    with pytest.raises(ServeError) as err:
+        client.result("run-999999")
+    assert err.value.status == 404
+    status, _raw = client._request("GET", "/no/such/route")
+    assert status == 404
+    status, _raw = client._request("DELETE", "/runs")
+    assert status == 404
+
+
+def test_submit_rejects_bad_bodies(served):
+    _service, client = served
+    with pytest.raises(ServeError) as err:
+        client.submit("no-such-scenario")
+    assert err.value.status == 400
+    status, raw = client._request("POST", "/runs", {"not": "a spec"})
+    assert status == 400
+    status, raw = client._request("POST", "/runs")
+    assert status == 400
+    assert b"scenario" in raw
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_final_streamed_frame_matches_result_telemetry(served, engine):
+    """Satellite: on both engines, the last streamed frame's telemetry
+    is byte-identical to the finished run's metrics["telemetry"]."""
+    _service, client = served
+    result, frames = client.run_and_wait("latency-lqd-burst",
+                                         engine=engine, budget="fast")
+    assert result["engine"] == engine
+    assert frames, "stream delivered nothing"
+    assert all(validate_frame_dict(f) == [] for f in frames)
+    assert frames[-1]["type"] == "done"
+    assert json.dumps(frames[-1]["telemetry"], sort_keys=True) == \
+        json.dumps(result["metrics"]["telemetry"], sort_keys=True)
+    # progress frames precede it in strictly increasing command order
+    commands = [f["commands"] for f in frames[:-1]]
+    assert commands == sorted(commands)
+
+
+def test_cached_resubmit_is_byte_identical_over_http(served):
+    _service, client = served
+    first, _frames = client.run_and_wait("latency-lqd-burst",
+                                         budget="fast")
+    summary = client.submit("latency-lqd-burst", budget="fast")
+    assert summary["cached"] is True
+    assert summary["state"] == "done"
+    second = client.result(summary["run_id"])
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True)
+    # a cached run streams exactly the terminal frame
+    frames = list(client.stream(summary["run_id"]))
+    assert [f["type"] for f in frames] == ["done"]
+
+
+def test_stream_mid_run_sees_consistent_prefix(served):
+    """Satellite: a client connecting mid-run receives a consistent
+    prefix -- complete frames only, in order, never a torn line.
+
+    Driven deterministically: the run record exists but nothing
+    executes; the test plays the worker, appending frames (including a
+    deliberately torn tail) while a streaming client watches."""
+    service, client = served
+    record = service.submit("latency-lqd-burst", budget="fast")
+
+    def frame_line(i, **extra):
+        doc = {"schema": 1, "frame": i, "type": "progress",
+               "commands": (i + 1) * 10, "time_ps": i,
+               "telemetry": {"stub": i}}
+        doc.update(extra)
+        return (json.dumps(doc, separators=(",", ":")) + "\n").encode()
+
+    received = []
+    done = threading.Event()
+
+    def consume():
+        for doc in client.stream(record.run_id):
+            received.append(doc)
+        done.set()
+
+    consumer = threading.Thread(target=consume, daemon=True)
+    consumer.start()
+
+    with open(record.frames_path, "ab", buffering=0) as fh:
+        fh.write(frame_line(0))
+        fh.write(frame_line(1))
+        torn = frame_line(2)
+        fh.write(torn[:17])  # a torn, in-progress line
+        deadline = time.monotonic() + 10
+        while len(received) < 2 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        # only the two complete frames crossed the wire
+        assert [f["frame"] for f in received] == [0, 1]
+        assert all(validate_frame_dict(f) == [] for f in received)
+        # the torn line completes, then the terminal frame arrives
+        fh.write(torn[17:])
+        fh.write((json.dumps(
+            {"schema": 1, "frame": 3, "type": "done",
+             "scenario": record.scenario, "commands": 40,
+             "telemetry": None}, separators=(",", ":")) + "\n").encode())
+
+    assert done.wait(10), "stream did not terminate after done frame"
+    consumer.join(5)
+    assert [f["frame"] for f in received] == [0, 1, 2, 3]
+    assert received[2]["commands"] == 30  # the once-torn line, intact
+    assert received[-1]["type"] == "done"
+
+
+def test_run_status_codes_follow_lifecycle(served):
+    service, client = served
+    record = service.submit("latency-lqd-burst", budget="fast")
+    status, raw = client._request("GET", f"/runs/{record.run_id}")
+    assert status == 202  # pending: summary, not a result
+    assert json.loads(raw)["state"] == "pending"
+    service.execute(record.run_id)
+    status, raw = client._request("GET", f"/runs/{record.run_id}")
+    assert status == 200
+    assert json.loads(raw)["scenario"] == "latency-lqd-burst"
+
+
+def test_failed_run_answers_500_and_stream_terminates(tmp_path):
+    from repro.checkpoint.faults import write_plan
+    plan = str(tmp_path / "faults.json")
+    write_plan(plan, kill={"run-000001": 5})
+    service = ScenarioService(str(tmp_path / "spool"), retries=0,
+                              backoff_s=0.0, fault_plan=plan)
+    _server, client, thread = _start(service)
+    try:
+        summary = client.submit("latency-lqd-burst", budget="fast")
+        frames = list(client.stream(summary["run_id"]))  # waits it out
+        assert all(f["type"] != "done" for f in frames)
+        status, raw = client._request("GET", f"/runs/{summary['run_id']}")
+        assert status == 500
+        doc = json.loads(raw)
+        assert doc["state"] == "failed"
+        assert "error" in doc
+        with pytest.raises(ServeError) as err:
+            client.result(summary["run_id"])
+        assert err.value.status == 500
+    finally:
+        client.shutdown()
+        thread.join(30)
+
+
+def test_metrics_endpoint_is_strictly_parseable(served):
+    _service, client = served
+    client.run_and_wait("latency-lqd-burst", budget="fast")
+    client.submit("latency-lqd-burst", budget="fast")
+    text = client.metrics_text()
+    values = parse_prometheus_text(text)
+    assert values["repro_serve_runs_done_total"] == 1
+    assert values["repro_serve_cache_hits_total"] == 1
+    assert values["repro_serve_requests_total"] >= 4
+    assert values["repro_serve_requests_per_second"] > 0
+    assert values["repro_serve_stream_frames_total"] >= 1
+    assert values[
+        "repro_serve_scenario_latency_lqd_burst_wall_seconds_total"] > 0
+
+
+def test_run_listing_over_http(served):
+    service, client = served
+    service.submit("table4", budget="fast")
+    service.submit("table3", budget="fast")
+    runs = client.runs()
+    assert [r["run_id"] for r in runs] == ["run-000001", "run-000002"]
+
+
+def test_graceful_shutdown_drains_inflight_runs(tmp_path):
+    """POST /shutdown while a run executes: the daemon finishes the
+    run (its result lands in the cache) before the loop exits."""
+    service = ScenarioService(str(tmp_path / "spool"))
+    _server, client, thread = _start(service)
+    summary = client.submit("latency-lqd-burst", budget="fast")
+    client.shutdown()
+    thread.join(60)
+    assert not thread.is_alive()
+    record = service.get(summary["run_id"])
+    assert record.state == "done"
+    assert record.cache_key in service.cache
